@@ -1,0 +1,35 @@
+//! Fig. 11 — impact of the block size on lookup cost.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lidx_bench::{loaded_index, BENCH_INDEXES};
+use lidx_workloads::Dataset;
+
+fn bench_block_sizes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig11_block_size");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_millis(900));
+    for block_size in [1024usize, 4096, 16384] {
+        for choice in BENCH_INDEXES {
+            let (mut index, workload) = loaded_index(choice, Dataset::Fb, block_size);
+            let keys: Vec<u64> = workload.bulk.iter().step_by(131).map(|e| e.0).collect();
+            group.bench_function(
+                BenchmarkId::new(choice.name(), format!("{}KB", block_size / 1024)),
+                |b| {
+                    let mut i = 0;
+                    b.iter(|| {
+                        let k = keys[i % keys.len()];
+                        i += 1;
+                        index.lookup(k).unwrap()
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_block_sizes);
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! Fig. 13 — impact of an LRU buffer pool on lookup cost, plus a
+//! micro-benchmark of the pool itself.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lidx_experiments::runner::IndexChoice;
+use lidx_storage::{BufferPool, DeviceModel, Disk, DiskConfig};
+use lidx_workloads::{Dataset, Workload, WorkloadKind, WorkloadSpec};
+
+fn bench_buffered_lookups(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig13_buffer_size");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_millis(900));
+    let keys = Dataset::Fb.generate_keys(50_000, 0xB0F);
+    let workload = Workload::build(&keys, WorkloadSpec::new(WorkloadKind::LookupOnly, 200, 0));
+    for buffer_blocks in [0usize, 8, 64] {
+        for choice in [IndexChoice::BTree, IndexChoice::Pgm, IndexChoice::Lipp] {
+            let disk = Disk::in_memory(
+                DiskConfig::with_block_size(4096)
+                    .device(DeviceModel::none())
+                    .buffer_blocks(buffer_blocks),
+            );
+            let mut index = choice.build(disk);
+            index.bulk_load(&workload.bulk).unwrap();
+            let probe: Vec<u64> = keys.iter().step_by(173).copied().collect();
+            group.bench_function(
+                BenchmarkId::new(choice.name(), format!("buf{buffer_blocks}")),
+                |b| {
+                    let mut i = 0;
+                    b.iter(|| {
+                        let k = probe[i % probe.len()];
+                        i += 1;
+                        index.lookup(k).unwrap()
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_pool_micro(c: &mut Criterion) {
+    let mut group = c.benchmark_group("buffer_pool_micro");
+    group.sample_size(20);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_millis(900));
+    let block = vec![0u8; 4096];
+    group.bench_function("put_get_hit", |b| {
+        let mut pool = BufferPool::new(128);
+        for i in 0..128u32 {
+            pool.put(0, i, &block);
+        }
+        let mut out = vec![0u8; 4096];
+        let mut i = 0u32;
+        b.iter(|| {
+            let hit = pool.get(0, i % 128, &mut out);
+            i += 1;
+            hit
+        })
+    });
+    group.bench_function("put_evicting", |b| {
+        let mut pool = BufferPool::new(64);
+        let mut i = 0u32;
+        b.iter(|| {
+            pool.put(0, i, &block);
+            i += 1;
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_buffered_lookups, bench_pool_micro);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Fig. 7 / Fig. 10 — bulk-load cost and resulting index size.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use lidx_bench::{bench_disk, BENCH_INDEXES};
+use lidx_workloads::Dataset;
+
+fn bench_bulkload(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7_bulkload");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_millis(900));
+    for dataset in Dataset::REPRESENTATIVE {
+        let entries = dataset.generate(30_000, 0xABBA);
+        for choice in BENCH_INDEXES {
+            group.bench_function(BenchmarkId::new(choice.name(), dataset.name()), |b| {
+                b.iter_batched(
+                    || choice.build(bench_disk(4096)),
+                    |mut index| {
+                        index.bulk_load(&entries).unwrap();
+                        index.storage_blocks()
+                    },
+                    BatchSize::LargeInput,
+                )
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_bulkload);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Table 5 / Fig. 8 — hybrid designs and the memory-resident-inner setting.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lidx_experiments::runner::IndexChoice;
+use lidx_storage::{BlockKind, DeviceModel, Disk, DiskConfig};
+use lidx_workloads::Dataset;
+
+fn bench_hybrids(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table5_hybrid_lookup");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_millis(900));
+    let keys = Dataset::Fb.generate_keys(50_000, 0x9A9A);
+    let entries: Vec<_> = keys.iter().map(|&k| (k, k + 1)).collect();
+    let probe: Vec<u64> = keys.iter().step_by(173).copied().collect();
+    for choice in [IndexChoice::BTree, IndexChoice::HybridPla, IndexChoice::HybridModelTree] {
+        let disk =
+            Disk::in_memory(DiskConfig::with_block_size(4096).device(DeviceModel::none()));
+        let mut index = choice.build(disk);
+        index.bulk_load(&entries).unwrap();
+        group.bench_function(BenchmarkId::new("lookup", choice.name()), |b| {
+            let mut i = 0;
+            b.iter(|| {
+                let k = probe[i % probe.len()];
+                i += 1;
+                index.lookup(k).unwrap()
+            })
+        });
+        let mut out = Vec::with_capacity(128);
+        group.bench_function(BenchmarkId::new("scan100", choice.name()), |b| {
+            let mut i = 0;
+            b.iter(|| {
+                let k = probe[i % probe.len()];
+                i += 1;
+                index.scan(k, 100, &mut out).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_memory_resident_inner(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8_memory_resident_inner");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_millis(900));
+    let keys = Dataset::Osm.generate_keys(50_000, 0x515);
+    let entries: Vec<_> = keys.iter().map(|&k| (k, k + 1)).collect();
+    let probe: Vec<u64> = keys.iter().step_by(173).copied().collect();
+    for choice in [IndexChoice::BTree, IndexChoice::Fiting, IndexChoice::Pgm, IndexChoice::Alex] {
+        let disk = Disk::in_memory(
+            DiskConfig::with_block_size(4096)
+                .device(DeviceModel::none())
+                .memory_resident(&[BlockKind::Inner, BlockKind::Meta]),
+        );
+        let mut index = choice.build(disk);
+        index.bulk_load(&entries).unwrap();
+        group.bench_function(choice.name(), |b| {
+            let mut i = 0;
+            b.iter(|| {
+                let k = probe[i % probe.len()];
+                i += 1;
+                index.lookup(k).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_hybrids, bench_memory_resident_inner);
+criterion_main!(benches);

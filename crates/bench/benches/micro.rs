@@ -1,0 +1,59 @@
+//! Micro-benchmarks of the substrate pieces: PLA segmentation, FMCD model
+//! fitting, block codec, and the raw storage path.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lidx_models::{fit_fmcd, segment_keys, LinearModel};
+use lidx_storage::{BlockKind, DeviceModel, Disk, DiskConfig};
+use lidx_workloads::Dataset;
+
+fn bench_models(c: &mut Criterion) {
+    let mut group = c.benchmark_group("micro_models");
+    group.sample_size(20);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_millis(900));
+    for dataset in [Dataset::Ycsb, Dataset::Fb] {
+        let keys = dataset.generate_keys(100_000, 0x1);
+        group.bench_function(BenchmarkId::new("pla_eps64", dataset.name()), |b| {
+            b.iter(|| segment_keys(&keys, 64).len())
+        });
+        group.bench_function(BenchmarkId::new("fmcd", dataset.name()), |b| {
+            b.iter(|| fit_fmcd(&keys, keys.len() * 2).conflict_degree)
+        });
+        group.bench_function(BenchmarkId::new("linear_fit", dataset.name()), |b| {
+            b.iter(|| LinearModel::fit_keys(&keys).slope)
+        });
+    }
+    group.finish();
+}
+
+fn bench_storage_path(c: &mut Criterion) {
+    let mut group = c.benchmark_group("micro_storage");
+    group.sample_size(20);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_millis(900));
+    let disk = Disk::in_memory(DiskConfig::with_block_size(4096).device(DeviceModel::none()));
+    let file = disk.create_file().unwrap();
+    disk.allocate(file, 1024).unwrap();
+    let block = vec![7u8; 4096];
+    group.bench_function("write_block", |b| {
+        let mut i = 0u32;
+        b.iter(|| {
+            disk.write(file, i % 1024, BlockKind::Leaf, &block).unwrap();
+            i += 1;
+        })
+    });
+    group.bench_function("read_block", |b| {
+        let mut buf = vec![0u8; 4096];
+        let mut i = 0u32;
+        b.iter(|| {
+            disk.read(file, (i * 37) % 1024, BlockKind::Leaf, &mut buf).unwrap();
+            i += 1;
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_models, bench_storage_path);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Fig. 3 / Fig. 4 / Table 4 — Lookup-Only and Scan-Only performance of the
+//! five indexes on the three representative datasets.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lidx_bench::{loaded_index, BENCH_INDEXES};
+use lidx_workloads::Dataset;
+
+fn bench_lookups(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3_lookup_only");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_millis(900));
+    for dataset in Dataset::REPRESENTATIVE {
+        for choice in BENCH_INDEXES {
+            let (mut index, workload) = loaded_index(choice, dataset, 4096);
+            let keys: Vec<u64> = workload.bulk.iter().step_by(97).map(|e| e.0).collect();
+            group.bench_function(
+                BenchmarkId::new(choice.name(), dataset.name()),
+                |b| {
+                    let mut i = 0;
+                    b.iter(|| {
+                        let k = keys[i % keys.len()];
+                        i += 1;
+                        index.lookup(k).unwrap()
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_scans(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3_scan_only");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_millis(900));
+    for dataset in Dataset::REPRESENTATIVE {
+        for choice in BENCH_INDEXES {
+            let (mut index, workload) = loaded_index(choice, dataset, 4096);
+            let keys: Vec<u64> = workload.bulk.iter().step_by(211).map(|e| e.0).collect();
+            let mut out = Vec::with_capacity(128);
+            group.bench_function(
+                BenchmarkId::new(choice.name(), dataset.name()),
+                |b| {
+                    let mut i = 0;
+                    b.iter(|| {
+                        let k = keys[i % keys.len()];
+                        i += 1;
+                        index.scan(k, 100, &mut out).unwrap()
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_lookups, bench_scans);
+criterion_main!(benches);

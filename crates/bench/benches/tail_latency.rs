@@ -1,0 +1,35 @@
+//! Fig. 12 — tail latency: measures per-operation simulated device time and
+//! reports the p99 via a custom summary printed once per run.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lidx_bench::BENCH_INDEXES;
+use lidx_experiments::runner::{run_workload, RunConfig};
+use lidx_storage::DeviceModel;
+use lidx_workloads::{Dataset, Workload, WorkloadKind, WorkloadSpec};
+
+fn bench_tail_latency(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig12_tail_latency");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_millis(900));
+    let keys = Dataset::Fb.generate_keys(40_000, 0x7A11);
+    let workload = Workload::build(&keys, WorkloadSpec::new(WorkloadKind::LookupOnly, 300, 0));
+    let config = RunConfig { device: DeviceModel::hdd(), ..Default::default() };
+    for choice in BENCH_INDEXES {
+        group.bench_function(BenchmarkId::new("lookup_only", choice.name()), |b| {
+            b.iter(|| {
+                let report = run_workload(choice, &config, &workload);
+                // The benchmark's measured value is the wall-clock time of the
+                // full workload run; the simulated p99 is what Fig. 12 reports
+                // and is printed by the `exp fig12` target.
+                report.latency.p99_ns
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_tail_latency);
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! Fig. 5 / Fig. 6 / Fig. 9 — write and mixed workload performance.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use lidx_bench::{bench_disk, BENCH_INDEXES};
+use lidx_experiments::runner::IndexChoice;
+use lidx_workloads::Dataset;
+
+/// One measured iteration = bulk load 10k keys and insert 1k fresh keys.
+fn bench_inserts(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5_write_only");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_millis(900));
+    for dataset in [Dataset::Ycsb, Dataset::Fb] {
+        let keys = dataset.generate_keys(20_000, 0xFEED);
+        let bulk: Vec<_> = keys.iter().step_by(2).map(|&k| (k, k + 1)).collect();
+        let inserts: Vec<_> = keys.iter().skip(1).step_by(20).map(|&k| (k, k + 1)).collect();
+        for choice in BENCH_INDEXES {
+            group.bench_function(BenchmarkId::new(choice.name(), dataset.name()), |b| {
+                b.iter_batched(
+                    || {
+                        let mut index = choice.build(bench_disk(4096));
+                        index.bulk_load(&bulk).unwrap();
+                        index
+                    },
+                    |mut index| {
+                        for &(k, v) in &inserts {
+                            index.insert(k, v).unwrap();
+                        }
+                        index
+                    },
+                    BatchSize::LargeInput,
+                )
+            });
+        }
+    }
+    group.finish();
+}
+
+/// Balanced workload: alternating lookups and inserts (Fig. 5(d)).
+fn bench_balanced(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5_balanced");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_millis(900));
+    let dataset = Dataset::Osm;
+    let keys = dataset.generate_keys(20_000, 0xFEED);
+    let bulk: Vec<_> = keys.iter().step_by(2).map(|&k| (k, k + 1)).collect();
+    let fresh: Vec<u64> = keys.iter().skip(1).step_by(40).copied().collect();
+    for choice in [IndexChoice::BTree, IndexChoice::Pgm, IndexChoice::Alex] {
+        group.bench_function(choice.name(), |b| {
+            b.iter_batched(
+                || {
+                    let mut index = choice.build(bench_disk(4096));
+                    index.bulk_load(&bulk).unwrap();
+                    index
+                },
+                |mut index| {
+                    for (i, &k) in fresh.iter().enumerate() {
+                        if i % 2 == 0 {
+                            index.insert(k, k + 1).unwrap();
+                        } else {
+                            index.lookup(bulk[i % bulk.len()].0).unwrap();
+                        }
+                    }
+                    index
+                },
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_inserts, bench_balanced);
+criterion_main!(benches);

@@ -1,0 +1,248 @@
+//! On-disk node layouts for the B+-tree.
+//!
+//! Both node types occupy exactly one block:
+//!
+//! ```text
+//! Inner:  [tag u8][pad u8][count u16][leftmost_child u32]
+//!         [ (key u64, child u32) * count ]
+//! Leaf:   [tag u8][pad u8][count u16][next u32][prev u32]
+//!         [ (key u64, payload u64) * count ]
+//! ```
+//!
+//! An inner node with `count` keys has `count + 1` children; child `i` covers
+//! keys `< keys[i]`, the last child covers keys `>= keys[count-1]`.
+
+use lidx_core::{Entry, IndexError, IndexResult, Key, Value};
+use lidx_storage::{BlockId, BlockReader, BlockWriter, INVALID_BLOCK};
+
+const TAG_INNER: u8 = 1;
+const TAG_LEAF: u8 = 2;
+
+const INNER_HEADER: usize = 1 + 1 + 2 + 4;
+const LEAF_HEADER: usize = 1 + 1 + 2 + 4 + 4;
+const INNER_ENTRY: usize = 8 + 4;
+const LEAF_ENTRY: usize = 8 + 8;
+
+/// Derived node capacities for a given block size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodeCapacity {
+    /// Maximum number of separator keys in an inner node.
+    pub inner_keys: usize,
+    /// Maximum number of key-payload pairs in a leaf node.
+    pub leaf_entries: usize,
+}
+
+impl NodeCapacity {
+    /// Computes the capacities for `block_size`.
+    pub fn for_block_size(block_size: usize) -> Self {
+        let inner_keys = (block_size - INNER_HEADER) / INNER_ENTRY;
+        let leaf_entries = (block_size - LEAF_HEADER) / LEAF_ENTRY;
+        assert!(inner_keys >= 2 && leaf_entries >= 2, "block size too small for B+-tree nodes");
+        NodeCapacity { inner_keys, leaf_entries }
+    }
+}
+
+/// An inner (routing) node.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct InnerNode {
+    /// Separator keys, strictly increasing.
+    pub keys: Vec<Key>,
+    /// Child block ids; always `keys.len() + 1` entries once populated.
+    pub children: Vec<BlockId>,
+}
+
+impl InnerNode {
+    /// Index of the child that covers `key`.
+    pub fn child_for(&self, key: Key) -> usize {
+        // First separator strictly greater than `key` determines the child.
+        self.keys.partition_point(|&k| k <= key)
+    }
+
+    /// Encodes the node into a block buffer of `block_size` bytes.
+    pub fn encode(&self, block_size: usize) -> IndexResult<Vec<u8>> {
+        debug_assert_eq!(self.children.len(), self.keys.len() + 1);
+        let mut w = BlockWriter::new(block_size);
+        w.put_u8(TAG_INNER).map_err(IndexError::from)?;
+        w.put_u8(0)?;
+        w.put_u16(self.keys.len() as u16)?;
+        w.put_u32(self.children[0])?;
+        for (i, &k) in self.keys.iter().enumerate() {
+            w.put_u64(k)?;
+            w.put_u32(self.children[i + 1])?;
+        }
+        Ok(w.finish())
+    }
+
+    /// Decodes an inner node from a block buffer.
+    pub fn decode(buf: &[u8]) -> IndexResult<Self> {
+        let mut r = BlockReader::new(buf);
+        let tag = r.get_u8()?;
+        if tag != TAG_INNER {
+            return Err(IndexError::Internal(format!("expected inner node tag, found {tag}")));
+        }
+        r.get_u8()?;
+        let count = r.get_u16()? as usize;
+        let mut keys = Vec::with_capacity(count);
+        let mut children = Vec::with_capacity(count + 1);
+        children.push(r.get_u32()?);
+        for _ in 0..count {
+            keys.push(r.get_u64()?);
+            children.push(r.get_u32()?);
+        }
+        Ok(InnerNode { keys, children })
+    }
+}
+
+/// A leaf node: dense sorted entries plus sibling links.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LeafNode {
+    /// Sorted key-payload pairs.
+    pub entries: Vec<Entry>,
+    /// Block id of the next (right) leaf, or [`INVALID_BLOCK`].
+    pub next: BlockId,
+    /// Block id of the previous (left) leaf, or [`INVALID_BLOCK`].
+    pub prev: BlockId,
+}
+
+impl Default for LeafNode {
+    fn default() -> Self {
+        LeafNode { entries: Vec::new(), next: INVALID_BLOCK, prev: INVALID_BLOCK }
+    }
+}
+
+impl LeafNode {
+    /// Binary-searches for `key`, returning its payload if present.
+    pub fn lookup(&self, key: Key) -> Option<Value> {
+        self.entries
+            .binary_search_by_key(&key, |&(k, _)| k)
+            .ok()
+            .map(|i| self.entries[i].1)
+    }
+
+    /// Inserts or overwrites `key`. Returns `true` if a new entry was added
+    /// (as opposed to an existing payload being overwritten).
+    pub fn upsert(&mut self, key: Key, value: Value) -> bool {
+        match self.entries.binary_search_by_key(&key, |&(k, _)| k) {
+            Ok(i) => {
+                self.entries[i].1 = value;
+                false
+            }
+            Err(i) => {
+                self.entries.insert(i, (key, value));
+                true
+            }
+        }
+    }
+
+    /// Splits off the upper half of the entries into a new leaf, returning
+    /// the split key (first key of the new right leaf) and the new leaf.
+    pub fn split(&mut self) -> (Key, LeafNode) {
+        let mid = self.entries.len() / 2;
+        let right_entries = self.entries.split_off(mid);
+        let split_key = right_entries[0].0;
+        let right =
+            LeafNode { entries: right_entries, next: self.next, prev: INVALID_BLOCK };
+        (split_key, right)
+    }
+
+    /// Encodes the leaf into a block buffer.
+    pub fn encode(&self, block_size: usize) -> IndexResult<Vec<u8>> {
+        let mut w = BlockWriter::new(block_size);
+        w.put_u8(TAG_LEAF)?;
+        w.put_u8(0)?;
+        w.put_u16(self.entries.len() as u16)?;
+        w.put_u32(self.next)?;
+        w.put_u32(self.prev)?;
+        for &(k, v) in &self.entries {
+            w.put_u64(k)?;
+            w.put_u64(v)?;
+        }
+        Ok(w.finish())
+    }
+
+    /// Decodes a leaf node from a block buffer.
+    pub fn decode(buf: &[u8]) -> IndexResult<Self> {
+        let mut r = BlockReader::new(buf);
+        let tag = r.get_u8()?;
+        if tag != TAG_LEAF {
+            return Err(IndexError::Internal(format!("expected leaf node tag, found {tag}")));
+        }
+        r.get_u8()?;
+        let count = r.get_u16()? as usize;
+        let next = r.get_u32()?;
+        let prev = r.get_u32()?;
+        let mut entries = Vec::with_capacity(count);
+        for _ in 0..count {
+            let k = r.get_u64()?;
+            let v = r.get_u64()?;
+            entries.push((k, v));
+        }
+        Ok(LeafNode { entries, next, prev })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capacities_scale_with_block_size() {
+        let c4k = NodeCapacity::for_block_size(4096);
+        let c16k = NodeCapacity::for_block_size(16 * 1024);
+        assert!(c4k.leaf_entries >= 250 && c4k.leaf_entries <= 256);
+        assert!(c4k.inner_keys >= 300);
+        assert!(c16k.leaf_entries > 4 * c4k.leaf_entries - 8);
+    }
+
+    #[test]
+    fn inner_node_roundtrip_and_routing() {
+        let node = InnerNode { keys: vec![10, 20, 30], children: vec![100, 101, 102, 103] };
+        let buf = node.encode(256).unwrap();
+        let back = InnerNode::decode(&buf).unwrap();
+        assert_eq!(back, node);
+        assert_eq!(node.child_for(5), 0);
+        assert_eq!(node.child_for(10), 1, "separator keys route to the right child");
+        assert_eq!(node.child_for(19), 1);
+        assert_eq!(node.child_for(20), 2);
+        assert_eq!(node.child_for(1000), 3);
+    }
+
+    #[test]
+    fn leaf_node_roundtrip_lookup_and_upsert() {
+        let mut leaf = LeafNode::default();
+        assert!(leaf.upsert(5, 6));
+        assert!(leaf.upsert(1, 2));
+        assert!(leaf.upsert(9, 10));
+        assert!(!leaf.upsert(5, 7), "existing key is overwritten, not duplicated");
+        assert_eq!(leaf.entries.iter().map(|e| e.0).collect::<Vec<_>>(), vec![1, 5, 9]);
+        assert_eq!(leaf.lookup(5), Some(7));
+        assert_eq!(leaf.lookup(4), None);
+
+        leaf.next = 77;
+        leaf.prev = 33;
+        let buf = leaf.encode(256).unwrap();
+        let back = LeafNode::decode(&buf).unwrap();
+        assert_eq!(back, leaf);
+    }
+
+    #[test]
+    fn leaf_split_keeps_order_and_links() {
+        let mut leaf = LeafNode { entries: (0..10).map(|i| (i, i + 1)).collect(), next: 42, prev: 7 };
+        let (split_key, right) = leaf.split();
+        assert_eq!(split_key, 5);
+        assert_eq!(leaf.entries.len(), 5);
+        assert_eq!(right.entries.len(), 5);
+        assert_eq!(right.next, 42, "right leaf inherits the old next pointer");
+        assert!(leaf.entries.iter().all(|&(k, _)| k < split_key));
+        assert!(right.entries.iter().all(|&(k, _)| k >= split_key));
+    }
+
+    #[test]
+    fn decode_rejects_wrong_tags() {
+        let leaf = LeafNode::default().encode(128).unwrap();
+        assert!(InnerNode::decode(&leaf).is_err());
+        let inner =
+            InnerNode { keys: vec![1], children: vec![0, 1] }.encode(128).unwrap();
+        assert!(LeafNode::decode(&inner).is_err());
+    }
+}

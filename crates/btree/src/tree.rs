@@ -1,0 +1,555 @@
+//! The on-disk B+-tree implementation.
+
+use std::sync::Arc;
+
+use lidx_core::{
+    index::validate_bulk_load, DiskIndex, Entry, IndexError, IndexKind, IndexResult, IndexStats,
+    InsertBreakdown, InsertStep, Key, Value,
+};
+use lidx_storage::{BlockId, BlockKind, BlockWriter, Disk, INVALID_BLOCK};
+
+use crate::node::{InnerNode, LeafNode, NodeCapacity};
+
+/// Construction-time options for [`BTreeIndex`].
+#[derive(Debug, Clone, Copy)]
+pub struct BTreeConfig {
+    /// Fraction of a node filled during bulk load (the paper's B+-tree leaves
+    /// about 20 % slack, yielding ~980 k leaves for 200 M keys at 4 KB).
+    pub fill_factor: f64,
+}
+
+impl Default for BTreeConfig {
+    fn default() -> Self {
+        BTreeConfig { fill_factor: 0.8 }
+    }
+}
+
+/// A disk-resident B+-tree over `u64` keys.
+pub struct BTreeIndex {
+    disk: Arc<Disk>,
+    config: BTreeConfig,
+    capacity: NodeCapacity,
+    file: u32,
+    root: BlockId,
+    height: u32,
+    key_count: u64,
+    inner_nodes: u64,
+    leaf_nodes: u64,
+    smo_count: u64,
+    loaded: bool,
+    breakdown: InsertBreakdown,
+}
+
+impl BTreeIndex {
+    /// Creates an empty B+-tree on `disk` with default configuration.
+    pub fn new(disk: Arc<Disk>) -> IndexResult<Self> {
+        Self::with_config(disk, BTreeConfig::default())
+    }
+
+    /// Creates an empty B+-tree with an explicit configuration.
+    pub fn with_config(disk: Arc<Disk>, config: BTreeConfig) -> IndexResult<Self> {
+        assert!(
+            config.fill_factor > 0.1 && config.fill_factor <= 1.0,
+            "fill factor must be in (0.1, 1.0]"
+        );
+        let capacity = NodeCapacity::for_block_size(disk.block_size());
+        let file = disk.create_file()?;
+        // Block 0 is the meta block (root pointer); it is kept memory-resident
+        // while the index is open, as the paper assumes.
+        let meta = disk.allocate(file, 1)?;
+        debug_assert_eq!(meta, 0);
+        Ok(BTreeIndex {
+            disk,
+            config,
+            capacity,
+            file,
+            root: INVALID_BLOCK,
+            height: 0,
+            key_count: 0,
+            inner_nodes: 0,
+            leaf_nodes: 0,
+            smo_count: 0,
+            loaded: false,
+            breakdown: InsertBreakdown::new(),
+        })
+    }
+
+    /// The node capacities derived from the disk's block size.
+    pub fn capacity(&self) -> NodeCapacity {
+        self.capacity
+    }
+
+    /// The file id holding this tree (exposed for the hybrid designs).
+    pub fn file_id(&self) -> u32 {
+        self.file
+    }
+
+    /// Persists the meta block (root, height, key count) to block 0.
+    pub fn persist_meta(&self) -> IndexResult<()> {
+        let mut w = BlockWriter::new(self.disk.block_size());
+        w.put_u32(self.root)?;
+        w.put_u32(self.height)?;
+        w.put_u64(self.key_count)?;
+        self.disk.write(self.file, 0, BlockKind::Meta, &w.finish())?;
+        Ok(())
+    }
+
+    fn read_leaf(&self, block: BlockId) -> IndexResult<LeafNode> {
+        let buf = self.disk.read_vec(self.file, block, BlockKind::Leaf)?;
+        LeafNode::decode(&buf)
+    }
+
+    fn write_leaf(&self, block: BlockId, leaf: &LeafNode) -> IndexResult<()> {
+        let buf = leaf.encode(self.disk.block_size())?;
+        self.disk.write(self.file, block, BlockKind::Leaf, &buf)?;
+        Ok(())
+    }
+
+    fn read_inner(&self, block: BlockId) -> IndexResult<InnerNode> {
+        let buf = self.disk.read_vec(self.file, block, BlockKind::Inner)?;
+        InnerNode::decode(&buf)
+    }
+
+    fn write_inner(&self, block: BlockId, node: &InnerNode) -> IndexResult<()> {
+        let buf = node.encode(self.disk.block_size())?;
+        self.disk.write(self.file, block, BlockKind::Inner, &buf)?;
+        Ok(())
+    }
+
+    /// Descends from the root to the leaf covering `key`, returning the path
+    /// of `(inner block, child index chosen)` pairs and the leaf block id.
+    fn descend(&self, key: Key) -> IndexResult<(Vec<(BlockId, usize)>, BlockId)> {
+        if self.root == INVALID_BLOCK {
+            return Err(IndexError::NotInitialized);
+        }
+        let mut path = Vec::with_capacity(self.height as usize);
+        let mut current = self.root;
+        for _ in 1..self.height {
+            let node = self.read_inner(current)?;
+            let idx = node.child_for(key);
+            let child = node.children[idx];
+            path.push((current, idx));
+            current = child;
+        }
+        Ok((path, current))
+    }
+
+    /// Finds the entry with the greatest stored key `<= key` (a "floor"
+    /// lookup). Used by structures that index range boundaries, e.g. the
+    /// hybrid designs of §6.1.2 which map each leaf page's boundary key to a
+    /// page address.
+    pub fn lookup_floor(&mut self, key: Key) -> IndexResult<Option<Entry>> {
+        let (_, leaf_block) = self.descend(key)?;
+        let leaf = self.read_leaf(leaf_block)?;
+        let pos = leaf.entries.partition_point(|&(k, _)| k <= key);
+        if pos > 0 {
+            return Ok(Some(leaf.entries[pos - 1]));
+        }
+        // The floor may live in the previous leaf if `key` is smaller than
+        // every key of this leaf (possible when `key` precedes the whole
+        // subtree's range).
+        if leaf.prev != INVALID_BLOCK {
+            let prev = self.read_leaf(leaf.prev)?;
+            if let Some(&e) = prev.entries.last() {
+                return Ok(Some(e));
+            }
+        }
+        Ok(None)
+    }
+
+    /// Builds the leaf level during bulk load, returning `(min_key, block)`
+    /// pairs for the next level up.
+    fn bulk_load_leaves(&mut self, entries: &[Entry]) -> IndexResult<Vec<(Key, BlockId)>> {
+        let per_leaf = ((self.capacity.leaf_entries as f64 * self.config.fill_factor) as usize)
+            .clamp(1, self.capacity.leaf_entries);
+        let leaf_count = entries.len().div_ceil(per_leaf).max(1);
+        let first_block = self.disk.allocate(self.file, leaf_count as u32)?;
+        let mut level = Vec::with_capacity(leaf_count);
+        for (i, chunk) in entries.chunks(per_leaf).enumerate() {
+            let block = first_block + i as u32;
+            let next = if i + 1 < leaf_count { block + 1 } else { INVALID_BLOCK };
+            let prev = if i > 0 { block - 1 } else { INVALID_BLOCK };
+            let leaf = LeafNode { entries: chunk.to_vec(), next, prev };
+            self.write_leaf(block, &leaf)?;
+            level.push((chunk[0].0, block));
+        }
+        if entries.is_empty() {
+            // A single empty leaf keeps every operation well-defined.
+            let leaf = LeafNode::default();
+            self.write_leaf(first_block, &leaf)?;
+            level.push((0, first_block));
+        }
+        self.leaf_nodes = level.len() as u64;
+        Ok(level)
+    }
+
+    /// Builds one inner level over `children`, returning the next level up.
+    fn bulk_load_inner_level(
+        &mut self,
+        children: &[(Key, BlockId)],
+    ) -> IndexResult<Vec<(Key, BlockId)>> {
+        let per_node = ((self.capacity.inner_keys as f64 * self.config.fill_factor) as usize)
+            .clamp(2, self.capacity.inner_keys);
+        // Each inner node holds up to `per_node` keys, i.e. `per_node + 1` children.
+        let node_count = children.len().div_ceil(per_node + 1).max(1);
+        let first_block = self.disk.allocate(self.file, node_count as u32)?;
+        let mut level = Vec::with_capacity(node_count);
+        for (i, chunk) in children.chunks(per_node + 1).enumerate() {
+            let block = first_block + i as u32;
+            let node = InnerNode {
+                keys: chunk[1..].iter().map(|&(k, _)| k).collect(),
+                children: chunk.iter().map(|&(_, b)| b).collect(),
+            };
+            self.write_inner(block, &node)?;
+            level.push((chunk[0].0, block));
+        }
+        self.inner_nodes += level.len() as u64;
+        Ok(level)
+    }
+
+    /// Handles a leaf split during insert: writes both halves, then inserts
+    /// the separator into the parent chain (splitting upward as necessary).
+    fn split_leaf_and_propagate(
+        &mut self,
+        path: &[(BlockId, usize)],
+        leaf_block: BlockId,
+        mut leaf: LeafNode,
+    ) -> IndexResult<()> {
+        self.smo_count += 1;
+        let (split_key, mut right) = leaf.split();
+        let right_block = self.disk.allocate(self.file, 1)?;
+        right.prev = leaf_block;
+        leaf.next = right_block;
+        self.write_leaf(leaf_block, &leaf)?;
+        self.write_leaf(right_block, &right)?;
+        self.leaf_nodes += 1;
+        self.insert_into_parent(path, split_key, right_block)
+    }
+
+    /// Inserts `(key, child)` into the lowest node of `path`, splitting inner
+    /// nodes upward as needed.
+    fn insert_into_parent(
+        &mut self,
+        path: &[(BlockId, usize)],
+        key: Key,
+        child: BlockId,
+    ) -> IndexResult<()> {
+        let mut key = key;
+        let mut child = child;
+        for depth in (0..path.len()).rev() {
+            let (block, _) = path[depth];
+            let mut node = self.read_inner(block)?;
+            let pos = node.keys.partition_point(|&k| k <= key);
+            node.keys.insert(pos, key);
+            node.children.insert(pos + 1, child);
+            if node.keys.len() <= self.capacity.inner_keys {
+                self.write_inner(block, &node)?;
+                return Ok(());
+            }
+            // Split the inner node.
+            self.smo_count += 1;
+            let mid = node.keys.len() / 2;
+            let up_key = node.keys[mid];
+            let right = InnerNode {
+                keys: node.keys.split_off(mid + 1),
+                children: node.children.split_off(mid + 1),
+            };
+            node.keys.pop(); // `up_key` moves up rather than staying in either half
+            let right_block = self.disk.allocate(self.file, 1)?;
+            self.write_inner(block, &node)?;
+            self.write_inner(right_block, &right)?;
+            self.inner_nodes += 1;
+            key = up_key;
+            child = right_block;
+        }
+        // The root itself split: create a new root.
+        let new_root_block = self.disk.allocate(self.file, 1)?;
+        let new_root = InnerNode { keys: vec![key], children: vec![self.root, child] };
+        self.write_inner(new_root_block, &new_root)?;
+        self.inner_nodes += 1;
+        self.root = new_root_block;
+        self.height += 1;
+        Ok(())
+    }
+}
+
+impl DiskIndex for BTreeIndex {
+    fn kind(&self) -> IndexKind {
+        IndexKind::BTree
+    }
+
+    fn disk(&self) -> &Arc<Disk> {
+        &self.disk
+    }
+
+    fn bulk_load(&mut self, entries: &[Entry]) -> IndexResult<()> {
+        if self.loaded {
+            return Err(IndexError::AlreadyLoaded);
+        }
+        validate_bulk_load(entries)?;
+        let mut level = self.bulk_load_leaves(entries)?;
+        self.height = 1;
+        while level.len() > 1 {
+            level = self.bulk_load_inner_level(&level)?;
+            self.height += 1;
+        }
+        self.root = level[0].1;
+        self.key_count = entries.len() as u64;
+        self.loaded = true;
+        self.persist_meta()?;
+        Ok(())
+    }
+
+    fn lookup(&mut self, key: Key) -> IndexResult<Option<Value>> {
+        let (_, leaf_block) = self.descend(key)?;
+        let leaf = self.read_leaf(leaf_block)?;
+        Ok(leaf.lookup(key))
+    }
+
+    fn insert(&mut self, key: Key, value: Value) -> IndexResult<()> {
+        let before = self.disk.snapshot();
+        let (path, leaf_block) = self.descend(key)?;
+        let mut leaf = self.read_leaf(leaf_block)?;
+        let after_search = self.disk.snapshot();
+        self.breakdown.add(InsertStep::Search, &after_search.since(&before));
+
+        let added = leaf.upsert(key, value);
+        if added {
+            self.key_count += 1;
+        }
+        if leaf.entries.len() <= self.capacity.leaf_entries {
+            self.write_leaf(leaf_block, &leaf)?;
+            let after_insert = self.disk.snapshot();
+            self.breakdown.add(InsertStep::Insert, &after_insert.since(&after_search));
+        } else {
+            self.split_leaf_and_propagate(&path, leaf_block, leaf)?;
+            let after_smo = self.disk.snapshot();
+            self.breakdown.add(InsertStep::Smo, &after_smo.since(&after_search));
+        }
+        self.breakdown.finish_insert();
+        Ok(())
+    }
+
+    fn scan(&mut self, start: Key, count: usize, out: &mut Vec<Entry>) -> IndexResult<usize> {
+        out.clear();
+        if count == 0 {
+            return Ok(0);
+        }
+        let (_, leaf_block) = self.descend(start)?;
+        let mut block = leaf_block;
+        loop {
+            let leaf = self.read_leaf(block)?;
+            let from = leaf.entries.partition_point(|&(k, _)| k < start);
+            for &e in &leaf.entries[from..] {
+                out.push(e);
+                if out.len() == count {
+                    return Ok(out.len());
+                }
+            }
+            if leaf.next == INVALID_BLOCK {
+                return Ok(out.len());
+            }
+            block = leaf.next;
+        }
+    }
+
+    fn len(&self) -> u64 {
+        self.key_count
+    }
+
+    fn stats(&self) -> IndexStats {
+        IndexStats {
+            keys: self.key_count,
+            height: self.height,
+            inner_nodes: self.inner_nodes,
+            leaf_nodes: self.leaf_nodes,
+            smo_count: self.smo_count,
+        }
+    }
+
+    fn insert_breakdown(&self) -> InsertBreakdown {
+        self.breakdown
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lidx_core::payload_for;
+    use lidx_storage::DiskConfig;
+
+    fn make_tree(block_size: usize) -> BTreeIndex {
+        let disk = Disk::in_memory(DiskConfig::with_block_size(block_size));
+        BTreeIndex::new(disk).unwrap()
+    }
+
+    fn entries(n: u64, stride: u64) -> Vec<Entry> {
+        (0..n).map(|i| (i * stride + 1, payload_for(i * stride + 1))).collect()
+    }
+
+    #[test]
+    fn bulk_load_and_lookup_every_key() {
+        let mut t = make_tree(512);
+        let data = entries(10_000, 3);
+        t.bulk_load(&data).unwrap();
+        assert_eq!(t.len(), 10_000);
+        assert!(t.stats().height >= 2);
+        for &(k, v) in data.iter().step_by(97) {
+            assert_eq!(t.lookup(k).unwrap(), Some(v));
+        }
+        assert_eq!(t.lookup(0).unwrap(), None);
+        assert_eq!(t.lookup(2).unwrap(), None, "keys between stored keys are absent");
+        assert_eq!(t.lookup(u64::MAX).unwrap(), None);
+    }
+
+    #[test]
+    fn bulk_load_rejects_disorder_and_double_load() {
+        let mut t = make_tree(512);
+        assert!(matches!(
+            t.bulk_load(&[(5, 1), (4, 1)]),
+            Err(IndexError::UnsortedBulkLoad { .. })
+        ));
+        t.bulk_load(&entries(10, 1)).unwrap();
+        assert!(matches!(t.bulk_load(&entries(10, 1)), Err(IndexError::AlreadyLoaded)));
+    }
+
+    #[test]
+    fn operations_before_bulk_load_fail() {
+        let mut t = make_tree(512);
+        assert!(matches!(t.lookup(1), Err(IndexError::NotInitialized)));
+        assert!(matches!(t.insert(1, 2), Err(IndexError::NotInitialized)));
+    }
+
+    #[test]
+    fn inserts_split_leaves_and_grow_the_tree() {
+        let mut t = make_tree(256);
+        t.bulk_load(&entries(100, 10)).unwrap();
+        let h0 = t.stats().height;
+        // Insert many keys into a narrow range to force repeated splits.
+        for i in 0..2_000u64 {
+            t.insert(i * 7 + 3, i).unwrap();
+        }
+        assert!(t.stats().smo_count > 0, "splits must have happened");
+        assert!(t.stats().height >= h0);
+        // 14 of the inserted keys (i*7+3 with i ≡ 4 mod 10, i <= 134) collide
+        // with bulk-loaded keys and are upserts rather than new entries.
+        assert_eq!(t.len(), 100 + 2_000 - 14);
+        for i in (0..2_000u64).step_by(131) {
+            assert_eq!(t.lookup(i * 7 + 3).unwrap(), Some(i));
+        }
+        // Bulk-loaded keys survive the splits (skipping the ones the insert
+        // phase legitimately overwrote).
+        for i in (0..100u64).step_by(13) {
+            let key = i * 10 + 1;
+            if key >= 3 && (key - 3) % 7 == 0 {
+                continue;
+            }
+            assert_eq!(t.lookup(key).unwrap(), Some(payload_for(key)));
+        }
+    }
+
+    #[test]
+    fn upsert_overwrites_without_growing() {
+        let mut t = make_tree(512);
+        t.bulk_load(&entries(1_000, 2)).unwrap();
+        let before = t.len();
+        t.insert(1, 999).unwrap();
+        assert_eq!(t.len(), before);
+        assert_eq!(t.lookup(1).unwrap(), Some(999));
+    }
+
+    #[test]
+    fn scan_crosses_leaf_boundaries_in_order() {
+        let mut t = make_tree(256);
+        let data = entries(5_000, 2);
+        t.bulk_load(&data).unwrap();
+        let mut out = Vec::new();
+        let n = t.scan(data[1_000].0, 500, &mut out).unwrap();
+        assert_eq!(n, 500);
+        assert_eq!(out.len(), 500);
+        assert_eq!(out[0], data[1_000]);
+        assert_eq!(out[499], data[1_499]);
+        assert!(out.windows(2).all(|w| w[0].0 < w[1].0));
+
+        // Scan starting between keys begins at the next stored key.
+        let n = t.scan(data[10].0 + 1, 3, &mut out).unwrap();
+        assert_eq!(n, 3);
+        assert_eq!(out[0], data[11]);
+
+        // Scan hitting the end of the index returns fewer entries.
+        let n = t.scan(data[data.len() - 2].0, 100, &mut out).unwrap();
+        assert_eq!(n, 2);
+    }
+
+    #[test]
+    fn scan_on_inserted_keys_sees_them() {
+        let mut t = make_tree(256);
+        t.bulk_load(&entries(100, 100)).unwrap();
+        for i in 0..50u64 {
+            t.insert(1_000 + i, i).unwrap();
+        }
+        let mut out = Vec::new();
+        t.scan(1_000, 50, &mut out).unwrap();
+        assert_eq!(out.len(), 50);
+        assert!(out.iter().enumerate().all(|(i, &(k, v))| k == 1_000 + i as u64 && v == i as u64));
+    }
+
+    #[test]
+    fn height_matches_paper_shape_for_4kb_blocks() {
+        // With 4 KB blocks and 0.8 fill the tree over 200k keys must have
+        // ~1000 leaves and height 3 (leaf + two inner levels), mirroring the
+        // paper's 4-level tree over 200M keys.
+        let mut t = make_tree(4096);
+        let data = entries(200_000, 5);
+        t.bulk_load(&data).unwrap();
+        let s = t.stats();
+        assert!(s.leaf_nodes > 900 && s.leaf_nodes < 1100, "got {} leaves", s.leaf_nodes);
+        assert_eq!(s.height, 3);
+        // Every lookup fetches exactly `height` blocks once the meta block is
+        // memory-resident.
+        let before = t.disk().snapshot();
+        t.lookup(data[12_345].0).unwrap();
+        let delta = t.disk().snapshot().since(&before);
+        assert_eq!(delta.reads(), 3);
+        assert_eq!(delta.reads_of(BlockKind::Inner), 2);
+        assert_eq!(delta.reads_of(BlockKind::Leaf), 1);
+    }
+
+    #[test]
+    fn insert_breakdown_attributes_steps() {
+        let mut t = make_tree(256);
+        t.bulk_load(&entries(2_000, 4)).unwrap();
+        for i in 0..500u64 {
+            t.insert(i * 4 + 2, i).unwrap();
+        }
+        let b = t.insert_breakdown();
+        assert_eq!(b.inserts, 500);
+        assert!(b.reads(InsertStep::Search) >= 500, "every insert descends the tree");
+        assert!(b.writes(InsertStep::Insert) + b.writes(InsertStep::Smo) >= 500);
+    }
+
+    #[test]
+    fn empty_bulk_load_is_usable() {
+        let mut t = make_tree(512);
+        t.bulk_load(&[]).unwrap();
+        assert_eq!(t.len(), 0);
+        assert_eq!(t.lookup(5).unwrap(), None);
+        t.insert(5, 6).unwrap();
+        assert_eq!(t.lookup(5).unwrap(), Some(6));
+        let mut out = Vec::new();
+        assert_eq!(t.scan(0, 10, &mut out).unwrap(), 1);
+    }
+
+    #[test]
+    fn storage_blocks_grow_with_splits() {
+        let mut t = make_tree(256);
+        t.bulk_load(&entries(1_000, 2)).unwrap();
+        let before = t.storage_blocks();
+        // Bulk-loaded keys are odd (2i + 1); inserting even keys doubles the
+        // data volume and must allocate new leaf blocks via splits.
+        for i in 0..1_000u64 {
+            t.insert(i * 2 + 2, i).unwrap();
+        }
+        assert!(t.storage_blocks() > before);
+    }
+}

@@ -1,0 +1,180 @@
+//! The [`DiskIndex`] trait implemented by every evaluated index.
+
+use std::sync::Arc;
+
+use lidx_storage::Disk;
+
+use crate::error::IndexResult;
+use crate::metrics::InsertBreakdown;
+use crate::{Entry, Key, Value};
+
+/// Which index family an implementation belongs to.
+///
+/// The variants mirror Table 1 of the paper, plus the hybrid designs of
+/// §6.1.2 ("learned inner structure + B+-tree-styled leaf nodes").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IndexKind {
+    /// The traditional on-disk B+-tree baseline.
+    BTree,
+    /// FITing-tree (Galakatos et al., SIGMOD 2019) with the Delta insert
+    /// strategy, extended for disk as in §4.2.
+    FitingTree,
+    /// PGM-index (Ferragina & Vinciguerra, VLDB 2020) with LSM-style
+    /// arbitrary inserts.
+    Pgm,
+    /// ALEX (Ding et al., SIGMOD 2020) extended for disk as in §4.1.
+    Alex,
+    /// LIPP (Wu et al., VLDB 2021) extended for disk as in §4.2.
+    Lipp,
+    /// A hybrid design: learned inner structure over dense, linked leaf
+    /// blocks (§6.1.2 / Table 5).
+    Hybrid,
+}
+
+impl IndexKind {
+    /// Short lowercase name used in experiment output.
+    pub fn name(self) -> &'static str {
+        match self {
+            IndexKind::BTree => "btree",
+            IndexKind::FitingTree => "fiting",
+            IndexKind::Pgm => "pgm",
+            IndexKind::Alex => "alex",
+            IndexKind::Lipp => "lipp",
+            IndexKind::Hybrid => "hybrid",
+        }
+    }
+
+    /// All concrete (non-hybrid) index kinds evaluated by the paper, in the
+    /// order the figures list them.
+    pub const EVALUATED: [IndexKind; 5] = [
+        IndexKind::BTree,
+        IndexKind::FitingTree,
+        IndexKind::Pgm,
+        IndexKind::Alex,
+        IndexKind::Lipp,
+    ];
+}
+
+impl std::fmt::Display for IndexKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Structural statistics an index can report about itself.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct IndexStats {
+    /// Number of keys currently stored.
+    pub keys: u64,
+    /// Height of the structure (levels from root to the deepest leaf,
+    /// counting both ends). For PGM's LSM variant this is the height of the
+    /// largest level.
+    pub height: u32,
+    /// Number of inner (routing) nodes.
+    pub inner_nodes: u64,
+    /// Number of leaf / data nodes (segments, data nodes, ...).
+    pub leaf_nodes: u64,
+    /// Number of structural modification operations performed so far.
+    pub smo_count: u64,
+}
+
+/// A disk-resident, updatable ordered index over `u64` keys.
+///
+/// All five operations the paper's workloads exercise are represented:
+/// bulk load (used to build the index before each workload), point lookup,
+/// insert, and range scan (lookup of a start key followed by reading the
+/// next `count` entries in key order).
+///
+/// Implementations route every block access through the [`Disk`] returned by
+/// [`DiskIndex::disk`], which is how the harness observes fetched-block
+/// counts and simulated device time.
+pub trait DiskIndex {
+    /// Which family this index belongs to.
+    fn kind(&self) -> IndexKind;
+
+    /// A human-readable name (defaults to the family name; hybrid variants
+    /// override this with e.g. `"hybrid-lipp"`).
+    fn name(&self) -> String {
+        self.kind().name().to_string()
+    }
+
+    /// The disk this index performs its I/O against.
+    fn disk(&self) -> &Arc<Disk>;
+
+    /// Builds the index from strictly-increasing `(key, payload)` pairs.
+    ///
+    /// Must be called exactly once, before any other operation, and fails
+    /// with [`crate::IndexError::UnsortedBulkLoad`] if the input is not
+    /// strictly increasing.
+    fn bulk_load(&mut self, entries: &[Entry]) -> IndexResult<()>;
+
+    /// Returns the payload stored for `key`, or `None` if absent.
+    fn lookup(&mut self, key: Key) -> IndexResult<Option<Value>>;
+
+    /// Inserts a new key-payload pair.
+    fn insert(&mut self, key: Key, value: Value) -> IndexResult<()>;
+
+    /// Collects up to `count` entries with keys `>= start` in ascending key
+    /// order into `out` (which is cleared first), returning how many were
+    /// produced.
+    fn scan(&mut self, start: Key, count: usize, out: &mut Vec<Entry>) -> IndexResult<usize>;
+
+    /// Number of keys stored.
+    fn len(&self) -> u64;
+
+    /// True if no keys are stored.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Structural statistics (height, node counts, SMO count).
+    fn stats(&self) -> IndexStats;
+
+    /// Total blocks this index occupies on disk (including space lost to
+    /// invalidated nodes, matching the paper's §6.3 storage accounting).
+    fn storage_blocks(&self) -> u64 {
+        self.disk().total_blocks()
+    }
+
+    /// The accumulated insert-step breakdown (search / insert / SMO /
+    /// maintenance) since the index was created. Used for Fig. 6.
+    fn insert_breakdown(&self) -> InsertBreakdown {
+        InsertBreakdown::default()
+    }
+}
+
+/// Verifies that bulk-load input is strictly increasing; shared by all index
+/// implementations.
+pub fn validate_bulk_load(entries: &[Entry]) -> IndexResult<()> {
+    for (i, pair) in entries.windows(2).enumerate() {
+        if pair[0].0 >= pair[1].0 {
+            return Err(crate::IndexError::UnsortedBulkLoad { position: i + 1 });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_names_are_stable_and_unique() {
+        let names: std::collections::HashSet<_> =
+            IndexKind::EVALUATED.iter().map(|k| k.name()).collect();
+        assert_eq!(names.len(), IndexKind::EVALUATED.len());
+        assert_eq!(IndexKind::BTree.to_string(), "btree");
+        assert_eq!(IndexKind::Lipp.name(), "lipp");
+        assert_eq!(IndexKind::Hybrid.name(), "hybrid");
+    }
+
+    #[test]
+    fn bulk_load_validation_rejects_disorder_and_duplicates() {
+        assert!(validate_bulk_load(&[(1, 2), (2, 3), (3, 4)]).is_ok());
+        assert!(validate_bulk_load(&[]).is_ok());
+        assert!(validate_bulk_load(&[(5, 0)]).is_ok());
+        let err = validate_bulk_load(&[(1, 0), (3, 0), (3, 0)]).unwrap_err();
+        assert!(matches!(err, crate::IndexError::UnsortedBulkLoad { position: 2 }));
+        assert!(validate_bulk_load(&[(9, 0), (1, 0)]).is_err());
+    }
+}

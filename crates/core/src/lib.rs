@@ -1,0 +1,40 @@
+//! Shared types for the disk-resident learned-index evaluation.
+//!
+//! This crate defines the vocabulary every index crate and the experiment
+//! harness agree on:
+//!
+//! * [`Key`] / [`Value`] — the paper indexes 64-bit unsigned keys and uses
+//!   `key + 1` as the payload.
+//! * [`index::DiskIndex`] — the operations every evaluated index must
+//!   support: bulk load, lookup, insert, and range scan, plus introspection
+//!   hooks (storage footprint, per-operation I/O, insert-step breakdown).
+//! * [`metrics`] — latency recording (mean / p50 / p99 / standard deviation),
+//!   throughput derivation from the simulated device time, and the
+//!   search / insert / SMO / maintenance breakdown of Fig. 6.
+//! * [`error::IndexError`] — the error type shared by the index crates.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod error;
+pub mod index;
+pub mod metrics;
+
+pub use error::{IndexError, IndexResult};
+pub use index::{DiskIndex, IndexKind, IndexStats};
+pub use metrics::{InsertBreakdown, InsertStep, LatencyRecorder, LatencySummary, Throughput};
+
+/// The key type indexed throughout the evaluation (the paper uses `uint64`).
+pub type Key = u64;
+
+/// The payload type; the paper sets `payload = key + 1`.
+pub type Value = u64;
+
+/// The payload the paper associates with a key.
+#[inline]
+pub fn payload_for(key: Key) -> Value {
+    key.wrapping_add(1)
+}
+
+/// A key-payload pair as stored in leaf nodes.
+pub type Entry = (Key, Value);

@@ -1,0 +1,75 @@
+//! The experiment driver.
+//!
+//! ```text
+//! cargo run --release -p lidx-experiments --bin exp -- <target> [options]
+//!
+//! targets:  table2 table3 table4 table5 fig3 fig4 ... fig14
+//!           layout_ablation space_reuse_ablation all list
+//! options:  --keys N        dataset size for search workloads   (default 200000)
+//!           --ops N         operations per workload             (default 5000)
+//!           --bulk N        bulk-loaded keys for mixed workloads (default 50000)
+//!           --seed N        RNG seed                             (default 42)
+//!           --quick         tiny scale for smoke testing
+//! ```
+
+use lidx_experiments::experiments::{all_experiments, Scale};
+
+fn parse_args() -> (Vec<String>, Scale) {
+    let mut scale = Scale::default();
+    let mut targets = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--keys" => scale.keys = args.next().and_then(|v| v.parse().ok()).expect("--keys N"),
+            "--ops" => scale.ops = args.next().and_then(|v| v.parse().ok()).expect("--ops N"),
+            "--bulk" => {
+                scale.bulk_keys = args.next().and_then(|v| v.parse().ok()).expect("--bulk N")
+            }
+            "--seed" => scale.seed = args.next().and_then(|v| v.parse().ok()).expect("--seed N"),
+            "--quick" => {
+                scale = Scale { keys: 20_000, ops: 500, bulk_keys: 5_000, seed: scale.seed }
+            }
+            other => targets.push(other.to_string()),
+        }
+    }
+    (targets, scale)
+}
+
+fn main() {
+    let (targets, scale) = parse_args();
+    let registry = all_experiments();
+
+    if targets.is_empty() || targets.iter().any(|t| t == "list") {
+        eprintln!("usage: exp <target>... [--keys N] [--ops N] [--bulk N] [--seed N] [--quick]");
+        eprintln!("targets:");
+        for (name, _) in &registry {
+            eprintln!("  {name}");
+        }
+        eprintln!("  all");
+        return;
+    }
+
+    println!(
+        "scale: {} keys, {} ops, {} bulk keys, seed {}",
+        scale.keys, scale.ops, scale.bulk_keys, scale.seed
+    );
+    for target in &targets {
+        if target == "all" {
+            for (name, f) in &registry {
+                println!("\n#### {name} ####");
+                f(&scale);
+            }
+            continue;
+        }
+        match registry.iter().find(|(name, _)| name == target) {
+            Some((_, f)) => {
+                println!();
+                f(&scale);
+            }
+            None => {
+                eprintln!("unknown experiment '{target}' (use 'list' to see the available ones)");
+                std::process::exit(1);
+            }
+        }
+    }
+}

@@ -1,0 +1,25 @@
+//! The experiment harness reproducing every table and figure of the paper's
+//! evaluation section (§5–§7).
+//!
+//! * [`runner`] builds any of the studied indexes on a freshly configured
+//!   simulated disk, executes a [`lidx_workloads::Workload`] against it and
+//!   collects the metrics the paper reports: throughput (derived from the
+//!   device cost model), average fetched blocks per query broken down by
+//!   block kind, tail latency, storage footprint and the insert-step
+//!   breakdown.
+//! * [`experiments`] contains one function per table / figure; each prints
+//!   the same rows or series the paper shows, at a configurable scale.
+//! * [`report`] holds small text-table formatting helpers.
+//!
+//! The `exp` binary (`cargo run -p lidx-experiments --bin exp -- <target>`)
+//! dispatches to these functions; `exp all` regenerates everything, which is
+//! what `EXPERIMENTS.md` records.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod experiments;
+pub mod report;
+pub mod runner;
+
+pub use runner::{IndexChoice, RunConfig, WorkloadReport};

@@ -1,0 +1,339 @@
+//! Building indexes and executing workloads against them.
+
+use std::sync::Arc;
+
+use lidx_alex::{AlexConfig, AlexIndex, AlexLayout};
+use lidx_btree::BTreeIndex;
+use lidx_core::{DiskIndex, InsertBreakdown, Key, LatencyRecorder, LatencySummary};
+use lidx_fiting::{FitingConfig, FitingTree};
+use lidx_hybrid::{HybridConfig, HybridIndex, HybridInnerKind};
+use lidx_lipp::LippIndex;
+use lidx_pgm::{PgmConfig, PgmIndex};
+use lidx_storage::{BlockKind, DeviceModel, Disk, DiskConfig};
+use lidx_workloads::{Op, Workload};
+
+/// Which index to build.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IndexChoice {
+    /// The on-disk B+-tree baseline.
+    BTree,
+    /// The on-disk FITing-tree.
+    Fiting,
+    /// The on-disk dynamic PGM-index.
+    Pgm,
+    /// The on-disk ALEX index (Layout#2).
+    Alex,
+    /// The on-disk ALEX index using Layout#1 (single file); used by the
+    /// layout ablation.
+    AlexLayout1,
+    /// The on-disk LIPP index.
+    Lipp,
+    /// Hybrid design with a PLA (FITing/PGM-style) inner directory.
+    HybridPla,
+    /// Hybrid design with an FMCD model-tree (ALEX/LIPP-style) inner
+    /// directory.
+    HybridModelTree,
+}
+
+impl IndexChoice {
+    /// The five indexes the paper's main figures compare.
+    pub const EVALUATED: [IndexChoice; 5] = [
+        IndexChoice::BTree,
+        IndexChoice::Fiting,
+        IndexChoice::Pgm,
+        IndexChoice::Alex,
+        IndexChoice::Lipp,
+    ];
+
+    /// Short name used in report rows.
+    pub fn name(self) -> &'static str {
+        match self {
+            IndexChoice::BTree => "btree",
+            IndexChoice::Fiting => "fiting",
+            IndexChoice::Pgm => "pgm",
+            IndexChoice::Alex => "alex",
+            IndexChoice::AlexLayout1 => "alex-layout1",
+            IndexChoice::Lipp => "lipp",
+            IndexChoice::HybridPla => "hybrid-pla",
+            IndexChoice::HybridModelTree => "hybrid-modeltree",
+        }
+    }
+
+    /// Parses a name produced by [`IndexChoice::name`].
+    pub fn from_name(s: &str) -> Option<IndexChoice> {
+        [
+            IndexChoice::BTree,
+            IndexChoice::Fiting,
+            IndexChoice::Pgm,
+            IndexChoice::Alex,
+            IndexChoice::AlexLayout1,
+            IndexChoice::Lipp,
+            IndexChoice::HybridPla,
+            IndexChoice::HybridModelTree,
+        ]
+        .into_iter()
+        .find(|c| c.name() == s)
+    }
+
+    /// Builds an empty index of this kind over `disk`.
+    pub fn build(self, disk: Arc<Disk>) -> Box<dyn DiskIndex> {
+        match self {
+            IndexChoice::BTree => Box::new(BTreeIndex::new(disk).expect("btree init")),
+            IndexChoice::Fiting => Box::new(
+                FitingTree::with_config(disk, FitingConfig { epsilon: 64, buffer_entries: 256 })
+                    .expect("fiting init"),
+            ),
+            IndexChoice::Pgm => Box::new(
+                PgmIndex::with_config(disk, PgmConfig { epsilon: 64, insert_run_entries: 585 })
+                    .expect("pgm init"),
+            ),
+            IndexChoice::Alex => Box::new(AlexIndex::new(disk).expect("alex init")),
+            IndexChoice::AlexLayout1 => Box::new(
+                AlexIndex::with_config(
+                    disk,
+                    AlexConfig { layout: AlexLayout::SingleFile, ..Default::default() },
+                )
+                .expect("alex layout1 init"),
+            ),
+            IndexChoice::Lipp => Box::new(LippIndex::new(disk).expect("lipp init")),
+            IndexChoice::HybridPla => Box::new(
+                HybridIndex::new(
+                    disk,
+                    HybridConfig { inner: HybridInnerKind::Pla, ..Default::default() },
+                )
+                .expect("hybrid init"),
+            ),
+            IndexChoice::HybridModelTree => Box::new(
+                HybridIndex::new(
+                    disk,
+                    HybridConfig { inner: HybridInnerKind::ModelTree, ..Default::default() },
+                )
+                .expect("hybrid init"),
+            ),
+        }
+    }
+}
+
+/// Storage configuration of one experiment run.
+#[derive(Debug, Clone, Copy)]
+pub struct RunConfig {
+    /// Block size in bytes.
+    pub block_size: usize,
+    /// Device cost model.
+    pub device: DeviceModel,
+    /// LRU buffer pool capacity in blocks (0 = the paper's default of no
+    /// buffer manager).
+    pub buffer_blocks: usize,
+    /// Treat inner-node and meta blocks as memory-resident (§6.2).
+    pub memory_resident_inner: bool,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        RunConfig {
+            block_size: 4096,
+            device: DeviceModel::hdd(),
+            buffer_blocks: 0,
+            memory_resident_inner: false,
+        }
+    }
+}
+
+impl RunConfig {
+    /// Creates the disk described by this configuration.
+    pub fn make_disk(&self) -> Arc<Disk> {
+        let mut cfg = DiskConfig::with_block_size(self.block_size)
+            .device(self.device)
+            .buffer_blocks(self.buffer_blocks);
+        if self.memory_resident_inner {
+            cfg = cfg.memory_resident(&[BlockKind::Inner, BlockKind::Meta]);
+        }
+        Disk::in_memory(cfg)
+    }
+}
+
+/// Everything measured while executing one workload on one index.
+#[derive(Debug, Clone)]
+pub struct WorkloadReport {
+    /// Index name.
+    pub index: String,
+    /// Number of operations executed.
+    pub ops: u64,
+    /// Simulated device seconds spent executing the operations (excludes the
+    /// bulk load).
+    pub device_seconds: f64,
+    /// Simulated device seconds spent bulk loading.
+    pub bulk_seconds: f64,
+    /// Blocks written during bulk load.
+    pub bulk_writes: u64,
+    /// Average fetched (read) blocks per operation.
+    pub avg_reads_per_op: f64,
+    /// Average written blocks per operation.
+    pub avg_writes_per_op: f64,
+    /// Average inner-node blocks read per operation.
+    pub avg_inner_reads_per_op: f64,
+    /// Average leaf blocks read per operation.
+    pub avg_leaf_reads_per_op: f64,
+    /// Average utility blocks (bitmaps, buffers, LSM runs) read per
+    /// operation.
+    pub avg_utility_reads_per_op: f64,
+    /// Per-operation latency summary derived from the device model.
+    pub latency: LatencySummary,
+    /// Total blocks occupied on disk after the workload (the §6.3 metric).
+    pub storage_blocks: u64,
+    /// Block size used, so storage can be reported in bytes.
+    pub block_size: usize,
+    /// Insert-step breakdown accumulated by the index.
+    pub breakdown: InsertBreakdown,
+    /// Structural statistics after the run.
+    pub stats: lidx_core::IndexStats,
+}
+
+impl WorkloadReport {
+    /// Operations per simulated second.
+    pub fn throughput(&self) -> f64 {
+        if self.device_seconds <= 0.0 {
+            f64::INFINITY
+        } else {
+            self.ops as f64 / self.device_seconds
+        }
+    }
+
+    /// Storage footprint in mebibytes.
+    pub fn storage_mib(&self) -> f64 {
+        self.storage_blocks as f64 * self.block_size as f64 / (1024.0 * 1024.0)
+    }
+}
+
+/// Bulk loads `choice` over `workload.bulk` and executes `workload.ops`,
+/// measuring everything the paper reports.
+pub fn run_workload(choice: IndexChoice, config: &RunConfig, workload: &Workload) -> WorkloadReport {
+    let disk = config.make_disk();
+    let mut index = choice.build(Arc::clone(&disk));
+
+    let bulk_before = disk.snapshot();
+    index.bulk_load(&workload.bulk).expect("bulk load");
+    let bulk_after = disk.snapshot();
+    let bulk_delta = bulk_after.since(&bulk_before);
+    let bulk_seconds = bulk_delta.device_ns as f64 / 1e9;
+    let bulk_writes = bulk_delta.writes();
+
+    // The evaluation measures steady-state query behaviour: statistics are
+    // reset after the bulk load and each query starts from a cold access
+    // state (no carry-over of the last fetched block between queries).
+    disk.stats().reset();
+    disk.clear_buffer();
+    let mut latency = LatencyRecorder::with_capacity(workload.ops.len());
+    let mut scan_buf = Vec::with_capacity(256);
+    for op in &workload.ops {
+        disk.reset_access_state();
+        let before = disk.snapshot();
+        match *op {
+            Op::Lookup(k) => {
+                index.lookup(k).expect("lookup");
+            }
+            Op::Insert(k, v) => {
+                index.insert(k, v).expect("insert");
+            }
+            Op::Scan(k, len) => {
+                index.scan(k, len, &mut scan_buf).expect("scan");
+            }
+        }
+        let delta = disk.snapshot().since(&before);
+        latency.record(delta.device_ns);
+    }
+
+    let stats = disk.stats();
+    let ops = workload.ops.len() as u64;
+    let storage_blocks = index.storage_blocks();
+    WorkloadReport {
+        index: index.name(),
+        ops,
+        device_seconds: stats.device_ns() as f64 / 1e9,
+        bulk_seconds,
+        bulk_writes,
+        avg_reads_per_op: stats.reads() as f64 / ops.max(1) as f64,
+        avg_writes_per_op: stats.writes() as f64 / ops.max(1) as f64,
+        avg_inner_reads_per_op: stats.reads_of(BlockKind::Inner) as f64 / ops.max(1) as f64,
+        avg_leaf_reads_per_op: stats.reads_of(BlockKind::Leaf) as f64 / ops.max(1) as f64,
+        avg_utility_reads_per_op: stats.reads_of(BlockKind::Utility) as f64 / ops.max(1) as f64,
+        latency: latency.summary(),
+        storage_blocks,
+        block_size: config.block_size,
+        breakdown: index.insert_breakdown(),
+        stats: index.stats(),
+    }
+}
+
+/// Convenience used by a few experiments: the sorted key set of a workload's
+/// bulk-load phase.
+pub fn bulk_keys(workload: &Workload) -> Vec<Key> {
+    workload.bulk.iter().map(|e| e.0).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lidx_workloads::{Dataset, WorkloadKind, WorkloadSpec};
+
+    #[test]
+    fn every_index_runs_a_small_lookup_workload() {
+        let keys = Dataset::Ycsb.generate_keys(5_000, 1);
+        let w = Workload::build(&keys, WorkloadSpec::new(WorkloadKind::LookupOnly, 200, 0));
+        for choice in [
+            IndexChoice::BTree,
+            IndexChoice::Fiting,
+            IndexChoice::Pgm,
+            IndexChoice::Alex,
+            IndexChoice::Lipp,
+            IndexChoice::HybridPla,
+            IndexChoice::HybridModelTree,
+        ] {
+            let r = run_workload(choice, &RunConfig::default(), &w);
+            assert_eq!(r.ops, 200);
+            assert!(r.avg_reads_per_op >= 1.0, "{choice:?} must read blocks for lookups");
+            assert!(r.throughput().is_finite());
+            assert!(r.storage_blocks > 0);
+            assert_eq!(r.index, choice.build(RunConfig::default().make_disk()).name());
+        }
+    }
+
+    #[test]
+    fn every_index_runs_a_small_mixed_workload() {
+        let keys = Dataset::Osm.generate_keys(4_000, 2);
+        let w = Workload::build(&keys, WorkloadSpec::new(WorkloadKind::Balanced, 400, 2_000));
+        for choice in IndexChoice::EVALUATED {
+            let r = run_workload(choice, &RunConfig::default(), &w);
+            assert!(r.avg_writes_per_op > 0.0, "{choice:?} must write blocks for inserts");
+            assert!(r.latency.p99_ns >= r.latency.p50_ns);
+        }
+    }
+
+    #[test]
+    fn memory_resident_inner_reduces_fetched_blocks() {
+        let keys = Dataset::Fb.generate_keys(20_000, 3);
+        let w = Workload::build(&keys, WorkloadSpec::new(WorkloadKind::LookupOnly, 300, 0));
+        let on_disk = run_workload(IndexChoice::BTree, &RunConfig::default(), &w);
+        let hybrid_cfg = RunConfig { memory_resident_inner: true, ..Default::default() };
+        let cached = run_workload(IndexChoice::BTree, &hybrid_cfg, &w);
+        assert!(cached.avg_reads_per_op < on_disk.avg_reads_per_op);
+        assert!(cached.avg_inner_reads_per_op < 0.01);
+    }
+
+    #[test]
+    fn index_choice_names_roundtrip() {
+        for c in [
+            IndexChoice::BTree,
+            IndexChoice::Fiting,
+            IndexChoice::Pgm,
+            IndexChoice::Alex,
+            IndexChoice::AlexLayout1,
+            IndexChoice::Lipp,
+            IndexChoice::HybridPla,
+            IndexChoice::HybridModelTree,
+        ] {
+            assert_eq!(IndexChoice::from_name(c.name()), Some(c));
+        }
+        assert_eq!(IndexChoice::from_name("nope"), None);
+    }
+}

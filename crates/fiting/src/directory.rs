@@ -1,0 +1,522 @@
+//! The FITing-tree directory: a B+-tree over segment metadata.
+//!
+//! The directory is the FITing-tree's *inner structure*. Its leaf entries are
+//! full [`SegmentMeta`] records (model + occupancy + extent address), so by
+//! the time a query reaches a segment it already knows the model and how many
+//! entries are valid — no segment header ever needs to be fetched. All
+//! directory I/O is attributed to [`BlockKind::Inner`].
+//!
+//! Routing nodes reuse the [`lidx_btree::InnerNode`] block layout; directory
+//! leaves use their own layout defined here.
+
+use std::sync::Arc;
+
+use lidx_btree::InnerNode;
+use lidx_core::{IndexError, IndexResult, Key};
+use lidx_storage::{BlockId, BlockKind, BlockReader, BlockWriter, Disk, INVALID_BLOCK};
+
+use crate::segment::SegmentMeta;
+
+const TAG_DIR_LEAF: u8 = 3;
+const DIR_LEAF_HEADER: usize = 1 + 1 + 2 + 4;
+/// Bytes per serialized [`SegmentMeta`] entry.
+const DIR_ENTRY: usize = 8 + 8 + 4 + 4 + 4 + 4 + 4;
+
+/// Location of a directory entry (used to update occupancy counters in
+/// place).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DirSlot {
+    /// Directory leaf block.
+    pub block: BlockId,
+    /// Entry index within the leaf.
+    pub slot: usize,
+}
+
+/// A directory leaf node holding segment metadata records sorted by
+/// `first_key`.
+#[derive(Debug, Clone, PartialEq, Default)]
+struct DirLeaf {
+    entries: Vec<SegmentMeta>,
+    next: BlockId,
+}
+
+impl DirLeaf {
+    fn capacity(block_size: usize) -> usize {
+        (block_size - DIR_LEAF_HEADER) / DIR_ENTRY
+    }
+
+    fn encode(&self, block_size: usize) -> IndexResult<Vec<u8>> {
+        let mut w = BlockWriter::new(block_size);
+        w.put_u8(TAG_DIR_LEAF)?;
+        w.put_u8(0)?;
+        w.put_u16(self.entries.len() as u16)?;
+        w.put_u32(self.next)?;
+        for m in &self.entries {
+            w.put_u64(m.first_key)?;
+            w.put_f64(m.slope)?;
+            w.put_u32(m.start_block)?;
+            w.put_u32(m.data_blocks)?;
+            w.put_u32(m.buffer_blocks)?;
+            w.put_u32(m.count)?;
+            w.put_u32(m.buffer_count)?;
+        }
+        Ok(w.finish())
+    }
+
+    fn decode(buf: &[u8]) -> IndexResult<Self> {
+        let mut r = BlockReader::new(buf);
+        let tag = r.get_u8()?;
+        if tag != TAG_DIR_LEAF {
+            return Err(IndexError::Internal(format!("expected directory leaf tag, got {tag}")));
+        }
+        r.get_u8()?;
+        let count = r.get_u16()? as usize;
+        let next = r.get_u32()?;
+        let mut entries = Vec::with_capacity(count);
+        for _ in 0..count {
+            entries.push(SegmentMeta {
+                first_key: r.get_u64()?,
+                slope: r.get_f64()?,
+                start_block: r.get_u32()?,
+                data_blocks: r.get_u32()?,
+                buffer_blocks: r.get_u32()?,
+                count: r.get_u32()?,
+                buffer_count: r.get_u32()?,
+            });
+        }
+        Ok(DirLeaf { entries, next })
+    }
+}
+
+/// The directory B+-tree.
+pub struct Directory {
+    disk: Arc<Disk>,
+    file: u32,
+    root: BlockId,
+    height: u32,
+    leaf_count: u64,
+    routing_count: u64,
+    segment_count: u64,
+}
+
+impl Directory {
+    /// Creates an empty directory in its own file on `disk`.
+    pub fn new(disk: Arc<Disk>) -> IndexResult<Self> {
+        let file = disk.create_file()?;
+        Ok(Directory {
+            disk,
+            file,
+            root: INVALID_BLOCK,
+            height: 0,
+            leaf_count: 0,
+            routing_count: 0,
+            segment_count: 0,
+        })
+    }
+
+    /// Number of segments currently registered.
+    pub fn segment_count(&self) -> u64 {
+        self.segment_count
+    }
+
+    /// Number of directory leaf nodes.
+    pub fn leaf_nodes(&self) -> u64 {
+        self.leaf_count
+    }
+
+    /// Number of routing (non-leaf) directory nodes.
+    pub fn routing_nodes(&self) -> u64 {
+        self.routing_count
+    }
+
+    /// Height of the directory (1 = a single leaf).
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    /// The directory's file id.
+    pub fn file_id(&self) -> u32 {
+        self.file
+    }
+
+    fn read_leaf(&self, block: BlockId) -> IndexResult<DirLeaf> {
+        let buf = self.disk.read_vec(self.file, block, BlockKind::Inner)?;
+        DirLeaf::decode(&buf)
+    }
+
+    fn write_leaf(&self, block: BlockId, leaf: &DirLeaf) -> IndexResult<()> {
+        let buf = leaf.encode(self.disk.block_size())?;
+        self.disk.write(self.file, block, BlockKind::Inner, &buf)?;
+        Ok(())
+    }
+
+    fn read_routing(&self, block: BlockId) -> IndexResult<InnerNode> {
+        let buf = self.disk.read_vec(self.file, block, BlockKind::Inner)?;
+        InnerNode::decode(&buf)
+    }
+
+    fn write_routing(&self, block: BlockId, node: &InnerNode) -> IndexResult<()> {
+        let buf = node.encode(self.disk.block_size())?;
+        self.disk.write(self.file, block, BlockKind::Inner, &buf)?;
+        Ok(())
+    }
+
+    /// Bulk-builds the directory from segment metadata sorted by `first_key`.
+    pub fn bulk_build(&mut self, metas: &[SegmentMeta]) -> IndexResult<()> {
+        let bs = self.disk.block_size();
+        let per_leaf = (DirLeaf::capacity(bs) as f64 * 0.8).max(1.0) as usize;
+        let leaf_total = metas.len().div_ceil(per_leaf).max(1);
+        let first_block = self.disk.allocate(self.file, leaf_total as u32)?;
+        let mut level: Vec<(Key, BlockId)> = Vec::with_capacity(leaf_total);
+        if metas.is_empty() {
+            self.write_leaf(first_block, &DirLeaf::default())?;
+            level.push((0, first_block));
+        } else {
+            for (i, chunk) in metas.chunks(per_leaf).enumerate() {
+                let block = first_block + i as u32;
+                let next = if i + 1 < leaf_total { block + 1 } else { INVALID_BLOCK };
+                let leaf = DirLeaf { entries: chunk.to_vec(), next };
+                self.write_leaf(block, &leaf)?;
+                level.push((chunk[0].first_key, block));
+            }
+        }
+        self.leaf_count = level.len() as u64;
+        self.height = 1;
+
+        let inner_cap = lidx_btree::NodeCapacity::for_block_size(bs).inner_keys;
+        let per_node = ((inner_cap as f64 * 0.8) as usize).clamp(2, inner_cap);
+        while level.len() > 1 {
+            let node_count = level.len().div_ceil(per_node + 1).max(1);
+            let first = self.disk.allocate(self.file, node_count as u32)?;
+            let mut up = Vec::with_capacity(node_count);
+            for (i, chunk) in level.chunks(per_node + 1).enumerate() {
+                let block = first + i as u32;
+                let node = InnerNode {
+                    keys: chunk[1..].iter().map(|&(k, _)| k).collect(),
+                    children: chunk.iter().map(|&(_, b)| b).collect(),
+                };
+                self.write_routing(block, &node)?;
+                up.push((chunk[0].0, block));
+            }
+            self.routing_count += up.len() as u64;
+            self.height += 1;
+            level = up;
+        }
+        self.root = level[0].1;
+        self.segment_count = metas.len() as u64;
+        Ok(())
+    }
+
+    /// Descends to the directory leaf covering `key`, returning the routing
+    /// path (block, child index) and the leaf block.
+    fn descend(&self, key: Key) -> IndexResult<(Vec<(BlockId, usize)>, BlockId)> {
+        if self.root == INVALID_BLOCK {
+            return Err(IndexError::NotInitialized);
+        }
+        let mut path = Vec::with_capacity(self.height as usize);
+        let mut current = self.root;
+        for _ in 1..self.height {
+            let node = self.read_routing(current)?;
+            let idx = node.child_for(key);
+            path.push((current, idx));
+            current = node.children[idx];
+        }
+        Ok((path, current))
+    }
+
+    /// Finds the segment covering `key`: the entry with the greatest
+    /// `first_key <= key`. Returns the metadata and its location.
+    pub fn find(&self, key: Key) -> IndexResult<(SegmentMeta, DirSlot)> {
+        let (_, leaf_block) = self.descend(key)?;
+        let leaf = self.read_leaf(leaf_block)?;
+        let pos = leaf.entries.partition_point(|m| m.first_key <= key);
+        if pos == 0 {
+            return Err(IndexError::Internal(format!(
+                "no segment covers key {key}; the caller must route keys below the global minimum to the overflow buffer"
+            )));
+        }
+        Ok((leaf.entries[pos - 1], DirSlot { block: leaf_block, slot: pos - 1 }))
+    }
+
+    /// Returns the segment following `slot` in key order, if any.
+    pub fn next_segment(&self, slot: DirSlot) -> IndexResult<Option<(SegmentMeta, DirSlot)>> {
+        let leaf = self.read_leaf(slot.block)?;
+        if slot.slot + 1 < leaf.entries.len() {
+            return Ok(Some((
+                leaf.entries[slot.slot + 1],
+                DirSlot { block: slot.block, slot: slot.slot + 1 },
+            )));
+        }
+        if leaf.next == INVALID_BLOCK {
+            return Ok(None);
+        }
+        let next = self.read_leaf(leaf.next)?;
+        if next.entries.is_empty() {
+            return Ok(None);
+        }
+        Ok(Some((next.entries[0], DirSlot { block: leaf.next, slot: 0 })))
+    }
+
+    /// Overwrites the metadata stored at `slot` (the entry's `first_key` must
+    /// not change). Costs one leaf write — the "extra block to update the
+    /// current item count" the paper attributes to FITing-tree inserts.
+    pub fn update_meta(&mut self, slot: DirSlot, meta: SegmentMeta) -> IndexResult<()> {
+        let mut leaf = self.read_leaf(slot.block)?;
+        let entry = leaf.entries.get_mut(slot.slot).ok_or_else(|| {
+            IndexError::Internal(format!("stale directory slot {slot:?}"))
+        })?;
+        if entry.first_key != meta.first_key {
+            return Err(IndexError::Internal(format!(
+                "directory slot {slot:?} holds first_key {} but update targets {}",
+                entry.first_key, meta.first_key
+            )));
+        }
+        *entry = meta;
+        self.write_leaf(slot.block, &leaf)
+    }
+
+    /// Replaces the segment whose `first_key` equals `old_first_key` with one
+    /// or more new segments (sorted by `first_key`). Splits directory leaves
+    /// and updates routing nodes as needed; this is the directory half of a
+    /// resegmentation SMO.
+    pub fn replace(
+        &mut self,
+        old_first_key: Key,
+        new_metas: &[SegmentMeta],
+    ) -> IndexResult<()> {
+        if new_metas.is_empty() {
+            return Err(IndexError::Internal("replace requires at least one new segment".into()));
+        }
+        let (path, leaf_block) = self.descend(old_first_key)?;
+        let mut leaf = self.read_leaf(leaf_block)?;
+        let pos = leaf
+            .entries
+            .iter()
+            .position(|m| m.first_key == old_first_key)
+            .ok_or_else(|| {
+                IndexError::Internal(format!("segment with first_key {old_first_key} not found"))
+            })?;
+        leaf.entries.splice(pos..=pos, new_metas.iter().copied());
+        self.segment_count += new_metas.len() as u64 - 1;
+
+        let cap = DirLeaf::capacity(self.disk.block_size());
+        if leaf.entries.len() <= cap {
+            return self.write_leaf(leaf_block, &leaf);
+        }
+
+        // Split the overflowing directory leaf into as many leaves as needed.
+        let chunks: Vec<Vec<SegmentMeta>> =
+            leaf.entries.chunks(cap.div_ceil(2).max(1)).map(|c| c.to_vec()).collect();
+        let extra = chunks.len() - 1;
+        let new_first = self.disk.allocate(self.file, extra as u32)?;
+        let old_next = leaf.next;
+        let mut separators = Vec::with_capacity(extra);
+        for (i, chunk) in chunks.iter().enumerate() {
+            let block = if i == 0 { leaf_block } else { new_first + (i as u32 - 1) };
+            let next = if i + 1 < chunks.len() {
+                if i == 0 {
+                    new_first
+                } else {
+                    new_first + i as u32
+                }
+            } else {
+                old_next
+            };
+            let node = DirLeaf { entries: chunk.clone(), next };
+            self.write_leaf(block, &node)?;
+            if i > 0 {
+                separators.push((chunk[0].first_key, block));
+            }
+        }
+        self.leaf_count += extra as u64;
+        for (key, child) in separators {
+            self.insert_into_routing(&path, key, child)?;
+        }
+        Ok(())
+    }
+
+    /// Inserts `(key, child)` into the routing nodes along `path`, splitting
+    /// upward as needed.
+    fn insert_into_routing(
+        &mut self,
+        path: &[(BlockId, usize)],
+        key: Key,
+        child: BlockId,
+    ) -> IndexResult<()> {
+        let inner_cap = lidx_btree::NodeCapacity::for_block_size(self.disk.block_size()).inner_keys;
+        let mut key = key;
+        let mut child = child;
+        for depth in (0..path.len()).rev() {
+            let (block, _) = path[depth];
+            let mut node = self.read_routing(block)?;
+            let pos = node.keys.partition_point(|&k| k <= key);
+            node.keys.insert(pos, key);
+            node.children.insert(pos + 1, child);
+            if node.keys.len() <= inner_cap {
+                self.write_routing(block, &node)?;
+                return Ok(());
+            }
+            let mid = node.keys.len() / 2;
+            let up_key = node.keys[mid];
+            let right = InnerNode {
+                keys: node.keys.split_off(mid + 1),
+                children: node.children.split_off(mid + 1),
+            };
+            node.keys.pop();
+            let right_block = self.disk.allocate(self.file, 1)?;
+            self.write_routing(block, &node)?;
+            self.write_routing(right_block, &right)?;
+            self.routing_count += 1;
+            key = up_key;
+            child = right_block;
+        }
+        let new_root = self.disk.allocate(self.file, 1)?;
+        let node = InnerNode { keys: vec![key], children: vec![self.root, child] };
+        self.write_routing(new_root, &node)?;
+        self.routing_count += 1;
+        self.root = new_root;
+        self.height += 1;
+        Ok(())
+    }
+
+    /// Collects every segment's metadata in key order (test / debugging aid;
+    /// reads the whole leaf level).
+    pub fn all_segments(&self) -> IndexResult<Vec<SegmentMeta>> {
+        if self.root == INVALID_BLOCK {
+            return Ok(Vec::new());
+        }
+        // Walk down the leftmost path, then follow leaf links.
+        let mut current = self.root;
+        for _ in 1..self.height {
+            let node = self.read_routing(current)?;
+            current = node.children[0];
+        }
+        let mut out = Vec::new();
+        loop {
+            let leaf = self.read_leaf(current)?;
+            out.extend_from_slice(&leaf.entries);
+            if leaf.next == INVALID_BLOCK {
+                break;
+            }
+            current = leaf.next;
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lidx_storage::DiskConfig;
+
+    fn meta(first_key: Key, start_block: BlockId) -> SegmentMeta {
+        SegmentMeta {
+            first_key,
+            slope: 0.1,
+            start_block,
+            data_blocks: 2,
+            buffer_blocks: 1,
+            count: 10,
+            buffer_count: 0,
+        }
+    }
+
+    fn build(n: u64, block_size: usize) -> Directory {
+        let disk = Disk::in_memory(DiskConfig::with_block_size(block_size));
+        let mut dir = Directory::new(disk).unwrap();
+        let metas: Vec<SegmentMeta> = (0..n).map(|i| meta(i * 100 + 10, i as u32 * 3)).collect();
+        dir.bulk_build(&metas).unwrap();
+        dir
+    }
+
+    #[test]
+    fn find_returns_covering_segment() {
+        let dir = build(500, 512);
+        assert_eq!(dir.segment_count(), 500);
+        assert!(dir.height() >= 2);
+        let (m, _) = dir.find(10).unwrap();
+        assert_eq!(m.first_key, 10);
+        let (m, _) = dir.find(109).unwrap();
+        assert_eq!(m.first_key, 10, "keys inside a segment's range route to it");
+        let (m, _) = dir.find(110).unwrap();
+        assert_eq!(m.first_key, 110);
+        let (m, _) = dir.find(u64::MAX).unwrap();
+        assert_eq!(m.first_key, 499 * 100 + 10);
+        assert!(dir.find(5).is_err(), "keys below the global minimum are the caller's problem");
+    }
+
+    #[test]
+    fn next_segment_walks_in_key_order() {
+        let dir = build(300, 512);
+        let (mut m, mut slot) = dir.find(10).unwrap();
+        let mut seen = vec![m.first_key];
+        while let Some((n, s)) = dir.next_segment(slot).unwrap() {
+            assert!(n.first_key > m.first_key);
+            seen.push(n.first_key);
+            m = n;
+            slot = s;
+        }
+        assert_eq!(seen.len(), 300);
+    }
+
+    #[test]
+    fn update_meta_persists_counters() {
+        let mut dir = build(50, 512);
+        let (mut m, slot) = dir.find(1010).unwrap();
+        m.buffer_count = 7;
+        m.count = 99;
+        dir.update_meta(slot, m).unwrap();
+        let (again, _) = dir.find(1010).unwrap();
+        assert_eq!(again.buffer_count, 7);
+        assert_eq!(again.count, 99);
+
+        // Updating with a mismatched first_key is rejected.
+        let mut wrong = again;
+        wrong.first_key += 1;
+        assert!(dir.update_meta(slot, wrong).is_err());
+    }
+
+    #[test]
+    fn replace_splits_leaves_and_keeps_all_segments_reachable() {
+        let mut dir = build(200, 512);
+        // Replace one segment with 40 new ones — enough to overflow a leaf.
+        let old = 100 * 100 + 10; // first_key of segment #100
+        let news: Vec<SegmentMeta> =
+            (0..40).map(|i| meta(old + i, 10_000 + i as u32)).collect();
+        dir.replace(old, &news).unwrap();
+        assert_eq!(dir.segment_count(), 200 + 39);
+        // Every new segment must now be found.
+        for m in &news {
+            let (found, _) = dir.find(m.first_key).unwrap();
+            assert_eq!(found.first_key, m.first_key);
+            assert_eq!(found.start_block, m.start_block);
+        }
+        // Old neighbours are still reachable and ordering is preserved.
+        let all = dir.all_segments().unwrap();
+        assert_eq!(all.len(), 239);
+        assert!(all.windows(2).all(|w| w[0].first_key < w[1].first_key));
+    }
+
+    #[test]
+    fn replace_missing_segment_fails() {
+        let mut dir = build(10, 512);
+        assert!(dir.replace(123_456, &[meta(123_456, 1)]).is_err());
+        assert!(dir.replace(10, &[]).is_err());
+    }
+
+    #[test]
+    fn directory_io_is_attributed_to_inner() {
+        let dir = build(100, 512);
+        dir.find(5_000).unwrap();
+        assert!(dir.disk.stats().reads_of(BlockKind::Inner) > 0);
+        assert_eq!(dir.disk.stats().reads_of(BlockKind::Leaf), 0);
+    }
+
+    #[test]
+    fn empty_directory_reports_not_initialised() {
+        let disk = Disk::in_memory(DiskConfig::with_block_size(512));
+        let dir = Directory::new(disk).unwrap();
+        assert!(matches!(dir.find(1), Err(IndexError::NotInitialized)));
+        assert!(dir.all_segments().unwrap().is_empty());
+    }
+}

@@ -1,0 +1,606 @@
+//! The FITing-tree [`DiskIndex`] implementation.
+
+use std::sync::Arc;
+
+use lidx_core::{
+    index::validate_bulk_load, DiskIndex, Entry, IndexError, IndexKind, IndexResult, IndexStats,
+    InsertBreakdown, InsertStep, Key, Value,
+};
+use lidx_models::pla::ShrinkingCone;
+use lidx_storage::{BlockKind, Disk};
+
+use crate::directory::Directory;
+use crate::segment::{
+    self, entries_per_block, read_all_data, read_buffer, search_data, write_buffer_region,
+    write_data_region, SegmentMeta,
+};
+
+/// Configuration of the on-disk FITing-tree.
+#[derive(Debug, Clone, Copy)]
+pub struct FitingConfig {
+    /// Error bound ε of the per-segment linear models (the paper's default
+    /// is 64).
+    pub epsilon: usize,
+    /// Capacity of each segment's delta buffer in entries (the paper's
+    /// default is 256).
+    pub buffer_entries: usize,
+}
+
+impl Default for FitingConfig {
+    fn default() -> Self {
+        FitingConfig { epsilon: 64, buffer_entries: 256 }
+    }
+}
+
+/// An on-disk FITing-tree with the Delta insert strategy.
+pub struct FitingTree {
+    disk: Arc<Disk>,
+    config: FitingConfig,
+    directory: Directory,
+    /// File holding segment data; block 0 is the overflow buffer for keys
+    /// below the global minimum (§4.2).
+    seg_file: u32,
+    /// Smallest key covered by any segment; smaller keys live in the
+    /// overflow buffer.
+    global_min_key: Key,
+    /// Number of entries currently in the overflow buffer.
+    overflow_count: u32,
+    key_count: u64,
+    smo_count: u64,
+    loaded: bool,
+    breakdown: InsertBreakdown,
+}
+
+impl FitingTree {
+    /// Creates an empty FITing-tree with default configuration.
+    pub fn new(disk: Arc<Disk>) -> IndexResult<Self> {
+        Self::with_config(disk, FitingConfig::default())
+    }
+
+    /// Creates an empty FITing-tree with an explicit configuration.
+    pub fn with_config(disk: Arc<Disk>, config: FitingConfig) -> IndexResult<Self> {
+        assert!(config.epsilon >= 1, "epsilon must be at least 1");
+        assert!(config.buffer_entries >= 1, "buffer must hold at least one entry");
+        let directory = Directory::new(Arc::clone(&disk))?;
+        let seg_file = disk.create_file()?;
+        // Block 0 of the segment file is the overflow buffer.
+        let b0 = disk.allocate(seg_file, 1)?;
+        debug_assert_eq!(b0, 0);
+        Ok(FitingTree {
+            disk,
+            config,
+            directory,
+            seg_file,
+            global_min_key: 0,
+            overflow_count: 0,
+            key_count: 0,
+            smo_count: 0,
+            loaded: false,
+            breakdown: InsertBreakdown::new(),
+        })
+    }
+
+    /// The configured error bound.
+    pub fn epsilon(&self) -> usize {
+        self.config.epsilon
+    }
+
+    /// Number of segments currently in the index.
+    pub fn segment_count(&self) -> u64 {
+        self.directory.segment_count()
+    }
+
+    fn buffer_blocks_per_segment(&self) -> u32 {
+        (self.config.buffer_entries.div_ceil(entries_per_block(self.disk.block_size()))) as u32
+    }
+
+    /// Creates segments (extents + metadata) covering `entries`, which must be
+    /// sorted and non-empty unless the index is being initialised empty.
+    fn build_segments(&mut self, entries: &[Entry]) -> IndexResult<Vec<SegmentMeta>> {
+        let per_block = entries_per_block(self.disk.block_size());
+        let buffer_blocks = self.buffer_blocks_per_segment();
+        if entries.is_empty() {
+            // One empty segment anchored at key 0 keeps every code path
+            // uniform for an index that starts out empty.
+            let data_blocks = 1;
+            let start = self.disk.allocate(self.seg_file, data_blocks + buffer_blocks)?;
+            write_data_region(&self.disk, self.seg_file, start, data_blocks, &[])?;
+            return Ok(vec![SegmentMeta {
+                first_key: 0,
+                slope: 0.0,
+                start_block: start,
+                data_blocks,
+                buffer_blocks,
+                count: 0,
+                buffer_count: 0,
+            }]);
+        }
+
+        let mut cone = ShrinkingCone::new(self.config.epsilon);
+        let mut pla_segments = Vec::new();
+        for &(k, _) in entries {
+            if let Some(s) = cone.push(k) {
+                pla_segments.push(s);
+            }
+        }
+        if let Some(s) = cone.finish() {
+            pla_segments.push(s);
+        }
+
+        let mut metas = Vec::with_capacity(pla_segments.len());
+        for seg in &pla_segments {
+            let slice = &entries[seg.start_index..seg.start_index + seg.len];
+            let data_blocks = seg.len.div_ceil(per_block).max(1) as u32;
+            let start = self.disk.allocate(self.seg_file, data_blocks + buffer_blocks)?;
+            write_data_region(&self.disk, self.seg_file, start, data_blocks, slice)?;
+            metas.push(SegmentMeta {
+                first_key: seg.first_key,
+                slope: seg.model.slope,
+                start_block: start,
+                data_blocks,
+                buffer_blocks,
+                count: seg.len as u32,
+                buffer_count: 0,
+            });
+        }
+        Ok(metas)
+    }
+
+    fn read_overflow(&self) -> IndexResult<Vec<Entry>> {
+        if self.overflow_count == 0 {
+            return Ok(Vec::new());
+        }
+        let buf = self.disk.read_vec(self.seg_file, 0, BlockKind::Utility)?;
+        Ok((0..self.overflow_count as usize).map(|i| segment::entry_at(&buf, i)).collect())
+    }
+
+    fn write_overflow(&self, entries: &[Entry]) -> IndexResult<()> {
+        let bs = self.disk.block_size();
+        let mut buf = vec![0u8; bs];
+        for (i, &(k, v)) in entries.iter().enumerate() {
+            let off = i * segment::ENTRY_BYTES;
+            buf[off..off + 8].copy_from_slice(&k.to_le_bytes());
+            buf[off + 8..off + 16].copy_from_slice(&v.to_le_bytes());
+        }
+        self.disk.write(self.seg_file, 0, BlockKind::Utility, &buf)?;
+        Ok(())
+    }
+
+    fn overflow_capacity(&self) -> usize {
+        entries_per_block(self.disk.block_size())
+    }
+
+    /// Resegments `old` (identified by its directory `first_key`) together
+    /// with `extra` entries, replacing it with freshly built segments.
+    fn resegment(
+        &mut self,
+        old: SegmentMeta,
+        extra: &[Entry],
+    ) -> IndexResult<()> {
+        self.smo_count += 1;
+        let mut merged = read_all_data(&self.disk, self.seg_file, &old)?;
+        merged.extend_from_slice(&read_buffer(&self.disk, self.seg_file, &old)?);
+        merged.extend_from_slice(extra);
+        merged.sort_unstable_by_key(|&(k, _)| k);
+        merged.dedup_by_key(|&mut (k, _)| k);
+
+        let news = self.build_segments(&merged)?;
+        let was_first = old.first_key == self.global_min_key;
+        self.directory.replace(old.first_key, &news)?;
+        self.disk.free(self.seg_file, old.start_block, old.total_blocks());
+        if was_first {
+            self.global_min_key = news[0].first_key;
+        }
+        Ok(())
+    }
+}
+
+impl DiskIndex for FitingTree {
+    fn kind(&self) -> IndexKind {
+        IndexKind::FitingTree
+    }
+
+    fn disk(&self) -> &Arc<Disk> {
+        &self.disk
+    }
+
+    fn bulk_load(&mut self, entries: &[Entry]) -> IndexResult<()> {
+        if self.loaded {
+            return Err(IndexError::AlreadyLoaded);
+        }
+        validate_bulk_load(entries)?;
+        let metas = self.build_segments(entries)?;
+        self.global_min_key = metas[0].first_key;
+        self.directory.bulk_build(&metas)?;
+        self.key_count = entries.len() as u64;
+        self.loaded = true;
+        Ok(())
+    }
+
+    fn lookup(&mut self, key: Key) -> IndexResult<Option<Value>> {
+        if !self.loaded {
+            return Err(IndexError::NotInitialized);
+        }
+        if key < self.global_min_key {
+            return Ok(self
+                .read_overflow()?
+                .iter()
+                .find(|&&(k, _)| k == key)
+                .map(|&(_, v)| v));
+        }
+        let (meta, _) = self.directory.find(key)?;
+        if let Some(v) = search_data(&self.disk, self.seg_file, &meta, key, self.config.epsilon)? {
+            return Ok(Some(v));
+        }
+        if meta.buffer_count > 0 {
+            let buffer = read_buffer(&self.disk, self.seg_file, &meta)?;
+            if let Ok(pos) = buffer.binary_search_by_key(&key, |&(k, _)| k) {
+                return Ok(Some(buffer[pos].1));
+            }
+        }
+        Ok(None)
+    }
+
+    fn insert(&mut self, key: Key, value: Value) -> IndexResult<()> {
+        if !self.loaded {
+            return Err(IndexError::NotInitialized);
+        }
+        let before = self.disk.snapshot();
+
+        // Keys below the global minimum go to the overflow buffer (§4.2).
+        if key < self.global_min_key {
+            let mut overflow = self.read_overflow()?;
+            let after_search = self.disk.snapshot();
+            self.breakdown.add(InsertStep::Search, &after_search.since(&before));
+            match overflow.binary_search_by_key(&key, |&(k, _)| k) {
+                Ok(pos) => overflow[pos].1 = value,
+                Err(pos) => {
+                    overflow.insert(pos, (key, value));
+                    self.key_count += 1;
+                }
+            }
+            if overflow.len() <= self.overflow_capacity() {
+                self.overflow_count = overflow.len() as u32;
+                self.write_overflow(&overflow)?;
+                let after_insert = self.disk.snapshot();
+                self.breakdown.add(InsertStep::Insert, &after_insert.since(&after_search));
+            } else {
+                // Overflow buffer full: fold its contents into the first
+                // segment via a resegmentation SMO.
+                let (first, _) = self.directory.find(self.global_min_key)?;
+                self.resegment(first, &overflow)?;
+                self.overflow_count = 0;
+                self.write_overflow(&[])?;
+                let after_smo = self.disk.snapshot();
+                self.breakdown.add(InsertStep::Smo, &after_smo.since(&after_search));
+            }
+            self.breakdown.finish_insert();
+            return Ok(());
+        }
+
+        let (meta, slot) = self.directory.find(key)?;
+        // Search the data region and the buffer to honour upsert semantics.
+        let existing = search_data(&self.disk, self.seg_file, &meta, key, self.config.epsilon)?;
+        let buffer = if meta.buffer_count > 0 {
+            read_buffer(&self.disk, self.seg_file, &meta)?
+        } else {
+            Vec::new()
+        };
+        let after_search = self.disk.snapshot();
+        self.breakdown.add(InsertStep::Search, &after_search.since(&before));
+
+        if existing.is_some() {
+            // Overwrite in place: rewrite the data block holding the key.
+            let mut data = read_all_data(&self.disk, self.seg_file, &meta)?;
+            if let Ok(pos) = data.binary_search_by_key(&key, |&(k, _)| k) {
+                data[pos].1 = value;
+            }
+            write_data_region(&self.disk, self.seg_file, meta.start_block, meta.data_blocks, &data)?;
+            let after_insert = self.disk.snapshot();
+            self.breakdown.add(InsertStep::Insert, &after_insert.since(&after_search));
+            self.breakdown.finish_insert();
+            return Ok(());
+        }
+
+        let mut buffer = buffer;
+        match buffer.binary_search_by_key(&key, |&(k, _)| k) {
+            Ok(pos) => {
+                buffer[pos].1 = value;
+                write_buffer_region(&self.disk, self.seg_file, &meta, &buffer)?;
+                let after_insert = self.disk.snapshot();
+                self.breakdown.add(InsertStep::Insert, &after_insert.since(&after_search));
+                self.breakdown.finish_insert();
+                return Ok(());
+            }
+            Err(pos) => buffer.insert(pos, (key, value)),
+        }
+        self.key_count += 1;
+
+        if buffer.len() <= self.config.buffer_entries
+            && buffer.len() <= meta.buffer_capacity(self.disk.block_size()) as usize
+        {
+            // Normal delta insert: write the buffer and persist the new
+            // occupancy in the directory (the paper's "extra block" write).
+            write_buffer_region(&self.disk, self.seg_file, &meta, &buffer)?;
+            let mut updated = meta;
+            updated.buffer_count = buffer.len() as u32;
+            self.directory.update_meta(slot, updated)?;
+            let after_insert = self.disk.snapshot();
+            self.breakdown.add(InsertStep::Insert, &after_insert.since(&after_search));
+        } else {
+            // Buffer full: resegment the segment together with the new key.
+            self.resegment(meta, &[(key, value)])?;
+            let after_smo = self.disk.snapshot();
+            self.breakdown.add(InsertStep::Smo, &after_smo.since(&after_search));
+        }
+        self.breakdown.finish_insert();
+        Ok(())
+    }
+
+    fn scan(&mut self, start: Key, count: usize, out: &mut Vec<Entry>) -> IndexResult<usize> {
+        out.clear();
+        if count == 0 || !self.loaded {
+            if !self.loaded {
+                return Err(IndexError::NotInitialized);
+            }
+            return Ok(0);
+        }
+
+        // Entries in the overflow buffer are all below the global minimum, so
+        // they come first in key order.
+        if start < self.global_min_key && self.overflow_count > 0 {
+            let overflow = self.read_overflow()?;
+            for &(k, v) in overflow.iter().filter(|&&(k, _)| k >= start) {
+                out.push((k, v));
+                if out.len() == count {
+                    return Ok(out.len());
+                }
+            }
+        }
+
+        let anchor = start.max(self.global_min_key);
+        let (mut meta, mut slot) = self.directory.find(anchor)?;
+        let mut first_segment = true;
+        loop {
+            // Only the blocks that can contain keys >= `start` are fetched:
+            // within the first segment the model bounds the start position to
+            // within ε, and later segments are read from their beginning.
+            let from_pos = if first_segment && start > meta.first_key {
+                meta.predict(start).saturating_sub(self.config.epsilon)
+            } else {
+                0
+            };
+            first_segment = false;
+            let needed = count - out.len();
+            let data =
+                segment::read_data_from(&self.disk, self.seg_file, &meta, from_pos, start, needed)?;
+            let buffer = if meta.buffer_count > 0 {
+                read_buffer(&self.disk, self.seg_file, &meta)?
+            } else {
+                Vec::new()
+            };
+            let mut di = data.iter().peekable();
+            let mut bi = buffer.iter().peekable();
+            while out.len() < count {
+                let next = match (di.peek(), bi.peek()) {
+                    (Some(&&d), Some(&&b)) => {
+                        if d.0 <= b.0 {
+                            di.next();
+                            d
+                        } else {
+                            bi.next();
+                            b
+                        }
+                    }
+                    (Some(&&d), None) => {
+                        di.next();
+                        d
+                    }
+                    (None, Some(&&b)) => {
+                        bi.next();
+                        b
+                    }
+                    (None, None) => break,
+                };
+                if next.0 >= start {
+                    out.push(next);
+                }
+            }
+            if out.len() == count {
+                return Ok(out.len());
+            }
+            match self.directory.next_segment(slot)? {
+                Some((m, s)) => {
+                    meta = m;
+                    slot = s;
+                }
+                None => return Ok(out.len()),
+            }
+        }
+    }
+
+    fn len(&self) -> u64 {
+        self.key_count
+    }
+
+    fn stats(&self) -> IndexStats {
+        IndexStats {
+            keys: self.key_count,
+            height: self.directory.height() + 1,
+            inner_nodes: self.directory.routing_nodes() + self.directory.leaf_nodes(),
+            leaf_nodes: self.directory.segment_count(),
+            smo_count: self.smo_count,
+        }
+    }
+
+    fn insert_breakdown(&self) -> InsertBreakdown {
+        self.breakdown
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lidx_core::payload_for;
+    use lidx_storage::DiskConfig;
+
+    fn tree(block_size: usize) -> FitingTree {
+        let disk = Disk::in_memory(DiskConfig::with_block_size(block_size));
+        FitingTree::with_config(disk, FitingConfig { epsilon: 16, buffer_entries: 16 }).unwrap()
+    }
+
+    fn irregular_entries(n: u64) -> Vec<Entry> {
+        // A mildly non-linear distribution so several segments are produced.
+        let mut keys: Vec<u64> = (0..n).map(|i| i * 17 + (i % 13) * (i % 7) * 29).collect();
+        keys.sort_unstable();
+        keys.dedup();
+        keys.into_iter().map(|k| (k, payload_for(k))).collect()
+    }
+
+    #[test]
+    fn bulk_load_and_lookup() {
+        let mut t = tree(512);
+        let data = irregular_entries(20_000);
+        t.bulk_load(&data).unwrap();
+        assert_eq!(t.len(), data.len() as u64);
+        assert!(t.segment_count() >= 1);
+        for &(k, v) in data.iter().step_by(577) {
+            assert_eq!(t.lookup(k).unwrap(), Some(v), "key {k}");
+        }
+        assert_eq!(t.lookup(data.last().unwrap().0 + 1).unwrap(), None);
+    }
+
+    #[test]
+    fn inserts_go_to_buffers_then_trigger_resegmentation() {
+        let mut t = tree(512);
+        let data: Vec<Entry> = (0..2_000u64).map(|i| (i * 10, i)).collect();
+        t.bulk_load(&data).unwrap();
+        let segments_before = t.segment_count();
+        // Insert keys that interleave with existing ones.
+        for i in 0..1_000u64 {
+            t.insert(i * 10 + 5, i).unwrap();
+        }
+        assert_eq!(t.len(), 3_000);
+        assert!(t.stats().smo_count > 0, "buffer overflows must trigger resegmentation");
+        assert!(t.segment_count() >= segments_before);
+        for i in (0..1_000u64).step_by(97) {
+            assert_eq!(t.lookup(i * 10 + 5).unwrap(), Some(i));
+        }
+        for &(k, v) in data.iter().step_by(131) {
+            assert_eq!(t.lookup(k).unwrap(), Some(v));
+        }
+    }
+
+    #[test]
+    fn keys_below_global_minimum_use_the_overflow_buffer() {
+        let mut t = tree(512);
+        let data: Vec<Entry> = (1_000..2_000u64).map(|k| (k, k + 1)).collect();
+        t.bulk_load(&data).unwrap();
+        // Insert keys below the bulk-loaded minimum.
+        for k in (0..40u64).rev() {
+            t.insert(k, k + 1).unwrap();
+        }
+        for k in (0..40u64).step_by(7) {
+            assert_eq!(t.lookup(k).unwrap(), Some(k + 1), "key {k} must be found");
+        }
+        assert_eq!(t.len(), 1_040);
+        // Fill the overflow buffer far enough to force the fold-in SMO
+        // (overflow capacity at 512-byte blocks is 32 entries).
+        for k in 100..160u64 {
+            t.insert(k, k + 1).unwrap();
+        }
+        assert!(t.stats().smo_count >= 1);
+        for k in (0..40u64).chain(100..160) {
+            assert_eq!(t.lookup(k).unwrap(), Some(k + 1), "key {k} must survive the SMO");
+        }
+        // After folding, the global minimum must have moved down.
+        assert_eq!(t.lookup(0).unwrap(), Some(1));
+    }
+
+    #[test]
+    fn upsert_overwrites_in_data_and_buffer() {
+        let mut t = tree(512);
+        let data: Vec<Entry> = (0..500u64).map(|i| (i * 3, i)).collect();
+        t.bulk_load(&data).unwrap();
+        t.insert(30, 999).unwrap();
+        assert_eq!(t.lookup(30).unwrap(), Some(999));
+        assert_eq!(t.len(), 500, "overwriting must not grow the index");
+        t.insert(31, 1).unwrap();
+        t.insert(31, 2).unwrap();
+        assert_eq!(t.lookup(31).unwrap(), Some(2));
+        assert_eq!(t.len(), 501);
+    }
+
+    #[test]
+    fn scan_merges_segments_buffers_and_overflow() {
+        let mut t = tree(512);
+        let data: Vec<Entry> = (100..1_100u64).map(|k| (k * 2, k)).collect();
+        t.bulk_load(&data).unwrap();
+        // Buffered entries inside the range plus overflow entries below it.
+        t.insert(201, 1).unwrap();
+        t.insert(203, 2).unwrap();
+        t.insert(50, 3).unwrap();
+        let mut out = Vec::new();
+        let n = t.scan(40, 10, &mut out).unwrap();
+        assert_eq!(n, 10);
+        assert_eq!(out[0], (50, 3), "overflow entries come first");
+        assert_eq!(out[1], (200, 100));
+        assert_eq!(out[2], (201, 1), "buffered entries are merged in key order");
+        assert!(out.windows(2).all(|w| w[0].0 < w[1].0));
+
+        // A long scan crosses segment boundaries.
+        let n = t.scan(200, 800, &mut out).unwrap();
+        assert_eq!(n, 800);
+        assert!(out.windows(2).all(|w| w[0].0 < w[1].0));
+    }
+
+    #[test]
+    fn lookup_fetched_blocks_match_expected_shape() {
+        // With ε=16 and 512-byte blocks (32 entries/block) a lookup should
+        // fetch the directory path plus one or two data blocks.
+        let mut t = tree(512);
+        let data: Vec<Entry> = (0..50_000u64).map(|i| (i * 7, i)).collect();
+        t.bulk_load(&data).unwrap();
+        t.disk().stats().reset();
+        t.disk().reset_access_state();
+        let mut inner_reads = 0;
+        let mut leaf_reads = 0;
+        for &(k, _) in data.iter().step_by(911) {
+            let before = t.disk().snapshot();
+            t.lookup(k).unwrap();
+            let d = t.disk().snapshot().since(&before);
+            inner_reads += d.reads_of(BlockKind::Inner);
+            leaf_reads += d.reads_of(BlockKind::Leaf);
+            t.disk().reset_access_state();
+        }
+        let queries = data.iter().step_by(911).count() as u64;
+        assert!(leaf_reads <= queries * 2, "leaf blocks per lookup must stay within 2ε/B + 1");
+        assert!(inner_reads >= queries, "every lookup must traverse the directory");
+    }
+
+    #[test]
+    fn unsorted_or_repeated_bulk_load_is_rejected() {
+        let mut t = tree(512);
+        assert!(t.bulk_load(&[(3, 1), (2, 1)]).is_err());
+        t.bulk_load(&[(1, 1), (2, 2)]).unwrap();
+        assert!(matches!(t.bulk_load(&[(1, 1)]), Err(IndexError::AlreadyLoaded)));
+        let mut t2 = tree(512);
+        assert!(matches!(t2.lookup(1), Err(IndexError::NotInitialized)));
+    }
+
+    #[test]
+    fn empty_bulk_load_supports_inserts() {
+        let mut t = tree(512);
+        t.bulk_load(&[]).unwrap();
+        assert_eq!(t.len(), 0);
+        for k in 0..100u64 {
+            t.insert(k * 5, k).unwrap();
+        }
+        assert_eq!(t.len(), 100);
+        for k in (0..100u64).step_by(9) {
+            assert_eq!(t.lookup(k * 5).unwrap(), Some(k));
+        }
+        let mut out = Vec::new();
+        assert_eq!(t.scan(0, 1_000, &mut out).unwrap(), 100);
+    }
+}

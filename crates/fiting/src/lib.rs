@@ -1,0 +1,31 @@
+//! An on-disk FITing-tree with the Delta insert strategy (§2.1 / §4.2).
+//!
+//! The FITing-tree partitions the sorted key space into *segments*, each
+//! covered by a linear model with a bounded prediction error ε, and indexes
+//! the segments with a B+-tree. This crate follows the paper's on-disk
+//! extensions:
+//!
+//! * the greedy segmentation is replaced by the same streaming
+//!   (shrinking-cone) algorithm PGM uses;
+//! * each segment carries a fixed-capacity *delta buffer* holding new
+//!   insertions; a full buffer triggers a resegmentation SMO;
+//! * an extra overflow buffer (one block) absorbs keys smaller than the
+//!   current minimum key, which the original FITing-tree cannot insert;
+//! * the per-segment model and occupancy metadata live in the *directory*
+//!   (the inner B+-tree), so a lookup fetches only the data blocks that the
+//!   error bound allows — this is the property the paper credits for
+//!   FITing-tree's small leaf block counts (S1).
+//!
+//! Module layout: [`segment`] defines the on-disk segment data layout,
+//! [`directory`] the inner B+-tree over segment metadata, and [`index`] the
+//! [`lidx_core::DiskIndex`] implementation tying them together.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod directory;
+pub mod index;
+pub mod segment;
+
+pub use index::{FitingConfig, FitingTree};
+pub use segment::SegmentMeta;

@@ -1,0 +1,292 @@
+//! The hybrid index: learned inner directory + B+-tree-styled leaves.
+
+use std::sync::Arc;
+
+use lidx_core::{
+    index::validate_bulk_load, DiskIndex, Entry, IndexError, IndexKind, IndexResult, IndexStats,
+    InsertBreakdown, InsertStep, Key, Value,
+};
+use lidx_storage::{BlockId, Disk};
+
+use crate::inner::{InnerDirectory, ModelTreeInner, PlaInner};
+use crate::leaf::{LeafInsert, LeafLevel};
+
+/// Which learned structure routes queries to the leaves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HybridInnerKind {
+    /// ε-bounded piecewise-linear directory (FITing-tree / PGM style).
+    Pla,
+    /// FMCD model tree (ALEX / LIPP style).
+    ModelTree,
+}
+
+impl HybridInnerKind {
+    /// Short name used in experiment output.
+    pub fn name(self) -> &'static str {
+        match self {
+            HybridInnerKind::Pla => "pla",
+            HybridInnerKind::ModelTree => "model-tree",
+        }
+    }
+}
+
+/// Configuration of a hybrid index.
+#[derive(Debug, Clone, Copy)]
+pub struct HybridConfig {
+    /// The inner directory flavour.
+    pub inner: HybridInnerKind,
+    /// Error bound of the PLA directory (ignored by the model tree).
+    pub epsilon: usize,
+    /// Slot over-allocation factor of the model tree (ignored by PLA).
+    pub gap_factor: u32,
+    /// Leaf fill factor at bulk load.
+    pub leaf_fill: f64,
+}
+
+impl Default for HybridConfig {
+    fn default() -> Self {
+        HybridConfig { inner: HybridInnerKind::Pla, epsilon: 64, gap_factor: 2, leaf_fill: 0.8 }
+    }
+}
+
+/// A hybrid index (§6.1.2): learned inner structure, B+-tree-styled leaves.
+pub struct HybridIndex {
+    disk: Arc<Disk>,
+    config: HybridConfig,
+    leaves: LeafLevel,
+    inner: Box<dyn InnerDirectory + Send>,
+    /// In-memory copy of the `(boundary, leaf block)` pairs, used only to
+    /// rebuild the inner directory after leaf splits (meta-style state; all
+    /// routing I/O still goes through the on-disk directory).
+    boundaries: Vec<(Key, BlockId)>,
+    key_count: u64,
+    smo_count: u64,
+    loaded: bool,
+    breakdown: InsertBreakdown,
+}
+
+impl HybridIndex {
+    /// Creates an empty hybrid index.
+    pub fn new(disk: Arc<Disk>, config: HybridConfig) -> IndexResult<Self> {
+        let leaves = LeafLevel::new(Arc::clone(&disk), config.leaf_fill)?;
+        let inner: Box<dyn InnerDirectory + Send> = match config.inner {
+            HybridInnerKind::Pla => Box::new(PlaInner::new(Arc::clone(&disk), config.epsilon)?),
+            HybridInnerKind::ModelTree => {
+                Box::new(ModelTreeInner::new(Arc::clone(&disk), config.gap_factor)?)
+            }
+        };
+        Ok(HybridIndex {
+            disk,
+            config,
+            leaves,
+            inner,
+            boundaries: Vec::new(),
+            key_count: 0,
+            smo_count: 0,
+            loaded: false,
+            breakdown: InsertBreakdown::new(),
+        })
+    }
+
+    /// The inner directory flavour.
+    pub fn inner_kind(&self) -> HybridInnerKind {
+        self.config.inner
+    }
+
+    /// Number of leaf blocks.
+    pub fn leaf_count(&self) -> u64 {
+        self.leaves.leaf_count()
+    }
+}
+
+impl DiskIndex for HybridIndex {
+    fn kind(&self) -> IndexKind {
+        IndexKind::Hybrid
+    }
+
+    fn name(&self) -> String {
+        format!("hybrid-{}", self.config.inner.name())
+    }
+
+    fn disk(&self) -> &Arc<Disk> {
+        &self.disk
+    }
+
+    fn bulk_load(&mut self, entries: &[Entry]) -> IndexResult<()> {
+        if self.loaded {
+            return Err(IndexError::AlreadyLoaded);
+        }
+        validate_bulk_load(entries)?;
+        self.boundaries = self.leaves.bulk_build(entries)?;
+        self.inner.rebuild(&self.boundaries)?;
+        self.key_count = entries.len() as u64;
+        self.loaded = true;
+        Ok(())
+    }
+
+    fn lookup(&mut self, key: Key) -> IndexResult<Option<Value>> {
+        if !self.loaded {
+            return Err(IndexError::NotInitialized);
+        }
+        let leaf = self.inner.find_leaf(key)?;
+        self.leaves.lookup_in(leaf, key)
+    }
+
+    fn insert(&mut self, key: Key, value: Value) -> IndexResult<()> {
+        if !self.loaded {
+            return Err(IndexError::NotInitialized);
+        }
+        let before = self.disk.snapshot();
+        let leaf = self.inner.find_leaf(key)?;
+        let existed = self.leaves.lookup_in(leaf, key)?.is_some();
+        let after_search = self.disk.snapshot();
+        self.breakdown.add(InsertStep::Search, &after_search.since(&before));
+
+        match self.leaves.insert_in(leaf, key, value)? {
+            LeafInsert::Done => {
+                let after_insert = self.disk.snapshot();
+                self.breakdown.add(InsertStep::Insert, &after_insert.since(&after_search));
+            }
+            LeafInsert::Split { boundary, block } => {
+                // Register the new leaf and rebuild the learned directory —
+                // the heavy retraining cost that makes updatable learned
+                // inners expensive (design principle P2).
+                self.smo_count += 1;
+                let pos = self.boundaries.partition_point(|&(b, _)| b <= boundary);
+                self.boundaries.insert(pos, (boundary, block));
+                self.inner.rebuild(&self.boundaries)?;
+                let after_smo = self.disk.snapshot();
+                self.breakdown.add(InsertStep::Smo, &after_smo.since(&after_search));
+            }
+        }
+        if !existed {
+            self.key_count += 1;
+        }
+        self.breakdown.finish_insert();
+        Ok(())
+    }
+
+    fn scan(&mut self, start: Key, count: usize, out: &mut Vec<Entry>) -> IndexResult<usize> {
+        out.clear();
+        if !self.loaded {
+            return Err(IndexError::NotInitialized);
+        }
+        if count == 0 {
+            return Ok(0);
+        }
+        let leaf = self.inner.find_leaf(start)?;
+        self.leaves.scan_from(leaf, start, count, out)
+    }
+
+    fn len(&self) -> u64 {
+        self.key_count
+    }
+
+    fn stats(&self) -> IndexStats {
+        IndexStats {
+            keys: self.key_count,
+            height: self.inner.height() + 1,
+            inner_nodes: self.inner.node_count(),
+            leaf_nodes: self.leaves.leaf_count(),
+            smo_count: self.smo_count,
+        }
+    }
+
+    fn insert_breakdown(&self) -> InsertBreakdown {
+        self.breakdown
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lidx_storage::{BlockKind, DiskConfig};
+
+    fn build(inner: HybridInnerKind, n: u64) -> (HybridIndex, Vec<Entry>) {
+        let disk = Disk::in_memory(DiskConfig::with_block_size(512));
+        let mut h = HybridIndex::new(
+            disk,
+            HybridConfig { inner, epsilon: 16, gap_factor: 2, leaf_fill: 0.8 },
+        )
+        .unwrap();
+        let mut keys: Vec<u64> = (0..n).map(|i| i * 13 + (i % 29) * 7).collect();
+        keys.sort_unstable();
+        keys.dedup();
+        let data: Vec<Entry> = keys.into_iter().map(|k| (k, k + 1)).collect();
+        h.bulk_load(&data).unwrap();
+        (h, data)
+    }
+
+    #[test]
+    fn lookups_work_for_both_inner_kinds() {
+        for inner in [HybridInnerKind::Pla, HybridInnerKind::ModelTree] {
+            let (mut h, data) = build(inner, 20_000);
+            assert_eq!(h.len(), data.len() as u64);
+            for &(k, v) in data.iter().step_by(487) {
+                assert_eq!(h.lookup(k).unwrap(), Some(v), "{inner:?} key {k}");
+            }
+            assert_eq!(h.lookup(data.last().unwrap().0 + 1).unwrap(), None);
+            assert!(h.name().starts_with("hybrid-"));
+        }
+    }
+
+    #[test]
+    fn scans_behave_like_a_btree_leaf_chain() {
+        for inner in [HybridInnerKind::Pla, HybridInnerKind::ModelTree] {
+            let (mut h, data) = build(inner, 10_000);
+            let mut out = Vec::new();
+            let n = h.scan(data[3_000].0, 500, &mut out).unwrap();
+            assert_eq!(n, 500);
+            assert_eq!(out[0], data[3_000]);
+            assert_eq!(out[499], data[3_499]);
+            assert!(out.windows(2).all(|w| w[0].0 < w[1].0));
+        }
+    }
+
+    #[test]
+    fn scan_leaf_io_is_dense_like_a_btree() {
+        // The whole point of the hybrid design: scans fetch only dense leaf
+        // blocks (plus the inner descent), unlike ALEX/LIPP native scans.
+        let (mut h, data) = build(HybridInnerKind::Pla, 20_000);
+        let mut out = Vec::new();
+        h.disk().stats().reset();
+        h.disk().reset_access_state();
+        h.scan(data[5_000].0, 100, &mut out).unwrap();
+        let leaf_reads = h.disk().stats().reads_of(BlockKind::Leaf);
+        // 100 entries at ~25 entries per 512-byte leaf = about 5 leaf blocks.
+        assert!(leaf_reads <= 8, "scan fetched {leaf_reads} leaf blocks");
+        assert_eq!(h.disk().stats().reads_of(BlockKind::Utility), 0);
+    }
+
+    #[test]
+    fn inserts_split_leaves_and_keep_serving() {
+        let (mut h, data) = build(HybridInnerKind::Pla, 2_000);
+        for i in 0..1_500u64 {
+            h.insert(i * 17 + 3, i).unwrap();
+        }
+        assert!(h.stats().smo_count > 0, "splits must have happened");
+        for i in (0..1_500u64).step_by(97) {
+            let expect = data
+                .iter()
+                .find(|&&(k, _)| k == i * 17 + 3)
+                .map(|_| i) // overwritten bulk key
+                .unwrap_or(i);
+            assert_eq!(h.lookup(i * 17 + 3).unwrap(), Some(expect));
+        }
+        let mut out = Vec::new();
+        let n = h.scan(0, usize::MAX / 2, &mut out).unwrap();
+        assert_eq!(n as u64, h.len());
+        assert!(out.windows(2).all(|w| w[0].0 < w[1].0));
+    }
+
+    #[test]
+    fn error_paths() {
+        let disk = Disk::in_memory(DiskConfig::with_block_size(512));
+        let mut h = HybridIndex::new(disk, HybridConfig::default()).unwrap();
+        assert!(matches!(h.lookup(1), Err(IndexError::NotInitialized)));
+        h.bulk_load(&[(1, 2), (5, 6)]).unwrap();
+        assert!(matches!(h.bulk_load(&[(1, 2)]), Err(IndexError::AlreadyLoaded)));
+        assert_eq!(h.lookup(5).unwrap(), Some(6));
+        assert_eq!(h.lookup(3).unwrap(), None);
+    }
+}

@@ -1,0 +1,555 @@
+//! The on-disk LIPP tree and its [`DiskIndex`] implementation.
+
+use std::sync::Arc;
+
+use lidx_core::{
+    index::validate_bulk_load, DiskIndex, Entry, IndexError, IndexKind, IndexResult, IndexStats,
+    InsertBreakdown, InsertStep, Key, Value,
+};
+use lidx_models::fmcd::fit_fmcd;
+use lidx_storage::{BlockId, Disk};
+
+use crate::node::{blocks_for, group_by_slot, LippNode, Slot};
+
+/// Configuration of the on-disk LIPP index.
+#[derive(Debug, Clone, Copy)]
+pub struct LippConfig {
+    /// Slot over-allocation factor for nodes built from fewer than
+    /// [`LippConfig::large_node_threshold`] keys (LIPP allocates 5× slots for
+    /// small nodes — the source of its large empty-slot ratio, O11).
+    pub small_gap_factor: u32,
+    /// Slot over-allocation factor for nodes at or above the threshold
+    /// (LIPP allocates 2× slots for large nodes).
+    pub large_gap_factor: u32,
+    /// Key-count threshold separating the two factors (100 000 in LIPP).
+    pub large_node_threshold: usize,
+    /// Hard cap on the number of slots in a single node.
+    pub max_node_slots: u32,
+    /// A subtree is rebuilt when its accumulated inserts exceed its build
+    /// size times this factor and at least a quarter of them conflicted.
+    pub rebuild_insert_factor: f64,
+}
+
+impl Default for LippConfig {
+    fn default() -> Self {
+        LippConfig {
+            small_gap_factor: 5,
+            large_gap_factor: 2,
+            large_node_threshold: 100_000,
+            max_node_slots: 1 << 21,
+            rebuild_insert_factor: 1.0,
+        }
+    }
+}
+
+/// An on-disk LIPP index.
+pub struct LippIndex {
+    disk: Arc<Disk>,
+    config: LippConfig,
+    file: u32,
+    root: BlockId,
+    key_count: u64,
+    node_count: u64,
+    max_depth: u32,
+    smo_count: u64,
+    loaded: bool,
+    breakdown: InsertBreakdown,
+}
+
+impl LippIndex {
+    /// Creates an empty LIPP index with the default configuration.
+    pub fn new(disk: Arc<Disk>) -> IndexResult<Self> {
+        Self::with_config(disk, LippConfig::default())
+    }
+
+    /// Creates an empty LIPP index with an explicit configuration.
+    pub fn with_config(disk: Arc<Disk>, config: LippConfig) -> IndexResult<Self> {
+        assert!(config.small_gap_factor >= 1 && config.large_gap_factor >= 1);
+        assert!(config.max_node_slots >= 8);
+        let file = disk.create_file()?;
+        Ok(LippIndex {
+            disk,
+            config,
+            file,
+            root: 0,
+            key_count: 0,
+            node_count: 0,
+            max_depth: 0,
+            smo_count: 0,
+            loaded: false,
+            breakdown: InsertBreakdown::new(),
+        })
+    }
+
+    /// Number of nodes in the tree.
+    pub fn node_count(&self) -> u64 {
+        self.node_count
+    }
+
+    fn capacity_for(&self, count: usize) -> u32 {
+        let factor = if count < self.config.large_node_threshold {
+            self.config.small_gap_factor
+        } else {
+            self.config.large_gap_factor
+        } as usize;
+        ((count.max(1) * factor).max(8) as u32).min(self.config.max_node_slots)
+    }
+
+    /// Recursively builds a node for `entries`, returning its start block.
+    fn build_subtree(&mut self, entries: &[Entry], depth: u32) -> IndexResult<BlockId> {
+        self.max_depth = self.max_depth.max(depth + 1);
+        let capacity = self.capacity_for(entries.len());
+        let keys: Vec<Key> = entries.iter().map(|e| e.0).collect();
+        let fitted = fit_fmcd(&keys, capacity as usize);
+        let model = fitted.model;
+
+        let mut slots = vec![Slot::Null; capacity as usize];
+        for (slot, group) in group_by_slot(entries, &model, capacity) {
+            if group.len() == 1 {
+                slots[slot as usize] = Slot::Data(group[0].0, group[0].1);
+            } else {
+                let child = self.build_subtree(&group, depth + 1)?;
+                slots[slot as usize] = Slot::Child(child);
+            }
+        }
+
+        let start = self.disk.allocate(self.file, blocks_for(capacity, self.disk.block_size()))?;
+        LippNode::write_new(
+            &self.disk,
+            self.file,
+            start,
+            capacity,
+            model,
+            &slots,
+            entries.len() as u32,
+        )?;
+        self.node_count += 1;
+        Ok(start)
+    }
+
+    /// Rebuilds the subtree rooted at `node`, repointing either the parent
+    /// slot described by `parent` or the root.
+    fn rebuild_subtree(
+        &mut self,
+        node: &LippNode,
+        parent: Option<(&LippNode, u32)>,
+    ) -> IndexResult<()> {
+        self.smo_count += 1;
+        let mut entries = Vec::new();
+        node.collect_subtree(&self.disk, &mut entries)?;
+        // Subtract the nodes that are about to disappear.
+        let mut removed = 0u64;
+        count_nodes(&self.disk, node, &mut removed)?;
+        node.free_subtree(&self.disk)?;
+        self.node_count -= removed;
+        let new_block = self.build_subtree(&entries, 0)?;
+        match parent {
+            Some((p, slot)) => p.write_slot(&self.disk, slot, Slot::Child(new_block))?,
+            None => self.root = new_block,
+        }
+        Ok(())
+    }
+
+    fn should_rebuild(&self, node: &LippNode) -> bool {
+        let h = &node.header;
+        let grown =
+            f64::from(h.num_inserts) >= f64::from(h.build_size.max(64)) * self.config.rebuild_insert_factor;
+        grown && h.num_conflicts * 4 >= h.num_inserts
+    }
+}
+
+/// Counts the nodes of a subtree (used when a rebuild replaces them).
+fn count_nodes(disk: &Disk, node: &LippNode, acc: &mut u64) -> IndexResult<()> {
+    *acc += 1;
+    for slot in 0..node.header.capacity {
+        if let Slot::Child(b) = node.read_slot(disk, slot)? {
+            let child = LippNode::load(disk, node.file, b)?;
+            count_nodes(disk, &child, acc)?;
+        }
+    }
+    Ok(())
+}
+
+impl DiskIndex for LippIndex {
+    fn kind(&self) -> IndexKind {
+        IndexKind::Lipp
+    }
+
+    fn disk(&self) -> &Arc<Disk> {
+        &self.disk
+    }
+
+    fn bulk_load(&mut self, entries: &[Entry]) -> IndexResult<()> {
+        if self.loaded {
+            return Err(IndexError::AlreadyLoaded);
+        }
+        validate_bulk_load(entries)?;
+        self.root = self.build_subtree(entries, 0)?;
+        self.key_count = entries.len() as u64;
+        self.loaded = true;
+        Ok(())
+    }
+
+    fn lookup(&mut self, key: Key) -> IndexResult<Option<Value>> {
+        if !self.loaded {
+            return Err(IndexError::NotInitialized);
+        }
+        let mut node = LippNode::load(&self.disk, self.file, self.root)?;
+        loop {
+            let slot = node.predict(key);
+            match node.read_slot(&self.disk, slot)? {
+                Slot::Null => return Ok(None),
+                Slot::Data(k, v) => return Ok((k == key).then_some(v)),
+                Slot::Child(b) => node = LippNode::load(&self.disk, self.file, b)?,
+            }
+        }
+    }
+
+    fn insert(&mut self, key: Key, value: Value) -> IndexResult<()> {
+        if !self.loaded {
+            return Err(IndexError::NotInitialized);
+        }
+        let before = self.disk.snapshot();
+
+        // Descend, remembering the path for the statistics maintenance pass.
+        let mut path: Vec<(LippNode, u32)> = Vec::new();
+        let mut node = LippNode::load(&self.disk, self.file, self.root)?;
+        let outcome = loop {
+            let slot = node.predict(key);
+            match node.read_slot(&self.disk, slot)? {
+                Slot::Child(b) => {
+                    path.push((node, slot));
+                    node = LippNode::load(&self.disk, self.file, b)?;
+                }
+                other => break (other, slot),
+            }
+        };
+        let after_search = self.disk.snapshot();
+        self.breakdown.add(InsertStep::Search, &after_search.since(&before));
+
+        let (slot_content, slot) = outcome;
+        let mut conflicted = false;
+        match slot_content {
+            Slot::Data(k, _) if k == key => {
+                // Upsert: overwrite the payload in place.
+                node.write_slot(&self.disk, slot, Slot::Data(key, value))?;
+                let after_insert = self.disk.snapshot();
+                self.breakdown.add(InsertStep::Insert, &after_insert.since(&after_search));
+                self.breakdown.finish_insert();
+                return Ok(());
+            }
+            Slot::Null => {
+                node.write_slot(&self.disk, slot, Slot::Data(key, value))?;
+                node.header.data_count += 1;
+                let after_insert = self.disk.snapshot();
+                self.breakdown.add(InsertStep::Insert, &after_insert.since(&after_search));
+            }
+            Slot::Data(k0, v0) => {
+                // Conflict: push both keys into a freshly created child node
+                // (LIPP's per-insert SMO, roughly one in three inserts, O7).
+                conflicted = true;
+                self.smo_count += 1;
+                let mut pair = [(k0, v0), (key, value)];
+                pair.sort_unstable_by_key(|e| e.0);
+                let child = self.build_subtree(&pair, 0)?;
+                node.write_slot(&self.disk, slot, Slot::Child(child))?;
+                node.header.data_count -= 1;
+                node.header.child_count += 1;
+                let after_smo = self.disk.snapshot();
+                self.breakdown.add(InsertStep::Smo, &after_smo.since(&after_search));
+            }
+            Slot::Child(_) => unreachable!("descent only stops at NULL or DATA slots"),
+        }
+        self.key_count += 1;
+
+        // Maintenance: update the statistics of every node along the access
+        // path (the paper calls out this full-path write cost for LIPP).
+        let after_smo_or_insert = self.disk.snapshot();
+        node.header.num_inserts += 1;
+        if conflicted {
+            node.header.num_conflicts += 1;
+        }
+        node.write_header(&self.disk)?;
+        for (ancestor, _) in path.iter_mut() {
+            ancestor.header.num_inserts += 1;
+            if conflicted {
+                ancestor.header.num_conflicts += 1;
+            }
+            ancestor.write_header(&self.disk)?;
+        }
+        let after_maintenance = self.disk.snapshot();
+        self.breakdown
+            .add(InsertStep::Maintenance, &after_maintenance.since(&after_smo_or_insert));
+
+        // Subtree-rebuild SMO: find the highest node on the path whose
+        // statistics demand a rebuild and rebuild it.
+        let mut rebuild_target: Option<usize> = None;
+        for (i, (n, _)) in path.iter().enumerate() {
+            if self.should_rebuild(n) {
+                rebuild_target = Some(i);
+                break;
+            }
+        }
+        let leaf_needs_rebuild = rebuild_target.is_none() && self.should_rebuild(&node);
+        if let Some(i) = rebuild_target {
+            let (target, _) = path[i].clone();
+            let parent = if i == 0 { None } else { Some((&path[i - 1].0, path[i - 1].1)) };
+            self.rebuild_subtree(&target, parent)?;
+            let after_rebuild = self.disk.snapshot();
+            self.breakdown.add(InsertStep::Smo, &after_rebuild.since(&after_maintenance));
+        } else if leaf_needs_rebuild {
+            let parent = path.last().map(|(p, s)| (p, *s));
+            self.rebuild_subtree(&node, parent)?;
+            let after_rebuild = self.disk.snapshot();
+            self.breakdown.add(InsertStep::Smo, &after_rebuild.since(&after_maintenance));
+        }
+
+        self.breakdown.finish_insert();
+        Ok(())
+    }
+
+    fn scan(&mut self, start: Key, count: usize, out: &mut Vec<Entry>) -> IndexResult<usize> {
+        out.clear();
+        if !self.loaded {
+            return Err(IndexError::NotInitialized);
+        }
+        if count == 0 {
+            return Ok(0);
+        }
+        // Seed the traversal stack with the access path of `start`: every
+        // ancestor resumes just after the slot we descended through.
+        let mut stack: Vec<(LippNode, u32)> = Vec::new();
+        let mut node = LippNode::load(&self.disk, self.file, self.root)?;
+        loop {
+            let slot = node.predict(start);
+            match node.read_slot(&self.disk, slot)? {
+                Slot::Child(b) => {
+                    stack.push((node, slot + 1));
+                    node = LippNode::load(&self.disk, self.file, b)?;
+                }
+                _ => {
+                    stack.push((node, slot));
+                    break;
+                }
+            }
+        }
+
+        // In-order traversal across the interleaved DATA / NODE slots — the
+        // scattered accesses behind LIPP's poor scan performance (O5).
+        'outer: while let Some((node, mut idx)) = stack.pop() {
+            while idx < node.header.capacity {
+                if out.len() >= count {
+                    break 'outer;
+                }
+                match node.read_slot(&self.disk, idx)? {
+                    Slot::Null => {}
+                    Slot::Data(k, v) => {
+                        if k >= start {
+                            out.push((k, v));
+                        }
+                    }
+                    Slot::Child(b) => {
+                        stack.push((node, idx + 1));
+                        stack.push((LippNode::load(&self.disk, self.file, b)?, 0));
+                        continue 'outer;
+                    }
+                }
+                idx += 1;
+            }
+        }
+        Ok(out.len())
+    }
+
+    fn len(&self) -> u64 {
+        self.key_count
+    }
+
+    fn stats(&self) -> IndexStats {
+        IndexStats {
+            keys: self.key_count,
+            height: self.max_depth,
+            inner_nodes: 0,
+            leaf_nodes: self.node_count,
+            smo_count: self.smo_count,
+        }
+    }
+
+    fn insert_breakdown(&self) -> InsertBreakdown {
+        self.breakdown
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lidx_storage::{BlockKind, DiskConfig};
+
+    fn index() -> LippIndex {
+        let disk = Disk::in_memory(DiskConfig::with_block_size(512));
+        LippIndex::new(disk).unwrap()
+    }
+
+    fn uniformish(n: u64) -> Vec<Entry> {
+        (0..n).map(|i| (i * 97 + 13, i)).collect()
+    }
+
+    fn clustered(n: u64) -> Vec<Entry> {
+        let mut keys: Vec<u64> = (0..n)
+            .map(|i| (i / 50) * 1_000_000 + (i % 50) * 3)
+            .collect();
+        keys.sort_unstable();
+        keys.dedup();
+        keys.into_iter().map(|k| (k, k + 1)).collect()
+    }
+
+    #[test]
+    fn bulk_load_and_lookup_uniform() {
+        let mut l = index();
+        let data = uniformish(20_000);
+        l.bulk_load(&data).unwrap();
+        assert_eq!(l.len(), 20_000);
+        for &(k, v) in data.iter().step_by(487) {
+            assert_eq!(l.lookup(k).unwrap(), Some(v), "key {k}");
+        }
+        assert_eq!(l.lookup(14).unwrap(), None);
+        assert_eq!(l.lookup(u64::MAX).unwrap(), None);
+    }
+
+    #[test]
+    fn bulk_load_and_lookup_clustered_builds_children() {
+        let mut l = index();
+        let data = clustered(10_000);
+        l.bulk_load(&data).unwrap();
+        assert!(l.node_count() > 1, "clustered data must force child nodes");
+        assert!(l.stats().height > 1);
+        for &(k, v) in data.iter().step_by(311) {
+            assert_eq!(l.lookup(k).unwrap(), Some(v), "key {k}");
+        }
+    }
+
+    #[test]
+    fn lookup_io_is_two_blocks_per_level() {
+        let mut l = index();
+        let data = uniformish(50_000);
+        l.bulk_load(&data).unwrap();
+        l.disk().stats().reset();
+        let queries: Vec<Key> = data.iter().step_by(977).map(|e| e.0).collect();
+        for &k in &queries {
+            l.disk().reset_access_state();
+            l.lookup(k).unwrap();
+        }
+        let per_query = l.disk().stats().reads() as f64 / queries.len() as f64;
+        let height = l.stats().height as f64;
+        assert!(
+            per_query <= 2.0 * height + 1.0,
+            "lookup cost {per_query} exceeds 2·height = {}",
+            2.0 * height
+        );
+        assert!(per_query >= 1.5, "header + slot blocks are usually distinct");
+    }
+
+    #[test]
+    fn inserts_create_children_on_conflict_and_survive() {
+        let mut l = index();
+        let data: Vec<Entry> = (0..2_000u64).map(|i| (i * 40, i)).collect();
+        l.bulk_load(&data).unwrap();
+        let nodes_before = l.node_count();
+        for i in 0..2_000u64 {
+            l.insert(i * 40 + 7, i).unwrap();
+        }
+        assert_eq!(l.len(), 4_000);
+        assert!(l.stats().smo_count > 0, "conflicts must have created child nodes");
+        assert!(l.node_count() > nodes_before);
+        for i in (0..2_000u64).step_by(173) {
+            assert_eq!(l.lookup(i * 40 + 7).unwrap(), Some(i), "inserted key");
+            assert_eq!(l.lookup(i * 40).unwrap(), Some(i), "bulk key");
+        }
+    }
+
+    #[test]
+    fn upsert_overwrites_in_place() {
+        let mut l = index();
+        l.bulk_load(&uniformish(1_000)).unwrap();
+        l.insert(13, 999).unwrap();
+        assert_eq!(l.lookup(13).unwrap(), Some(999));
+        assert_eq!(l.len(), 1_000);
+    }
+
+    #[test]
+    fn maintenance_updates_touch_the_whole_path() {
+        let mut l = index();
+        let data = clustered(5_000);
+        l.bulk_load(&data).unwrap();
+        // Insert keys into an existing cluster (deep in the tree).
+        let probe_base = data[2_500].0;
+        let before = l.disk().snapshot();
+        l.insert(probe_base + 1, 1).unwrap();
+        let delta = l.disk().snapshot().since(&before);
+        assert!(
+            delta.writes_of(BlockKind::Leaf) >= 2,
+            "insert must write the slot and at least one statistics header"
+        );
+        let b = l.insert_breakdown();
+        assert!(b.writes(lidx_core::InsertStep::Maintenance) >= 1);
+    }
+
+    #[test]
+    fn scan_returns_sorted_entries_across_nodes() {
+        let mut l = index();
+        let data = clustered(8_000);
+        l.bulk_load(&data).unwrap();
+        let start_idx = 3_456;
+        let mut out = Vec::new();
+        let n = l.scan(data[start_idx].0, 400, &mut out).unwrap();
+        assert_eq!(n, 400);
+        assert_eq!(out[0], data[start_idx]);
+        assert_eq!(out[399], data[start_idx + 399]);
+        assert!(out.windows(2).all(|w| w[0].0 < w[1].0));
+
+        // Scans see inserted keys too.
+        l.insert(data[start_idx].0 + 1, 42).unwrap();
+        l.scan(data[start_idx].0, 3, &mut out).unwrap();
+        assert_eq!(out[1], (data[start_idx].0 + 1, 42));
+    }
+
+    #[test]
+    fn heavy_local_inserts_trigger_subtree_rebuilds() {
+        let disk = Disk::in_memory(DiskConfig::with_block_size(512));
+        let mut l = LippIndex::with_config(
+            disk,
+            LippConfig { rebuild_insert_factor: 0.5, ..Default::default() },
+        )
+        .unwrap();
+        let data: Vec<Entry> = (0..500u64).map(|i| (i * 1_000, i)).collect();
+        l.bulk_load(&data).unwrap();
+        // Hammer one region so conflicts accumulate and a rebuild triggers.
+        for i in 0..3_000u64 {
+            l.insert(100_000 + i * 7, i).unwrap();
+        }
+        assert!(l.stats().smo_count > 100);
+        for i in (0..3_000u64).step_by(211) {
+            assert_eq!(l.lookup(100_000 + i * 7).unwrap(), Some(i));
+        }
+        // Everything still reachable after rebuilds.
+        let mut out = Vec::new();
+        let total = l.scan(0, 10_000, &mut out).unwrap();
+        assert_eq!(total as u64, l.len());
+        assert!(out.windows(2).all(|w| w[0].0 < w[1].0));
+    }
+
+    #[test]
+    fn error_paths_and_empty_load() {
+        let mut l = index();
+        assert!(matches!(l.lookup(1), Err(IndexError::NotInitialized)));
+        l.bulk_load(&[]).unwrap();
+        assert_eq!(l.lookup(1).unwrap(), None);
+        for i in 0..200u64 {
+            l.insert(i * 3, i).unwrap();
+        }
+        assert_eq!(l.len(), 200);
+        for i in (0..200u64).step_by(13) {
+            assert_eq!(l.lookup(i * 3).unwrap(), Some(i));
+        }
+        assert!(matches!(l.bulk_load(&[(1, 1)]), Err(IndexError::AlreadyLoaded)));
+    }
+}

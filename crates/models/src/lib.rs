@@ -1,0 +1,26 @@
+//! Learned-model toolbox shared by the learned-index implementations.
+//!
+//! Every index studied in the paper models data with *linear functions*
+//! (§5.1): FITing-tree and PGM fit piecewise-linear approximations with a
+//! bounded prediction error, ALEX fits per-node linear CDF models, and LIPP
+//! searches for a linear model minimising slot conflicts (FMCD). This crate
+//! implements those building blocks once:
+//!
+//! * [`linear::LinearModel`] — a `position ≈ slope · key + intercept` model.
+//! * [`pla`] — error-bounded piecewise-linear segmentation using the
+//!   shrinking-cone streaming algorithm (the FITing-tree greedy method; the
+//!   paper's on-disk FITing-tree adopts the same streaming approach PGM uses,
+//!   §4.2).
+//! * [`fmcd`] — the Fastest Minimum Conflict Degree model search used by
+//!   LIPP, plus the conflict-degree metric reported in Table 3.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod fmcd;
+pub mod linear;
+pub mod pla;
+
+pub use fmcd::{conflict_degree, fit_fmcd, FmcdModel};
+pub use linear::LinearModel;
+pub use pla::{segment_keys, Segment, ShrinkingCone};

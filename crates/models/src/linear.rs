@@ -1,0 +1,180 @@
+//! The linear `key -> position` model used by every learned index studied.
+
+use lidx_core::Key;
+
+/// A linear model `position ≈ slope * key + intercept`.
+///
+/// Positions are real-valued during prediction and clamped to an array range
+/// by the caller via [`LinearModel::predict_clamped`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinearModel {
+    /// Slope of the model (positions per key unit).
+    pub slope: f64,
+    /// Intercept of the model (position at key 0).
+    pub intercept: f64,
+}
+
+impl LinearModel {
+    /// A model that maps every key to position 0 (used for empty or
+    /// single-key nodes).
+    pub const ZERO: LinearModel = LinearModel { slope: 0.0, intercept: 0.0 };
+
+    /// Creates a model from slope and intercept.
+    pub fn new(slope: f64, intercept: f64) -> Self {
+        LinearModel { slope, intercept }
+    }
+
+    /// Builds the model passing through two `(key, position)` points.
+    ///
+    /// If both keys are equal the slope is zero and the intercept is the
+    /// first position.
+    pub fn from_points(k0: Key, p0: f64, k1: Key, p1: f64) -> Self {
+        if k1 == k0 {
+            return LinearModel { slope: 0.0, intercept: p0 };
+        }
+        let slope = (p1 - p0) / (k1 as f64 - k0 as f64);
+        let intercept = p0 - slope * k0 as f64;
+        LinearModel { slope, intercept }
+    }
+
+    /// Least-squares fit over `(key, position)` pairs where the position of
+    /// `keys[i]` is `i`. This is how ALEX trains node models.
+    pub fn fit_keys(keys: &[Key]) -> Self {
+        match keys.len() {
+            0 => LinearModel::ZERO,
+            1 => LinearModel { slope: 0.0, intercept: 0.0 },
+            _ => {
+                let n = keys.len() as f64;
+                // Shift keys by the first key (in integer space, before the
+                // f64 conversion) to keep the sums well conditioned.
+                let base = keys[0];
+                let mut sx = 0.0;
+                let mut sy = 0.0;
+                let mut sxx = 0.0;
+                let mut sxy = 0.0;
+                for (i, &k) in keys.iter().enumerate() {
+                    let x = (k - base) as f64;
+                    let y = i as f64;
+                    sx += x;
+                    sy += y;
+                    sxx += x * x;
+                    sxy += x * y;
+                }
+                let denom = n * sxx - sx * sx;
+                if denom.abs() < f64::EPSILON {
+                    // All keys identical (cannot happen with strictly
+                    // increasing input, but stay defensive).
+                    return LinearModel { slope: 0.0, intercept: 0.0 };
+                }
+                let slope = (n * sxy - sx * sy) / denom;
+                let intercept_shifted = (sy - slope * sx) / n;
+                LinearModel { slope, intercept: intercept_shifted - slope * base as f64 }
+            }
+        }
+    }
+
+    /// Predicts a (real-valued) position for `key`.
+    #[inline]
+    pub fn predict(&self, key: Key) -> f64 {
+        self.slope * key as f64 + self.intercept
+    }
+
+    /// Predicts a position and clamps it into `[0, len - 1]` (returns 0 for
+    /// an empty range).
+    #[inline]
+    pub fn predict_clamped(&self, key: Key, len: usize) -> usize {
+        if len == 0 {
+            return 0;
+        }
+        let p = self.predict(key);
+        if p <= 0.0 {
+            0
+        } else {
+            (p as usize).min(len - 1)
+        }
+    }
+
+    /// Rescales the model so that positions in `[0, old_len)` map to
+    /// `[0, new_len)`. Used when ALEX expands a gapped array.
+    #[must_use]
+    pub fn rescale(&self, old_len: usize, new_len: usize) -> Self {
+        if old_len == 0 {
+            return *self;
+        }
+        let f = new_len as f64 / old_len as f64;
+        LinearModel { slope: self.slope * f, intercept: self.intercept * f }
+    }
+
+    /// Maximum absolute prediction error over keys whose true position is
+    /// their index in `keys`.
+    pub fn max_error(&self, keys: &[Key]) -> f64 {
+        keys.iter()
+            .enumerate()
+            .map(|(i, &k)| (self.predict(k) - i as f64).abs())
+            .fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_points_interpolates_exactly() {
+        let m = LinearModel::from_points(10, 0.0, 110, 100.0);
+        assert!((m.predict(10) - 0.0).abs() < 1e-9);
+        assert!((m.predict(110) - 100.0).abs() < 1e-9);
+        assert!((m.predict(60) - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn from_points_degenerate_keys() {
+        let m = LinearModel::from_points(5, 3.0, 5, 9.0);
+        assert_eq!(m.slope, 0.0);
+        assert_eq!(m.predict(123), 3.0);
+    }
+
+    #[test]
+    fn fit_keys_recovers_a_perfect_line() {
+        let keys: Vec<u64> = (0..100).map(|i| 1000 + 7 * i).collect();
+        let m = LinearModel::fit_keys(&keys);
+        assert!(m.max_error(&keys) < 1e-6, "perfectly linear data must fit exactly");
+        assert!((m.slope - 1.0 / 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fit_keys_small_inputs() {
+        assert_eq!(LinearModel::fit_keys(&[]), LinearModel::ZERO);
+        let m = LinearModel::fit_keys(&[42]);
+        assert_eq!(m.predict_clamped(42, 1), 0);
+    }
+
+    #[test]
+    fn predict_clamped_stays_in_bounds() {
+        let m = LinearModel::new(1.0, -5.0);
+        assert_eq!(m.predict_clamped(0, 10), 0, "negative predictions clamp to zero");
+        assert_eq!(m.predict_clamped(100, 10), 9, "large predictions clamp to len-1");
+        assert_eq!(m.predict_clamped(7, 10), 2);
+        assert_eq!(m.predict_clamped(7, 0), 0);
+    }
+
+    #[test]
+    fn rescale_doubles_positions() {
+        let m = LinearModel::new(0.5, 10.0);
+        let r = m.rescale(100, 200);
+        assert!((r.predict(20) - 2.0 * m.predict(20)).abs() < 1e-9);
+        let same = m.rescale(0, 50);
+        assert_eq!(same, m);
+    }
+
+    #[test]
+    fn fit_keys_handles_huge_keys_without_precision_blowup() {
+        // Keys near 2^52: large enough to break a naive unshifted fit, small
+        // enough that every key is still exactly representable as an f64
+        // (required for the prediction itself to be meaningful).
+        let base = 1u64 << 52;
+        let keys: Vec<u64> = (0..1000).map(|i| base + 10 * i).collect();
+        let m = LinearModel::fit_keys(&keys);
+        assert!(m.max_error(&keys) < 1.0, "shifted fit must stay accurate for huge keys");
+    }
+}

@@ -1,0 +1,243 @@
+//! Error-bounded piecewise-linear segmentation.
+//!
+//! Both FITing-tree and PGM partition a sorted key array into *segments*,
+//! each covered by a linear model whose prediction error is at most a
+//! configurable bound ε. The classic streaming method is the *shrinking
+//! cone*: anchor a segment at its first key and keep a feasible slope
+//! interval `[slope_lo, slope_hi]`; every new key narrows the interval, and
+//! when it becomes empty the segment is closed and a new one starts. This is
+//! the FITing-tree "greedy" algorithm and a constant-factor approximation of
+//! the optimal PLA used by PGM; the on-disk FITing-tree in the paper adopts
+//! the same streaming approach as PGM (§4.2).
+//!
+//! The segment count this produces is the "hardness" metric of Table 3: data
+//! that needs more segments under the same ε is harder to model linearly.
+
+use lidx_core::Key;
+
+use crate::linear::LinearModel;
+
+/// One segment of a piecewise-linear approximation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Segment {
+    /// First key covered by the segment.
+    pub first_key: Key,
+    /// Number of keys covered.
+    pub len: usize,
+    /// Index of the first covered key in the original array.
+    pub start_index: usize,
+    /// The model predicting *segment-relative* positions (position 0 is
+    /// `first_key`).
+    pub model: LinearModel,
+}
+
+impl Segment {
+    /// Predicts the segment-relative position of `key`, clamped to the
+    /// segment length.
+    pub fn predict(&self, key: Key) -> usize {
+        self.model.predict_clamped(key, self.len)
+    }
+}
+
+/// Streaming shrinking-cone segmenter with error bound ε.
+///
+/// Feed keys in strictly increasing order with [`ShrinkingCone::push`];
+/// completed segments are returned as they close, and [`ShrinkingCone::finish`]
+/// flushes the final one.
+#[derive(Debug)]
+pub struct ShrinkingCone {
+    epsilon: f64,
+    /// Anchor key of the open segment.
+    anchor: Option<Key>,
+    anchor_index: usize,
+    /// Number of keys in the open segment.
+    count: usize,
+    slope_lo: f64,
+    slope_hi: f64,
+    /// Total keys pushed so far (for start indexes).
+    pushed: usize,
+}
+
+impl ShrinkingCone {
+    /// Creates a segmenter with error bound `epsilon` (must be >= 1).
+    pub fn new(epsilon: usize) -> Self {
+        ShrinkingCone {
+            epsilon: epsilon.max(1) as f64,
+            anchor: None,
+            anchor_index: 0,
+            count: 0,
+            slope_lo: 0.0,
+            slope_hi: f64::INFINITY,
+            pushed: 0,
+        }
+    }
+
+    /// The error bound.
+    pub fn epsilon(&self) -> usize {
+        self.epsilon as usize
+    }
+
+    fn close(&mut self) -> Segment {
+        let anchor = self.anchor.expect("close called with no open segment");
+        let slope = if self.count <= 1 {
+            0.0
+        } else if self.slope_hi.is_finite() {
+            0.5 * (self.slope_lo + self.slope_hi)
+        } else {
+            self.slope_lo
+        };
+        let model = LinearModel { slope, intercept: -slope * anchor as f64 };
+        Segment { first_key: anchor, len: self.count, start_index: self.anchor_index, model }
+    }
+
+    /// Adds the next key (strictly larger than all previous keys). Returns a
+    /// completed segment if this key could not be absorbed into the open one.
+    pub fn push(&mut self, key: Key) -> Option<Segment> {
+        let index = self.pushed;
+        self.pushed += 1;
+        let anchor = match self.anchor {
+            None => {
+                self.anchor = Some(key);
+                self.anchor_index = index;
+                self.count = 1;
+                self.slope_lo = 0.0;
+                self.slope_hi = f64::INFINITY;
+                return None;
+            }
+            Some(a) => a,
+        };
+
+        debug_assert!(key > anchor, "keys must be strictly increasing");
+        let dx = key as f64 - anchor as f64;
+        let dy = self.count as f64; // segment-relative position of the new key
+        // Feasible slopes so that |slope*dx - dy| <= epsilon.
+        let lo = (dy - self.epsilon) / dx;
+        let hi = (dy + self.epsilon) / dx;
+        let new_lo = self.slope_lo.max(lo);
+        let new_hi = self.slope_hi.min(hi);
+        if new_lo <= new_hi {
+            self.slope_lo = new_lo;
+            self.slope_hi = new_hi;
+            self.count += 1;
+            None
+        } else {
+            let done = self.close();
+            self.anchor = Some(key);
+            self.anchor_index = index;
+            self.count = 1;
+            self.slope_lo = 0.0;
+            self.slope_hi = f64::INFINITY;
+            Some(done)
+        }
+    }
+
+    /// Flushes the final open segment, if any.
+    pub fn finish(mut self) -> Option<Segment> {
+        self.anchor?;
+        Some(self.close())
+    }
+}
+
+/// Segments a strictly-increasing key array with error bound `epsilon`.
+pub fn segment_keys(keys: &[Key], epsilon: usize) -> Vec<Segment> {
+    let mut cone = ShrinkingCone::new(epsilon);
+    let mut out = Vec::new();
+    for &k in keys {
+        if let Some(seg) = cone.push(k) {
+            out.push(seg);
+        }
+    }
+    if let Some(seg) = cone.finish() {
+        out.push(seg);
+    }
+    out
+}
+
+/// Verifies that every key of `keys` is predicted within `epsilon` positions
+/// by its covering segment. Returns the maximum observed error.
+pub fn verify_segments(keys: &[Key], segments: &[Segment], epsilon: usize) -> Result<f64, String> {
+    let mut max_err: f64 = 0.0;
+    for seg in segments {
+        for (rel, &k) in keys[seg.start_index..seg.start_index + seg.len].iter().enumerate() {
+            let err = (seg.model.predict(k) - rel as f64).abs();
+            max_err = max_err.max(err);
+            if err > epsilon as f64 + 1e-6 {
+                return Err(format!(
+                    "key {k} in segment starting at {} predicted with error {err:.2} > ε = {epsilon}",
+                    seg.first_key
+                ));
+            }
+        }
+    }
+    Ok(max_err)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_data_needs_one_segment() {
+        let keys: Vec<u64> = (0..10_000u64).map(|i| i * 13).collect();
+        let segs = segment_keys(&keys, 16);
+        assert_eq!(segs.len(), 1);
+        assert_eq!(segs[0].len, keys.len());
+        assert!(verify_segments(&keys, &segs, 16).is_ok());
+    }
+
+    #[test]
+    fn error_bound_is_respected_on_irregular_data() {
+        // Quadratic-ish gaps make the data hard for a single line.
+        let keys: Vec<u64> = (0..5_000u64).map(|i| i * i / 7 + i).collect();
+        for eps in [4usize, 16, 64, 256] {
+            let segs = segment_keys(&keys, eps);
+            let covered: usize = segs.iter().map(|s| s.len).sum();
+            assert_eq!(covered, keys.len(), "segments must cover every key exactly once");
+            assert!(verify_segments(&keys, &segs, eps).is_ok(), "ε={eps} violated");
+        }
+    }
+
+    #[test]
+    fn larger_epsilon_never_needs_more_segments() {
+        let keys: Vec<u64> = (0..20_000u64)
+            .scan(0u64, |acc, i| {
+                *acc += 1 + (i * 2_654_435_761u64) % 97;
+                Some(*acc)
+            })
+            .collect();
+        let mut last = usize::MAX;
+        for eps in [8usize, 32, 128, 512] {
+            let n = segment_keys(&keys, eps).len();
+            assert!(n <= last, "ε={eps} produced {n} segments, more than a tighter bound");
+            last = n;
+        }
+        assert!(last >= 1);
+    }
+
+    #[test]
+    fn segment_start_indexes_are_contiguous() {
+        let keys: Vec<u64> = (0..3_000u64).map(|i| i * i % 50_000 + i * 100).collect();
+        let mut sorted = keys.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        let segs = segment_keys(&sorted, 8);
+        let mut expect = 0usize;
+        for s in &segs {
+            assert_eq!(s.start_index, expect);
+            assert_eq!(s.first_key, sorted[s.start_index]);
+            expect += s.len;
+        }
+        assert_eq!(expect, sorted.len());
+    }
+
+    #[test]
+    fn tiny_inputs() {
+        assert!(segment_keys(&[], 16).is_empty());
+        let one = segment_keys(&[42], 16);
+        assert_eq!(one.len(), 1);
+        assert_eq!(one[0].len, 1);
+        assert_eq!(one[0].predict(42), 0);
+        let two = segment_keys(&[1, 1_000_000_000], 16);
+        assert_eq!(two.len(), 1, "two points always fit one line");
+    }
+}

@@ -1,0 +1,85 @@
+//! Property tests for the learned-model toolbox: the piecewise-linear
+//! segmentation must cover every key within its error bound for arbitrary
+//! sorted inputs, and the FMCD conflict degree must be consistent with the
+//! actual slot assignment.
+
+use lidx_models::fmcd::{conflict_degree, fit_fmcd};
+use lidx_models::pla::{segment_keys, verify_segments};
+use lidx_models::LinearModel;
+use proptest::prelude::*;
+
+fn sorted_keys() -> impl Strategy<Value = Vec<u64>> {
+    proptest::collection::btree_set(0u64..1_000_000_000, 1..1_500)
+        .prop_map(|s| s.into_iter().collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, .. ProptestConfig::default() })]
+
+    #[test]
+    fn segmentation_is_a_partition_with_bounded_error(
+        keys in sorted_keys(),
+        epsilon in 1usize..200,
+    ) {
+        let segments = segment_keys(&keys, epsilon);
+        // Partition: contiguous, non-overlapping, covering every key.
+        let covered: usize = segments.iter().map(|s| s.len).sum();
+        prop_assert_eq!(covered, keys.len());
+        let mut next = 0usize;
+        for s in &segments {
+            prop_assert_eq!(s.start_index, next);
+            prop_assert_eq!(s.first_key, keys[s.start_index]);
+            next += s.len;
+        }
+        // Error bound: checked exhaustively by verify_segments.
+        prop_assert!(verify_segments(&keys, &segments, epsilon).is_ok());
+    }
+
+    #[test]
+    fn larger_epsilon_is_never_worse(keys in sorted_keys()) {
+        let tight = segment_keys(&keys, 8).len();
+        let loose = segment_keys(&keys, 128).len();
+        prop_assert!(loose <= tight);
+    }
+
+    #[test]
+    fn fmcd_conflict_degree_is_achievable_and_consistent(
+        keys in sorted_keys(),
+        factor in 1usize..4,
+    ) {
+        let slots = keys.len() * factor + 1;
+        let fitted = fit_fmcd(&keys, slots);
+        // The reported conflict degree equals a recomputation with the same
+        // model, and no linear interpolation between the extreme keys does
+        // catastrophically better than the selected model.
+        prop_assert_eq!(fitted.conflict_degree, conflict_degree(&keys, &fitted.model, slots));
+        prop_assert!(fitted.conflict_degree >= 1);
+        prop_assert!(fitted.conflict_degree <= keys.len());
+        if keys.len() >= 2 {
+            let naive = LinearModel::from_points(
+                keys[0],
+                0.0,
+                keys[keys.len() - 1],
+                (slots - 1) as f64,
+            );
+            let naive_cd = conflict_degree(&keys, &naive, slots);
+            prop_assert!(
+                fitted.conflict_degree <= naive_cd,
+                "FMCD ({}) must not be worse than the endpoint model ({})",
+                fitted.conflict_degree,
+                naive_cd
+            );
+        }
+    }
+
+    #[test]
+    fn linear_fit_predictions_are_monotonic(keys in sorted_keys()) {
+        let model = LinearModel::fit_keys(&keys);
+        let mut last = f64::NEG_INFINITY;
+        for &k in &keys {
+            let p = model.predict(k);
+            prop_assert!(p >= last - 1e-9, "least-squares fit must be non-decreasing over sorted keys");
+            last = p;
+        }
+    }
+}

@@ -1,0 +1,28 @@
+//! An on-disk PGM-index with LSM-style arbitrary inserts (§2.1 / §4.2).
+//!
+//! The PGM-index approximates the key → position mapping with a recursive
+//! piecewise-linear approximation: the bottom level is the sorted data, the
+//! level above is the set of ε-bounded segments over the data keys, and each
+//! higher level segments the first keys of the level below until a single
+//! root segment remains.
+//!
+//! Arbitrary inserts follow the LSM idea the paper describes (Fig. 1(b)):
+//! new keys go to a small sorted insert run; when it fills up, it is merged
+//! with the existing static PGM components of geometrically growing size,
+//! producing a new component and *deleting* the merged ones (their files can
+//! be reclaimed, which is why PGM has the smallest storage footprint in
+//! §6.3). Lookups must consult the insert run and then every component from
+//! newest to oldest — the multi-file read amplification behind observation
+//! O10.
+//!
+//! Module layout: [`static_pgm`] implements one immutable component,
+//! [`dynamic`] the LSM wrapper implementing [`lidx_core::DiskIndex`].
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod dynamic;
+pub mod static_pgm;
+
+pub use dynamic::{PgmConfig, PgmIndex};
+pub use static_pgm::StaticPgm;

@@ -1,0 +1,317 @@
+//! Raw block storage backends.
+//!
+//! A backend is a collection of *files*, each an append-only array of
+//! fixed-size blocks addressed by [`BlockId`]. Two implementations are
+//! provided:
+//!
+//! * [`MemoryBackend`] — blocks live in a `Vec<Vec<u8>>`. This is what the
+//!   evaluation harness uses: combined with the [`crate::DeviceModel`] cost
+//!   accounting it behaves like a deterministic, infinitely fast disk whose
+//!   I/O we *count* rather than wait for.
+//! * [`FileBackend`] — blocks live in real files under a directory, accessed
+//!   with positional reads/writes. Used to verify that the index
+//!   implementations genuinely round-trip through persistent storage.
+
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::PathBuf;
+
+use crate::error::{StorageError, StorageResult};
+use crate::BlockId;
+
+/// A block-addressed storage device holding multiple files.
+///
+/// All offsets are in units of whole blocks; the block size is fixed at
+/// construction time and identical for every file of the backend.
+pub trait StorageBackend: Send {
+    /// The block size in bytes.
+    fn block_size(&self) -> usize;
+
+    /// Creates a new, empty file and returns its id.
+    fn create_file(&mut self) -> StorageResult<u32>;
+
+    /// Number of blocks currently allocated in `file`.
+    fn num_blocks(&self, file: u32) -> StorageResult<u32>;
+
+    /// Appends `count` zeroed blocks to `file`, returning the id of the first
+    /// new block. The new blocks are contiguous.
+    fn extend(&mut self, file: u32, count: u32) -> StorageResult<BlockId>;
+
+    /// Reads block `block` of `file` into `buf` (which must be exactly one
+    /// block long).
+    fn read_block(&mut self, file: u32, block: BlockId, buf: &mut [u8]) -> StorageResult<()>;
+
+    /// Writes `data` (exactly one block long) into block `block` of `file`.
+    fn write_block(&mut self, file: u32, block: BlockId, data: &[u8]) -> StorageResult<()>;
+
+    /// Total number of files.
+    fn num_files(&self) -> u32;
+}
+
+/// An in-memory backend: every file is a vector of blocks.
+#[derive(Debug)]
+pub struct MemoryBackend {
+    block_size: usize,
+    files: Vec<Vec<u8>>,
+}
+
+impl MemoryBackend {
+    /// Creates an empty backend with the given block size.
+    pub fn new(block_size: usize) -> Self {
+        assert!(block_size >= 64, "block size must be at least 64 bytes");
+        MemoryBackend { block_size, files: Vec::new() }
+    }
+
+    fn check(&self, file: u32, block: BlockId) -> StorageResult<usize> {
+        let f = self
+            .files
+            .get(file as usize)
+            .ok_or(StorageError::UnknownFile(file))?;
+        let len = (f.len() / self.block_size) as u32;
+        if block >= len {
+            return Err(StorageError::BlockOutOfRange { file, block, len });
+        }
+        Ok(block as usize * self.block_size)
+    }
+}
+
+impl StorageBackend for MemoryBackend {
+    fn block_size(&self) -> usize {
+        self.block_size
+    }
+
+    fn create_file(&mut self) -> StorageResult<u32> {
+        self.files.push(Vec::new());
+        Ok((self.files.len() - 1) as u32)
+    }
+
+    fn num_blocks(&self, file: u32) -> StorageResult<u32> {
+        let f = self
+            .files
+            .get(file as usize)
+            .ok_or(StorageError::UnknownFile(file))?;
+        Ok((f.len() / self.block_size) as u32)
+    }
+
+    fn extend(&mut self, file: u32, count: u32) -> StorageResult<BlockId> {
+        let bs = self.block_size;
+        let f = self
+            .files
+            .get_mut(file as usize)
+            .ok_or(StorageError::UnknownFile(file))?;
+        let first = (f.len() / bs) as u32;
+        f.resize(f.len() + count as usize * bs, 0);
+        Ok(first)
+    }
+
+    fn read_block(&mut self, file: u32, block: BlockId, buf: &mut [u8]) -> StorageResult<()> {
+        if buf.len() != self.block_size {
+            return Err(StorageError::BadBufferSize { got: buf.len(), expected: self.block_size });
+        }
+        let off = self.check(file, block)?;
+        buf.copy_from_slice(&self.files[file as usize][off..off + self.block_size]);
+        Ok(())
+    }
+
+    fn write_block(&mut self, file: u32, block: BlockId, data: &[u8]) -> StorageResult<()> {
+        if data.len() != self.block_size {
+            return Err(StorageError::BadBufferSize { got: data.len(), expected: self.block_size });
+        }
+        let off = self.check(file, block)?;
+        self.files[file as usize][off..off + self.block_size].copy_from_slice(data);
+        Ok(())
+    }
+
+    fn num_files(&self) -> u32 {
+        self.files.len() as u32
+    }
+}
+
+/// A backend storing each file as a real file on the local filesystem.
+///
+/// Files are named `file_<id>.blk` inside the directory supplied at
+/// construction. The directory is created if needed and is *not* removed on
+/// drop; callers own its lifecycle (the test-suite uses temporary
+/// directories).
+#[derive(Debug)]
+pub struct FileBackend {
+    block_size: usize,
+    dir: PathBuf,
+    files: Vec<File>,
+    sizes: Vec<u32>,
+}
+
+impl FileBackend {
+    /// Opens (creating if necessary) a file-backed store in `dir`.
+    pub fn new(dir: impl Into<PathBuf>, block_size: usize) -> StorageResult<Self> {
+        assert!(block_size >= 64, "block size must be at least 64 bytes");
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        Ok(FileBackend { block_size, dir, files: Vec::new(), sizes: Vec::new() })
+    }
+
+    /// The directory backing this store.
+    pub fn dir(&self) -> &std::path::Path {
+        &self.dir
+    }
+
+    fn file_mut(&mut self, file: u32) -> StorageResult<&mut File> {
+        self.files
+            .get_mut(file as usize)
+            .ok_or(StorageError::UnknownFile(file))
+    }
+}
+
+impl StorageBackend for FileBackend {
+    fn block_size(&self) -> usize {
+        self.block_size
+    }
+
+    fn create_file(&mut self) -> StorageResult<u32> {
+        let id = self.files.len() as u32;
+        let path = self.dir.join(format!("file_{id}.blk"));
+        let f = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)?;
+        self.files.push(f);
+        self.sizes.push(0);
+        Ok(id)
+    }
+
+    fn num_blocks(&self, file: u32) -> StorageResult<u32> {
+        self.sizes
+            .get(file as usize)
+            .copied()
+            .ok_or(StorageError::UnknownFile(file))
+    }
+
+    fn extend(&mut self, file: u32, count: u32) -> StorageResult<BlockId> {
+        let bs = self.block_size;
+        let first = self.num_blocks(file)?;
+        let new_len = (first as u64 + count as u64) * bs as u64;
+        self.file_mut(file)?.set_len(new_len)?;
+        self.sizes[file as usize] = first + count;
+        Ok(first)
+    }
+
+    fn read_block(&mut self, file: u32, block: BlockId, buf: &mut [u8]) -> StorageResult<()> {
+        if buf.len() != self.block_size {
+            return Err(StorageError::BadBufferSize { got: buf.len(), expected: self.block_size });
+        }
+        let len = self.num_blocks(file)?;
+        if block >= len {
+            return Err(StorageError::BlockOutOfRange { file, block, len });
+        }
+        let off = block as u64 * self.block_size as u64;
+        let f = self.file_mut(file)?;
+        f.seek(SeekFrom::Start(off))?;
+        f.read_exact(buf)?;
+        Ok(())
+    }
+
+    fn write_block(&mut self, file: u32, block: BlockId, data: &[u8]) -> StorageResult<()> {
+        if data.len() != self.block_size {
+            return Err(StorageError::BadBufferSize { got: data.len(), expected: self.block_size });
+        }
+        let len = self.num_blocks(file)?;
+        if block >= len {
+            return Err(StorageError::BlockOutOfRange { file, block, len });
+        }
+        let off = block as u64 * self.block_size as u64;
+        let f = self.file_mut(file)?;
+        f.seek(SeekFrom::Start(off))?;
+        f.write_all(data)?;
+        Ok(())
+    }
+
+    fn num_files(&self) -> u32 {
+        self.files.len() as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(backend: &mut dyn StorageBackend) {
+        let bs = backend.block_size();
+        let f = backend.create_file().unwrap();
+        assert_eq!(backend.num_blocks(f).unwrap(), 0);
+        let first = backend.extend(f, 4).unwrap();
+        assert_eq!(first, 0);
+        assert_eq!(backend.num_blocks(f).unwrap(), 4);
+
+        let mut data = vec![0u8; bs];
+        data[0] = 0xAB;
+        data[bs - 1] = 0xCD;
+        backend.write_block(f, 2, &data).unwrap();
+
+        let mut out = vec![0u8; bs];
+        backend.read_block(f, 2, &mut out).unwrap();
+        assert_eq!(out, data);
+
+        // untouched block stays zeroed
+        backend.read_block(f, 3, &mut out).unwrap();
+        assert!(out.iter().all(|&b| b == 0));
+
+        // second extension is contiguous
+        let next = backend.extend(f, 2).unwrap();
+        assert_eq!(next, 4);
+        assert_eq!(backend.num_blocks(f).unwrap(), 6);
+    }
+
+    #[test]
+    fn memory_backend_roundtrip() {
+        let mut b = MemoryBackend::new(256);
+        roundtrip(&mut b);
+    }
+
+    #[test]
+    fn file_backend_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("lidx-storage-test-{}", std::process::id()));
+        let mut b = FileBackend::new(&dir, 256).unwrap();
+        roundtrip(&mut b);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn out_of_range_and_bad_sizes_error() {
+        let mut b = MemoryBackend::new(128);
+        let f = b.create_file().unwrap();
+        b.extend(f, 1).unwrap();
+        let mut small = vec![0u8; 64];
+        assert!(matches!(
+            b.read_block(f, 0, &mut small),
+            Err(StorageError::BadBufferSize { .. })
+        ));
+        let mut ok = vec![0u8; 128];
+        assert!(matches!(
+            b.read_block(f, 5, &mut ok),
+            Err(StorageError::BlockOutOfRange { .. })
+        ));
+        assert!(matches!(b.read_block(9, 0, &mut ok), Err(StorageError::UnknownFile(9))));
+    }
+
+    #[test]
+    fn multiple_files_are_independent() {
+        let mut b = MemoryBackend::new(128);
+        let f1 = b.create_file().unwrap();
+        let f2 = b.create_file().unwrap();
+        b.extend(f1, 2).unwrap();
+        b.extend(f2, 5).unwrap();
+        assert_eq!(b.num_blocks(f1).unwrap(), 2);
+        assert_eq!(b.num_blocks(f2).unwrap(), 5);
+        assert_eq!(b.num_files(), 2);
+
+        let mut data = vec![7u8; 128];
+        b.write_block(f1, 1, &data).unwrap();
+        data.fill(9);
+        b.write_block(f2, 1, &data).unwrap();
+        let mut out = vec![0u8; 128];
+        b.read_block(f1, 1, &mut out).unwrap();
+        assert!(out.iter().all(|&x| x == 7));
+    }
+}

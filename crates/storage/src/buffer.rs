@@ -1,0 +1,276 @@
+//! An LRU buffer pool over `(file, block)` pairs.
+//!
+//! The paper's default configuration has *no* buffer manager — every request
+//! hits the disk — but §6.6 studies the impact of caching 0–128 blocks with
+//! an LRU policy (Fig. 13). This module provides that cache. It is a simple
+//! strict-LRU map; the evaluation is single-threaded per query so no latching
+//! or pinning protocol is required.
+
+use std::collections::HashMap;
+
+/// A strict-LRU cache of block contents keyed by `(file, block)`.
+///
+/// `capacity == 0` disables caching entirely (every lookup misses).
+#[derive(Debug)]
+pub struct BufferPool {
+    capacity: usize,
+    /// Map from (file, block) to the index of its entry in `entries`.
+    map: HashMap<(u32, u32), usize>,
+    /// Slab of entries; `lru_prev` / `lru_next` form a doubly linked list.
+    entries: Vec<Entry>,
+    head: usize,
+    tail: usize,
+    free: Vec<usize>,
+    hits: u64,
+    misses: u64,
+}
+
+#[derive(Debug)]
+struct Entry {
+    key: (u32, u32),
+    data: Vec<u8>,
+    prev: usize,
+    next: usize,
+}
+
+const NIL: usize = usize::MAX;
+
+impl BufferPool {
+    /// Creates a pool holding at most `capacity` blocks.
+    pub fn new(capacity: usize) -> Self {
+        BufferPool {
+            capacity,
+            map: HashMap::with_capacity(capacity.min(1 << 20)),
+            entries: Vec::with_capacity(capacity.min(1 << 20)),
+            head: NIL,
+            tail: NIL,
+            free: Vec::new(),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// The configured capacity in blocks.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of blocks currently cached.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True if no blocks are cached.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Cache hits observed so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Cache misses observed so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    fn detach(&mut self, idx: usize) {
+        let (prev, next) = (self.entries[idx].prev, self.entries[idx].next);
+        if prev != NIL {
+            self.entries[prev].next = next;
+        } else {
+            self.head = next;
+        }
+        if next != NIL {
+            self.entries[next].prev = prev;
+        } else {
+            self.tail = prev;
+        }
+        self.entries[idx].prev = NIL;
+        self.entries[idx].next = NIL;
+    }
+
+    fn push_front(&mut self, idx: usize) {
+        self.entries[idx].prev = NIL;
+        self.entries[idx].next = self.head;
+        if self.head != NIL {
+            self.entries[self.head].prev = idx;
+        }
+        self.head = idx;
+        if self.tail == NIL {
+            self.tail = idx;
+        }
+    }
+
+    /// Looks up a block; on a hit, copies its contents into `out` and marks it
+    /// most-recently used. Returns `true` on a hit.
+    pub fn get(&mut self, file: u32, block: u32, out: &mut [u8]) -> bool {
+        if self.capacity == 0 {
+            self.misses += 1;
+            return false;
+        }
+        if let Some(&idx) = self.map.get(&(file, block)) {
+            out.copy_from_slice(&self.entries[idx].data);
+            self.detach(idx);
+            self.push_front(idx);
+            self.hits += 1;
+            true
+        } else {
+            self.misses += 1;
+            false
+        }
+    }
+
+    /// Inserts or refreshes a block's contents, evicting the least-recently
+    /// used block if the pool is full.
+    pub fn put(&mut self, file: u32, block: u32, data: &[u8]) {
+        if self.capacity == 0 {
+            return;
+        }
+        if let Some(&idx) = self.map.get(&(file, block)) {
+            self.entries[idx].data.clear();
+            self.entries[idx].data.extend_from_slice(data);
+            self.detach(idx);
+            self.push_front(idx);
+            return;
+        }
+        if self.map.len() >= self.capacity {
+            // Evict the tail (least recently used).
+            let victim = self.tail;
+            debug_assert_ne!(victim, NIL);
+            self.detach(victim);
+            let key = self.entries[victim].key;
+            self.map.remove(&key);
+            self.free.push(victim);
+        }
+        let idx = if let Some(idx) = self.free.pop() {
+            self.entries[idx].key = (file, block);
+            self.entries[idx].data.clear();
+            self.entries[idx].data.extend_from_slice(data);
+            idx
+        } else {
+            self.entries.push(Entry {
+                key: (file, block),
+                data: data.to_vec(),
+                prev: NIL,
+                next: NIL,
+            });
+            self.entries.len() - 1
+        };
+        self.map.insert((file, block), idx);
+        self.push_front(idx);
+    }
+
+    /// Removes a cached block if present (used when blocks are invalidated by
+    /// structural modification operations).
+    pub fn invalidate(&mut self, file: u32, block: u32) {
+        if let Some(idx) = self.map.remove(&(file, block)) {
+            self.detach(idx);
+            self.free.push(idx);
+        }
+    }
+
+    /// Drops every cached block and resets hit/miss counters.
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.entries.clear();
+        self.free.clear();
+        self.head = NIL;
+        self.tail = NIL;
+        self.hits = 0;
+        self.misses = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blk(v: u8, n: usize) -> Vec<u8> {
+        vec![v; n]
+    }
+
+    #[test]
+    fn zero_capacity_never_caches() {
+        let mut p = BufferPool::new(0);
+        p.put(0, 0, &blk(1, 8));
+        let mut out = blk(0, 8);
+        assert!(!p.get(0, 0, &mut out));
+        assert_eq!(p.len(), 0);
+        assert_eq!(p.misses(), 1);
+    }
+
+    #[test]
+    fn hit_returns_latest_contents() {
+        let mut p = BufferPool::new(2);
+        p.put(0, 5, &blk(9, 8));
+        let mut out = blk(0, 8);
+        assert!(p.get(0, 5, &mut out));
+        assert_eq!(out, blk(9, 8));
+        p.put(0, 5, &blk(7, 8));
+        assert!(p.get(0, 5, &mut out));
+        assert_eq!(out, blk(7, 8));
+        assert_eq!(p.len(), 1);
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut p = BufferPool::new(2);
+        p.put(0, 1, &blk(1, 4));
+        p.put(0, 2, &blk(2, 4));
+        // touch block 1 so block 2 becomes LRU
+        let mut out = blk(0, 4);
+        assert!(p.get(0, 1, &mut out));
+        p.put(0, 3, &blk(3, 4));
+        assert!(p.get(0, 1, &mut out), "recently used block must survive");
+        assert!(!p.get(0, 2, &mut out), "LRU block must have been evicted");
+        assert!(p.get(0, 3, &mut out));
+        assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    fn invalidate_and_clear() {
+        let mut p = BufferPool::new(4);
+        p.put(1, 1, &blk(1, 4));
+        p.put(1, 2, &blk(2, 4));
+        p.invalidate(1, 1);
+        let mut out = blk(0, 4);
+        assert!(!p.get(1, 1, &mut out));
+        assert!(p.get(1, 2, &mut out));
+        p.clear();
+        assert!(p.is_empty());
+        assert_eq!(p.hits(), 0);
+        // reuse of freed slots must not corrupt the list
+        p.put(1, 3, &blk(3, 4));
+        p.put(1, 4, &blk(4, 4));
+        assert!(p.get(1, 3, &mut out));
+        assert_eq!(out, blk(3, 4));
+    }
+
+    #[test]
+    fn files_do_not_collide() {
+        let mut p = BufferPool::new(4);
+        p.put(0, 7, &blk(1, 4));
+        p.put(1, 7, &blk(2, 4));
+        let mut out = blk(0, 4);
+        assert!(p.get(0, 7, &mut out));
+        assert_eq!(out, blk(1, 4));
+        assert!(p.get(1, 7, &mut out));
+        assert_eq!(out, blk(2, 4));
+    }
+
+    #[test]
+    fn heavy_churn_respects_capacity() {
+        let mut p = BufferPool::new(8);
+        for i in 0..1000u32 {
+            p.put(0, i, &blk((i % 251) as u8, 16));
+            assert!(p.len() <= 8);
+        }
+        // The last 8 inserted blocks are resident.
+        let mut out = blk(0, 16);
+        for i in 992..1000u32 {
+            assert!(p.get(0, i, &mut out), "block {i} should be resident");
+        }
+    }
+}

@@ -1,0 +1,212 @@
+//! Little helpers for encoding index nodes into fixed-size blocks.
+//!
+//! All on-disk structures in this workspace are built from primitive integers
+//! and IEEE-754 doubles laid out little-endian. [`BlockWriter`] appends
+//! values to a block-sized buffer and [`BlockReader`] consumes them again;
+//! both track a cursor so node serialisation code reads like a schema.
+
+use crate::error::{StorageError, StorageResult};
+
+/// Sequentially encodes primitives into a fixed-capacity block buffer.
+#[derive(Debug)]
+pub struct BlockWriter {
+    buf: Vec<u8>,
+    capacity: usize,
+}
+
+impl BlockWriter {
+    /// Creates a writer for a block of `capacity` bytes.
+    pub fn new(capacity: usize) -> Self {
+        BlockWriter { buf: Vec::with_capacity(capacity), capacity }
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True if nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Remaining capacity in bytes.
+    pub fn remaining(&self) -> usize {
+        self.capacity - self.buf.len()
+    }
+
+    fn push(&mut self, bytes: &[u8]) -> StorageResult<()> {
+        if self.buf.len() + bytes.len() > self.capacity {
+            return Err(StorageError::BlockOverflow {
+                got: self.buf.len() + bytes.len(),
+                capacity: self.capacity,
+            });
+        }
+        self.buf.extend_from_slice(bytes);
+        Ok(())
+    }
+
+    /// Appends a `u8`.
+    pub fn put_u8(&mut self, v: u8) -> StorageResult<()> {
+        self.push(&[v])
+    }
+
+    /// Appends a `u16` (little-endian).
+    pub fn put_u16(&mut self, v: u16) -> StorageResult<()> {
+        self.push(&v.to_le_bytes())
+    }
+
+    /// Appends a `u32` (little-endian).
+    pub fn put_u32(&mut self, v: u32) -> StorageResult<()> {
+        self.push(&v.to_le_bytes())
+    }
+
+    /// Appends a `u64` (little-endian).
+    pub fn put_u64(&mut self, v: u64) -> StorageResult<()> {
+        self.push(&v.to_le_bytes())
+    }
+
+    /// Appends an `f64` (little-endian IEEE-754).
+    pub fn put_f64(&mut self, v: f64) -> StorageResult<()> {
+        self.push(&v.to_le_bytes())
+    }
+
+    /// Appends raw bytes.
+    pub fn put_bytes(&mut self, v: &[u8]) -> StorageResult<()> {
+        self.push(v)
+    }
+
+    /// Finalises the block, zero-padding up to the capacity.
+    pub fn finish(mut self) -> Vec<u8> {
+        self.buf.resize(self.capacity, 0);
+        self.buf
+    }
+}
+
+/// Sequentially decodes primitives from a block buffer.
+#[derive(Debug)]
+pub struct BlockReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> BlockReader<'a> {
+    /// Creates a reader over `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        BlockReader { buf, pos: 0 }
+    }
+
+    /// Current cursor position.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    /// Moves the cursor to an absolute offset.
+    pub fn seek(&mut self, pos: usize) -> StorageResult<()> {
+        if pos > self.buf.len() {
+            return Err(StorageError::Corrupt(format!(
+                "seek to {pos} beyond block of {} bytes",
+                self.buf.len()
+            )));
+        }
+        self.pos = pos;
+        Ok(())
+    }
+
+    fn take(&mut self, n: usize) -> StorageResult<&'a [u8]> {
+        if self.pos + n > self.buf.len() {
+            return Err(StorageError::Corrupt(format!(
+                "read of {n} bytes at offset {} beyond block of {} bytes",
+                self.pos,
+                self.buf.len()
+            )));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Reads a `u8`.
+    pub fn get_u8(&mut self) -> StorageResult<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a `u16`.
+    pub fn get_u16(&mut self) -> StorageResult<u16> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    /// Reads a `u32`.
+    pub fn get_u32(&mut self) -> StorageResult<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Reads a `u64`.
+    pub fn get_u64(&mut self) -> StorageResult<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Reads an `f64`.
+    pub fn get_f64(&mut self) -> StorageResult<f64> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Reads `n` raw bytes.
+    pub fn get_bytes(&mut self, n: usize) -> StorageResult<&'a [u8]> {
+        self.take(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writer_reader_roundtrip() {
+        let mut w = BlockWriter::new(64);
+        w.put_u8(7).unwrap();
+        w.put_u16(500).unwrap();
+        w.put_u32(70_000).unwrap();
+        w.put_u64(1 << 40).unwrap();
+        w.put_f64(3.25).unwrap();
+        w.put_bytes(b"abc").unwrap();
+        assert_eq!(w.len(), 1 + 2 + 4 + 8 + 8 + 3);
+        let block = w.finish();
+        assert_eq!(block.len(), 64);
+
+        let mut r = BlockReader::new(&block);
+        assert_eq!(r.get_u8().unwrap(), 7);
+        assert_eq!(r.get_u16().unwrap(), 500);
+        assert_eq!(r.get_u32().unwrap(), 70_000);
+        assert_eq!(r.get_u64().unwrap(), 1 << 40);
+        assert_eq!(r.get_f64().unwrap(), 3.25);
+        assert_eq!(r.get_bytes(3).unwrap(), b"abc");
+    }
+
+    #[test]
+    fn writer_rejects_overflow() {
+        let mut w = BlockWriter::new(8);
+        w.put_u64(1).unwrap();
+        assert!(matches!(w.put_u8(1), Err(StorageError::BlockOverflow { .. })));
+        assert_eq!(w.remaining(), 0);
+    }
+
+    #[test]
+    fn reader_rejects_truncated_reads_and_bad_seeks() {
+        let buf = [1u8, 2, 3];
+        let mut r = BlockReader::new(&buf);
+        assert!(r.get_u64().is_err());
+        assert!(r.seek(10).is_err());
+        r.seek(1).unwrap();
+        assert_eq!(r.get_u8().unwrap(), 2);
+        assert_eq!(r.position(), 2);
+    }
+
+    #[test]
+    fn finish_pads_with_zeros() {
+        let mut w = BlockWriter::new(16);
+        w.put_u32(0xFFFF_FFFF).unwrap();
+        let b = w.finish();
+        assert_eq!(&b[4..], &[0u8; 12]);
+    }
+}

@@ -1,0 +1,609 @@
+//! The [`Disk`] façade that index implementations talk to.
+//!
+//! `Disk` combines a [`StorageBackend`], the [`DeviceModel`] cost accounting,
+//! the per-index [`IoStats`], the optional LRU [`BufferPool`] and the
+//! last-block-reuse micro-optimisation described in §6.5 of the paper ("we
+//! check whether the last block fetched can be reused").
+//!
+//! All methods take `&self`; interior mutability (a [`parking_lot::Mutex`])
+//! keeps the index implementations free of lifetime gymnastics and allows a
+//! `Disk` to be shared behind an `Arc` by the experiment harness.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::backend::{MemoryBackend, StorageBackend};
+use crate::buffer::BufferPool;
+use crate::device::DeviceModel;
+use crate::error::{StorageError, StorageResult};
+use crate::pager::Pager;
+use crate::stats::{BlockKind, IoStats, OpStats};
+use crate::{BlockId, DEFAULT_BLOCK_SIZE};
+
+/// Identifier of a file managed by a [`Disk`].
+pub type FileId = u32;
+
+/// Construction-time configuration of a [`Disk`].
+#[derive(Debug, Clone, Copy)]
+pub struct DiskConfig {
+    /// Block size in bytes (the paper defaults to 4 KB).
+    pub block_size: usize,
+    /// Device cost model used to accumulate simulated latency.
+    pub device: DeviceModel,
+    /// LRU buffer pool capacity in blocks; 0 disables the pool (the paper's
+    /// default setting).
+    pub buffer_blocks: usize,
+    /// Whether a read of the block fetched by the immediately preceding read
+    /// is served without charging an I/O (§6.5).
+    pub reuse_last_block: bool,
+    /// Whether freed extents may be reused by later allocations (the paper's
+    /// measurements assume they are not; see §6.3).
+    pub reuse_freed_space: bool,
+    /// Block kinds treated as memory-resident: their reads and writes are
+    /// performed but not charged to the device. Used for the paper's §6.2
+    /// configuration where all inner nodes (and the meta block) are cached in
+    /// main memory while leaves stay on disk.
+    pub memory_resident: [bool; 4],
+}
+
+impl Default for DiskConfig {
+    fn default() -> Self {
+        DiskConfig {
+            block_size: DEFAULT_BLOCK_SIZE,
+            device: DeviceModel::none(),
+            buffer_blocks: 0,
+            reuse_last_block: true,
+            reuse_freed_space: false,
+            memory_resident: [false; 4],
+        }
+    }
+}
+
+impl DiskConfig {
+    /// Configuration with a specific block size and otherwise default values.
+    pub fn with_block_size(block_size: usize) -> Self {
+        DiskConfig { block_size, ..Default::default() }
+    }
+
+    /// Sets the device model.
+    #[must_use]
+    pub fn device(mut self, device: DeviceModel) -> Self {
+        self.device = device;
+        self
+    }
+
+    /// Sets the buffer pool capacity (in blocks).
+    #[must_use]
+    pub fn buffer_blocks(mut self, blocks: usize) -> Self {
+        self.buffer_blocks = blocks;
+        self
+    }
+
+    /// Enables or disables last-block reuse.
+    #[must_use]
+    pub fn reuse_last_block(mut self, reuse: bool) -> Self {
+        self.reuse_last_block = reuse;
+        self
+    }
+
+    /// Enables or disables reuse of freed extents.
+    #[must_use]
+    pub fn reuse_freed_space(mut self, reuse: bool) -> Self {
+        self.reuse_freed_space = reuse;
+        self
+    }
+
+    /// Marks `kinds` as memory-resident: their I/O still happens against the
+    /// backend but is never charged to the device or the statistics. This is
+    /// how the harness reproduces the "inner nodes are memory-resident"
+    /// configuration of §6.2 (Figs. 8-9) uniformly for every index.
+    #[must_use]
+    pub fn memory_resident(mut self, kinds: &[BlockKind]) -> Self {
+        for &k in kinds {
+            self.memory_resident[Self::kind_slot(k)] = true;
+        }
+        self
+    }
+
+    fn kind_slot(kind: BlockKind) -> usize {
+        match kind {
+            BlockKind::Meta => 0,
+            BlockKind::Inner => 1,
+            BlockKind::Leaf => 2,
+            BlockKind::Utility => 3,
+        }
+    }
+}
+
+struct Inner {
+    backend: Box<dyn StorageBackend>,
+    pool: BufferPool,
+    pager: Pager,
+    /// The (file, block) most recently read, and its contents — used for
+    /// last-block reuse.
+    last_read: Option<(FileId, BlockId)>,
+    last_read_data: Vec<u8>,
+    /// The (file, block) most recently accessed on the *device*, used to
+    /// decide whether a read is sequential for the cost model.
+    last_device_access: Option<(FileId, BlockId)>,
+}
+
+/// A simulated (or real) disk shared by the blocks of one index instance.
+pub struct Disk {
+    inner: Mutex<Inner>,
+    stats: IoStats,
+    device: DeviceModel,
+    block_size: usize,
+    reuse_last_block: bool,
+    memory_resident: [bool; 4],
+}
+
+impl std::fmt::Debug for Disk {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Disk")
+            .field("block_size", &self.block_size)
+            .field("device", &self.device.name)
+            .field("reads", &self.stats.reads())
+            .field("writes", &self.stats.writes())
+            .finish()
+    }
+}
+
+impl Disk {
+    /// Creates a disk over an in-memory backend (the harness default).
+    pub fn in_memory(config: DiskConfig) -> Arc<Self> {
+        Self::with_backend(Box::new(MemoryBackend::new(config.block_size)), config)
+    }
+
+    /// Creates a disk over an arbitrary backend. The backend's block size
+    /// must match the configuration.
+    pub fn with_backend(backend: Box<dyn StorageBackend>, config: DiskConfig) -> Arc<Self> {
+        assert_eq!(
+            backend.block_size(),
+            config.block_size,
+            "backend block size must match DiskConfig::block_size"
+        );
+        let mut pager = Pager::new();
+        pager.set_reuse_freed(config.reuse_freed_space);
+        Arc::new(Disk {
+            inner: Mutex::new(Inner {
+                backend,
+                pool: BufferPool::new(config.buffer_blocks),
+                pager,
+                last_read: None,
+                last_read_data: vec![0; config.block_size],
+                last_device_access: None,
+            }),
+            stats: IoStats::new(),
+            device: config.device,
+            block_size: config.block_size,
+            reuse_last_block: config.reuse_last_block,
+            memory_resident: config.memory_resident,
+        })
+    }
+
+    fn is_memory_resident(&self, kind: BlockKind) -> bool {
+        self.memory_resident[DiskConfig::kind_slot(kind)]
+    }
+
+    /// The block size in bytes.
+    pub fn block_size(&self) -> usize {
+        self.block_size
+    }
+
+    /// The device cost model in use.
+    pub fn device(&self) -> DeviceModel {
+        self.device
+    }
+
+    /// The I/O statistics accumulated so far.
+    pub fn stats(&self) -> &IoStats {
+        &self.stats
+    }
+
+    /// Convenience: a snapshot of the current statistics.
+    pub fn snapshot(&self) -> OpStats {
+        self.stats.snapshot()
+    }
+
+    /// Accumulated simulated device time, in seconds.
+    pub fn simulated_seconds(&self) -> f64 {
+        self.stats.device_ns() as f64 / 1e9
+    }
+
+    /// Creates a new file and returns its id.
+    pub fn create_file(&self) -> StorageResult<FileId> {
+        self.inner.lock().backend.create_file()
+    }
+
+    /// Number of blocks currently allocated in `file`.
+    pub fn num_blocks(&self, file: FileId) -> StorageResult<u32> {
+        self.inner.lock().backend.num_blocks(file)
+    }
+
+    /// Total blocks allocated across all files (the "storage size on disk"
+    /// metric of §6.3).
+    pub fn total_blocks(&self) -> u64 {
+        let inner = self.inner.lock();
+        (0..inner.backend.num_files())
+            .map(|f| inner.backend.num_blocks(f).unwrap_or(0) as u64)
+            .sum()
+    }
+
+    /// Total bytes allocated across all files.
+    pub fn total_bytes(&self) -> u64 {
+        self.total_blocks() * self.block_size as u64
+    }
+
+    /// Allocates `count` contiguous blocks in `file`, reusing freed space if
+    /// the disk was configured to do so, and returns the first block id.
+    pub fn allocate(&self, file: FileId, count: u32) -> StorageResult<BlockId> {
+        let mut inner = self.inner.lock();
+        self.stats.record_alloc(u64::from(count));
+        if let Some(start) = inner.pager.try_reuse(file, count) {
+            return Ok(start);
+        }
+        let start = inner.backend.extend(file, count)?;
+        inner.pager.note_extend(file, start, count);
+        Ok(start)
+    }
+
+    /// Marks `count` blocks starting at `start` as no longer used. The space
+    /// is only reused if [`DiskConfig::reuse_freed_space`] was set.
+    pub fn free(&self, file: FileId, start: BlockId, count: u32) {
+        let mut inner = self.inner.lock();
+        self.stats.record_free(u64::from(count));
+        for b in start..start + count {
+            inner.pool.invalidate(file, b);
+        }
+        if inner.last_read.is_some_and(|(f, b)| f == file && b >= start && b < start + count) {
+            inner.last_read = None;
+        }
+        inner.pager.free(file, start, count);
+    }
+
+    /// Blocks currently sitting in freed (reclaimable) extents of `file`.
+    pub fn freed_blocks(&self, file: FileId) -> u64 {
+        self.inner.lock().pager.freed_blocks(file)
+    }
+
+    /// Reads one block into `buf`, charging the device unless the block is
+    /// served by last-block reuse or the buffer pool.
+    pub fn read(
+        &self,
+        file: FileId,
+        block: BlockId,
+        kind: BlockKind,
+        buf: &mut [u8],
+    ) -> StorageResult<()> {
+        if buf.len() != self.block_size {
+            return Err(StorageError::BadBufferSize { got: buf.len(), expected: self.block_size });
+        }
+        let mut inner = self.inner.lock();
+
+        // Memory-resident kinds (§6.2): serve the read without touching the
+        // device accounting at all.
+        if self.is_memory_resident(kind) {
+            inner.backend.read_block(file, block, buf)?;
+            return Ok(());
+        }
+
+        // Last-block reuse (§6.5): re-reading the block we just fetched does
+        // not touch the device again.
+        if self.reuse_last_block && inner.last_read == Some((file, block)) {
+            buf.copy_from_slice(&inner.last_read_data);
+            self.stats.record_reuse_hit();
+            return Ok(());
+        }
+
+        // Buffer pool.
+        if inner.pool.capacity() > 0 && inner.pool.get(file, block, buf) {
+            self.stats.record_buffer_hit();
+            let data = std::mem::take(&mut inner.last_read_data);
+            inner.last_read_data = data;
+            inner.last_read_data.copy_from_slice(buf);
+            inner.last_read = Some((file, block));
+            return Ok(());
+        }
+
+        // Device access.
+        inner.backend.read_block(file, block, buf)?;
+        let sequential = inner
+            .last_device_access
+            .is_some_and(|(f, b)| f == file && block == b.wrapping_add(1));
+        inner.last_device_access = Some((file, block));
+        self.stats.record_read(kind);
+        self.stats.record_device_ns(self.device.read_cost(sequential));
+
+        if inner.pool.capacity() > 0 {
+            inner.pool.put(file, block, buf);
+        }
+        inner.last_read = Some((file, block));
+        inner.last_read_data.copy_from_slice(buf);
+        Ok(())
+    }
+
+    /// Reads one block into a freshly allocated vector.
+    pub fn read_vec(&self, file: FileId, block: BlockId, kind: BlockKind) -> StorageResult<Vec<u8>> {
+        let mut buf = vec![0u8; self.block_size];
+        self.read(file, block, kind, &mut buf)?;
+        Ok(buf)
+    }
+
+    /// Writes one block. Writes always reach the device (write-through).
+    pub fn write(
+        &self,
+        file: FileId,
+        block: BlockId,
+        kind: BlockKind,
+        data: &[u8],
+    ) -> StorageResult<()> {
+        if data.len() != self.block_size {
+            return Err(StorageError::BadBufferSize { got: data.len(), expected: self.block_size });
+        }
+        let mut inner = self.inner.lock();
+        inner.backend.write_block(file, block, data)?;
+        if self.is_memory_resident(kind) {
+            if inner.pool.capacity() > 0 {
+                inner.pool.put(file, block, data);
+            }
+            if inner.last_read == Some((file, block)) {
+                inner.last_read_data.copy_from_slice(data);
+            }
+            return Ok(());
+        }
+        inner.last_device_access = Some((file, block));
+        self.stats.record_write(kind);
+        self.stats.record_device_ns(self.device.write_cost());
+        if inner.pool.capacity() > 0 {
+            inner.pool.put(file, block, data);
+        }
+        if inner.last_read == Some((file, block)) {
+            inner.last_read_data.copy_from_slice(data);
+        }
+        Ok(())
+    }
+
+    /// Reads `nblocks` consecutive blocks starting at `start` and returns the
+    /// concatenated bytes. Each block is charged individually.
+    pub fn read_extent(
+        &self,
+        file: FileId,
+        start: BlockId,
+        kind: BlockKind,
+        nblocks: u32,
+    ) -> StorageResult<Vec<u8>> {
+        let mut out = vec![0u8; nblocks as usize * self.block_size];
+        for i in 0..nblocks {
+            let off = i as usize * self.block_size;
+            self.read(file, start + i, kind, &mut out[off..off + self.block_size])?;
+        }
+        Ok(out)
+    }
+
+    /// Writes `data` across consecutive blocks starting at `start`, padding
+    /// the final block with zeros. Returns the number of blocks written.
+    pub fn write_extent(
+        &self,
+        file: FileId,
+        start: BlockId,
+        kind: BlockKind,
+        data: &[u8],
+    ) -> StorageResult<u32> {
+        let bs = self.block_size;
+        let nblocks = data.len().div_ceil(bs).max(1) as u32;
+        let mut block_buf = vec![0u8; bs];
+        for i in 0..nblocks {
+            let off = i as usize * bs;
+            let end = (off + bs).min(data.len());
+            block_buf.fill(0);
+            if off < data.len() {
+                block_buf[..end - off].copy_from_slice(&data[off..end]);
+            }
+            self.write(file, start + i, kind, &block_buf)?;
+        }
+        Ok(nblocks)
+    }
+
+    /// Number of blocks needed to store `bytes` bytes on this disk.
+    pub fn blocks_for(&self, bytes: usize) -> u32 {
+        bytes.div_ceil(self.block_size).max(1) as u32
+    }
+
+    /// Forgets the last-read block (used by the harness between queries so
+    /// reuse never spans two operations).
+    pub fn reset_access_state(&self) {
+        let mut inner = self.inner.lock();
+        inner.last_read = None;
+        inner.last_device_access = None;
+    }
+
+    /// Empties the buffer pool (used between workload phases).
+    pub fn clear_buffer(&self) {
+        self.inner.lock().pool.clear();
+    }
+
+    /// Buffer pool hit count.
+    pub fn buffer_hits(&self) -> u64 {
+        self.inner.lock().pool.hits()
+    }
+
+    /// Buffer pool capacity in blocks.
+    pub fn buffer_capacity(&self) -> usize {
+        self.inner.lock().pool.capacity()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn disk(bs: usize) -> Arc<Disk> {
+        Disk::in_memory(DiskConfig::with_block_size(bs))
+    }
+
+    #[test]
+    fn allocate_read_write_roundtrip() {
+        let d = disk(128);
+        let f = d.create_file().unwrap();
+        let b = d.allocate(f, 3).unwrap();
+        assert_eq!(b, 0);
+        let mut data = vec![0u8; 128];
+        data[0] = 42;
+        d.write(f, b + 1, BlockKind::Leaf, &data).unwrap();
+        let out = d.read_vec(f, b + 1, BlockKind::Leaf).unwrap();
+        assert_eq!(out[0], 42);
+        assert_eq!(d.stats().reads(), 1);
+        assert_eq!(d.stats().writes(), 1);
+        assert_eq!(d.total_blocks(), 3);
+        assert_eq!(d.total_bytes(), 3 * 128);
+    }
+
+    #[test]
+    fn last_block_reuse_skips_device_charge() {
+        let d = disk(128);
+        let f = d.create_file().unwrap();
+        d.allocate(f, 2).unwrap();
+        let mut buf = vec![0u8; 128];
+        d.read(f, 0, BlockKind::Inner, &mut buf).unwrap();
+        d.read(f, 0, BlockKind::Inner, &mut buf).unwrap();
+        assert_eq!(d.stats().reads(), 1, "second read of same block must be a reuse hit");
+        assert_eq!(d.stats().reuse_hits(), 1);
+        d.read(f, 1, BlockKind::Inner, &mut buf).unwrap();
+        d.read(f, 0, BlockKind::Inner, &mut buf).unwrap();
+        assert_eq!(d.stats().reads(), 3, "reuse only applies to the immediately previous block");
+        d.reset_access_state();
+        d.read(f, 0, BlockKind::Inner, &mut buf).unwrap();
+        assert_eq!(d.stats().reads(), 4);
+    }
+
+    #[test]
+    fn reuse_can_be_disabled() {
+        let d = Disk::in_memory(DiskConfig::with_block_size(128).reuse_last_block(false));
+        let f = d.create_file().unwrap();
+        d.allocate(f, 1).unwrap();
+        let mut buf = vec![0u8; 128];
+        d.read(f, 0, BlockKind::Leaf, &mut buf).unwrap();
+        d.read(f, 0, BlockKind::Leaf, &mut buf).unwrap();
+        assert_eq!(d.stats().reads(), 2);
+    }
+
+    #[test]
+    fn buffer_pool_absorbs_repeat_reads() {
+        let d = Disk::in_memory(DiskConfig::with_block_size(128).buffer_blocks(4));
+        let f = d.create_file().unwrap();
+        d.allocate(f, 8).unwrap();
+        let mut buf = vec![0u8; 128];
+        for b in 0..4u32 {
+            d.read(f, b, BlockKind::Leaf, &mut buf).unwrap();
+        }
+        assert_eq!(d.stats().reads(), 4);
+        // Re-reading the cached blocks (not consecutively) hits the pool.
+        for b in [2u32, 0, 3, 1] {
+            d.read(f, b, BlockKind::Leaf, &mut buf).unwrap();
+        }
+        assert_eq!(d.stats().reads(), 4);
+        assert!(d.buffer_hits() >= 3);
+    }
+
+    #[test]
+    fn device_model_accumulates_time() {
+        let cfg = DiskConfig::with_block_size(128).device(DeviceModel::custom("t", 100, 10, 1));
+        let d = Disk::in_memory(cfg);
+        let f = d.create_file().unwrap();
+        d.allocate(f, 3).unwrap();
+        let mut buf = vec![0u8; 128];
+        d.read(f, 0, BlockKind::Leaf, &mut buf).unwrap(); // random: 100
+        d.read(f, 1, BlockKind::Leaf, &mut buf).unwrap(); // sequential: 1
+        d.read(f, 0, BlockKind::Leaf, &mut buf).unwrap(); // random: 100
+        d.write(f, 2, BlockKind::Leaf, &buf).unwrap(); // write: 10
+        assert_eq!(d.stats().device_ns(), 100 + 1 + 100 + 10);
+        assert!(d.simulated_seconds() > 0.0);
+    }
+
+    #[test]
+    fn extents_roundtrip_across_blocks() {
+        let d = disk(64);
+        let f = d.create_file().unwrap();
+        let data: Vec<u8> = (0..150u8).collect();
+        let start = d.allocate(f, d.blocks_for(data.len())).unwrap();
+        let n = d.write_extent(f, start, BlockKind::Leaf, &data).unwrap();
+        assert_eq!(n, 3);
+        let out = d.read_extent(f, start, BlockKind::Leaf, n).unwrap();
+        assert_eq!(&out[..data.len()], &data[..]);
+        assert!(out[data.len()..].iter().all(|&b| b == 0));
+        assert_eq!(d.stats().writes(), 3);
+    }
+
+    #[test]
+    fn free_invalidates_cached_copies() {
+        let d = Disk::in_memory(DiskConfig::with_block_size(128).buffer_blocks(4));
+        let f = d.create_file().unwrap();
+        d.allocate(f, 2).unwrap();
+        let mut buf = vec![0u8; 128];
+        d.read(f, 0, BlockKind::Leaf, &mut buf).unwrap();
+        d.free(f, 0, 1);
+        assert_eq!(d.stats().freed_blocks(), 1);
+        // Reading again must go back to the device (cache + reuse are invalidated).
+        d.read(f, 0, BlockKind::Leaf, &mut buf).unwrap();
+        assert_eq!(d.stats().reads(), 2);
+    }
+
+    #[test]
+    fn freed_space_reuse_is_opt_in() {
+        let d = Disk::in_memory(DiskConfig::with_block_size(128).reuse_freed_space(true));
+        let f = d.create_file().unwrap();
+        let a = d.allocate(f, 4).unwrap();
+        d.free(f, a, 4);
+        let b = d.allocate(f, 2).unwrap();
+        assert_eq!(b, a, "freed extent must be reused when enabled");
+        assert_eq!(d.total_blocks(), 4, "no growth when reusing freed space");
+
+        let d2 = Disk::in_memory(DiskConfig::with_block_size(128));
+        let f2 = d2.create_file().unwrap();
+        let a2 = d2.allocate(f2, 4).unwrap();
+        d2.free(f2, a2, 4);
+        let b2 = d2.allocate(f2, 2).unwrap();
+        assert_eq!(b2, 4, "without reuse the file keeps growing");
+        assert_eq!(d2.freed_blocks(f2), 4);
+    }
+
+    #[test]
+    fn bad_buffer_sizes_are_rejected() {
+        let d = disk(128);
+        let f = d.create_file().unwrap();
+        d.allocate(f, 1).unwrap();
+        let mut small = vec![0u8; 64];
+        assert!(d.read(f, 0, BlockKind::Leaf, &mut small).is_err());
+        assert!(d.write(f, 0, BlockKind::Leaf, &small).is_err());
+    }
+}
+
+#[cfg(test)]
+mod memory_resident_tests {
+    use super::*;
+
+    #[test]
+    fn memory_resident_kinds_are_not_charged() {
+        let cfg = DiskConfig::with_block_size(128)
+            .device(DeviceModel::custom("t", 100, 100, 100))
+            .memory_resident(&[BlockKind::Inner, BlockKind::Meta]);
+        let d = Disk::in_memory(cfg);
+        let f = d.create_file().unwrap();
+        d.allocate(f, 4).unwrap();
+        let data = vec![7u8; 128];
+        // Inner and meta I/O is free; leaf I/O is charged.
+        d.write(f, 0, BlockKind::Inner, &data).unwrap();
+        d.write(f, 1, BlockKind::Meta, &data).unwrap();
+        d.write(f, 2, BlockKind::Leaf, &data).unwrap();
+        let mut buf = vec![0u8; 128];
+        d.read(f, 0, BlockKind::Inner, &mut buf).unwrap();
+        assert_eq!(buf, data, "memory-resident reads still return real contents");
+        d.read(f, 2, BlockKind::Leaf, &mut buf).unwrap();
+        assert_eq!(d.stats().reads(), 1);
+        assert_eq!(d.stats().writes(), 1);
+        assert_eq!(d.stats().writes_of(BlockKind::Leaf), 1);
+        assert_eq!(d.stats().device_ns(), 200);
+    }
+}

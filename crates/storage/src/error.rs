@@ -1,0 +1,103 @@
+//! Error types for the storage substrate.
+
+use std::fmt;
+
+/// Result alias used throughout the storage crate.
+pub type StorageResult<T> = Result<T, StorageError>;
+
+/// Errors surfaced by storage operations.
+#[derive(Debug)]
+pub enum StorageError {
+    /// A block id referenced a block that has never been allocated.
+    BlockOutOfRange {
+        /// File the access targeted.
+        file: u32,
+        /// Offending block id.
+        block: u32,
+        /// Number of blocks currently allocated in that file.
+        len: u32,
+    },
+    /// A file id referenced a file that does not exist.
+    UnknownFile(u32),
+    /// The caller-supplied buffer did not match the configured block size.
+    BadBufferSize {
+        /// Size the caller passed.
+        got: usize,
+        /// Configured block size.
+        expected: usize,
+    },
+    /// Data written into a block exceeded the block size.
+    BlockOverflow {
+        /// Bytes the caller attempted to place in the block.
+        got: usize,
+        /// Configured block size.
+        capacity: usize,
+    },
+    /// Corrupt or truncated on-disk data was encountered while decoding.
+    Corrupt(String),
+    /// An underlying operating-system I/O error (file backend only).
+    Io(std::io::Error),
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::BlockOutOfRange { file, block, len } => write!(
+                f,
+                "block {block} out of range for file {file} ({len} blocks allocated)"
+            ),
+            StorageError::UnknownFile(id) => write!(f, "unknown file id {id}"),
+            StorageError::BadBufferSize { got, expected } => {
+                write!(f, "buffer size {got} does not match block size {expected}")
+            }
+            StorageError::BlockOverflow { got, capacity } => {
+                write!(f, "attempted to write {got} bytes into a {capacity}-byte block")
+            }
+            StorageError::Corrupt(msg) => write!(f, "corrupt on-disk data: {msg}"),
+            StorageError::Io(e) => write!(f, "I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StorageError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for StorageError {
+    fn from(e: std::io::Error) -> Self {
+        StorageError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = StorageError::BlockOutOfRange { file: 1, block: 9, len: 4 };
+        assert!(e.to_string().contains("block 9"));
+        assert!(e.to_string().contains("file 1"));
+        let e = StorageError::BadBufferSize { got: 100, expected: 4096 };
+        assert!(e.to_string().contains("100"));
+        let e = StorageError::BlockOverflow { got: 5000, capacity: 4096 };
+        assert!(e.to_string().contains("5000"));
+        let e = StorageError::Corrupt("bad magic".into());
+        assert!(e.to_string().contains("bad magic"));
+        let e = StorageError::UnknownFile(7);
+        assert!(e.to_string().contains('7'));
+    }
+
+    #[test]
+    fn io_errors_are_wrapped_with_source() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        let e: StorageError = io.into();
+        assert!(matches!(e, StorageError::Io(_)));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

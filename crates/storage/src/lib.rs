@@ -1,0 +1,56 @@
+//! Block-granular storage substrate for disk-resident index structures.
+//!
+//! This crate provides everything the on-disk indexes in this workspace need
+//! from a storage engine:
+//!
+//! * [`backend::StorageBackend`] — the raw block device abstraction, with an
+//!   in-memory implementation ([`backend::MemoryBackend`]) used by the
+//!   evaluation harness and a real-file implementation
+//!   ([`backend::FileBackend`]) used for functional verification.
+//! * [`device::DeviceModel`] — the HDD / SSD cost models that convert block
+//!   accesses into simulated latency, replacing the paper's physical disks.
+//! * [`stats::IoStats`] — per-index I/O accounting (reads / writes, split by
+//!   [`BlockKind`]) that drives every fetched-block table in the paper.
+//! * [`buffer::BufferPool`] — an LRU block cache used for the buffer-size
+//!   study (Fig. 13 of the paper).
+//! * [`pager::Pager`] — extent allocation on top of a file, required by ALEX
+//!   and LIPP whose variable-sized nodes may span several contiguous blocks.
+//! * [`Disk`] — the façade combining all of the above, which is what index
+//!   crates actually talk to.
+//!
+//! The central simplification relative to a production buffer manager is that
+//! the evaluation is single-query-at-a-time (as in the paper), so the buffer
+//! pool does not need pinning or latching; interior mutability with
+//! [`parking_lot::Mutex`] keeps the API ergonomic for the index
+//! implementations.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod backend;
+pub mod buffer;
+pub mod codec;
+pub mod device;
+pub mod disk;
+pub mod error;
+pub mod pager;
+pub mod stats;
+
+pub use backend::{FileBackend, MemoryBackend, StorageBackend};
+pub use buffer::BufferPool;
+pub use codec::{BlockReader, BlockWriter};
+pub use device::DeviceModel;
+pub use disk::{Disk, DiskConfig, FileId};
+pub use error::{StorageError, StorageResult};
+pub use pager::Pager;
+pub use stats::{BlockKind, IoStats, OpStats};
+
+/// Identifier of a block within one file, starting at zero.
+pub type BlockId = u32;
+
+/// The default block size used throughout the evaluation (the paper fixes
+/// 4 KB except for the block-size study of §6.4).
+pub const DEFAULT_BLOCK_SIZE: usize = 4096;
+
+/// A sentinel block id meaning "no block" (e.g. absent sibling pointers).
+pub const INVALID_BLOCK: BlockId = u32::MAX;

