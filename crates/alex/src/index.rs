@@ -156,19 +156,15 @@ impl AlexIndex {
         let mut current = 0usize;
         for b in 1..fanout {
             // First index whose predicted bucket is >= b.
-            while current < entries.len()
-                && model.predict_clamped(entries[current].0, fanout) < b
-            {
+            while current < entries.len() && model.predict_clamped(entries[current].0, fanout) < b {
                 current += 1;
             }
             boundaries.push(current);
         }
         boundaries.push(entries.len());
 
-        let largest = (0..fanout)
-            .map(|b| boundaries[b + 1] - boundaries[b])
-            .max()
-            .unwrap_or(entries.len());
+        let largest =
+            (0..fanout).map(|b| boundaries[b + 1] - boundaries[b]).max().unwrap_or(entries.len());
         if largest == entries.len() {
             // The model failed to separate the keys (extremely clustered
             // data): fall back to one big data node, as ALEX's cost model
@@ -189,9 +185,12 @@ impl AlexIndex {
         // Empty buckets share the nearest preceding child (or the first
         // following one for leading empties), mirroring ALEX's duplicated
         // child pointers.
-        let first_some = children.iter().flatten().next().copied().ok_or_else(|| {
-            IndexError::Internal("inner node built with no children".into())
-        })?;
+        let first_some = children
+            .iter()
+            .flatten()
+            .next()
+            .copied()
+            .ok_or_else(|| IndexError::Internal("inner node built with no children".into()))?;
         let mut fill = first_some;
         let resolved: Vec<ChildPtr> = children
             .into_iter()
@@ -353,7 +352,12 @@ impl AlexIndex {
 
     /// Attempts the actual slot insertion into `node`. Returns `false` if the
     /// node is too full and an SMO is required first.
-    fn try_insert_into(&mut self, node: &mut DataNode, key: Key, value: Value) -> IndexResult<bool> {
+    fn try_insert_into(
+        &mut self,
+        node: &mut DataNode,
+        key: Key,
+        value: Value,
+    ) -> IndexResult<bool> {
         let capacity = node.header.capacity;
         if (node.header.count + 1) as f64 > capacity as f64 * self.config.max_density {
             return Ok(false);
@@ -434,8 +438,7 @@ impl DiskIndex for AlexIndex {
         self.root = self.build_subtree(entries, &mut leaves, 0)?;
         // Fix up sibling links across the whole leaf level.
         for i in 0..leaves.len() {
-            leaves[i].header.prev =
-                if i > 0 { leaves[i - 1].start } else { INVALID_BLOCK };
+            leaves[i].header.prev = if i > 0 { leaves[i - 1].start } else { INVALID_BLOCK };
             leaves[i].header.next =
                 if i + 1 < leaves.len() { leaves[i + 1].start } else { INVALID_BLOCK };
             leaves[i].write_header(&self.disk)?;

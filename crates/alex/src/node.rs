@@ -372,7 +372,8 @@ impl DataNode {
             // hold it (charged as a utility block).
             let needed_bitmap = slot / bits_per_block;
             if needed_bitmap != bitmap_block_idx {
-                bitmap = disk.read_vec(self.file, self.start + 1 + needed_bitmap, BlockKind::Utility)?;
+                bitmap =
+                    disk.read_vec(self.file, self.start + 1 + needed_bitmap, BlockKind::Utility)?;
                 bitmap_block_idx = needed_bitmap;
             }
             // Fetch the slot block and walk every slot it contains.

@@ -16,8 +16,7 @@ fn bench_hybrids(c: &mut Criterion) {
     let entries: Vec<_> = keys.iter().map(|&k| (k, k + 1)).collect();
     let probe: Vec<u64> = keys.iter().step_by(173).copied().collect();
     for choice in [IndexChoice::BTree, IndexChoice::HybridPla, IndexChoice::HybridModelTree] {
-        let disk =
-            Disk::in_memory(DiskConfig::with_block_size(4096).device(DeviceModel::none()));
+        let disk = Disk::in_memory(DiskConfig::with_block_size(4096).device(DeviceModel::none()));
         let mut index = choice.build(disk);
         index.bulk_load(&entries).unwrap();
         group.bench_function(BenchmarkId::new("lookup", choice.name()), |b| {

@@ -16,17 +16,14 @@ fn bench_lookups(c: &mut Criterion) {
         for choice in BENCH_INDEXES {
             let (mut index, workload) = loaded_index(choice, dataset, 4096);
             let keys: Vec<u64> = workload.bulk.iter().step_by(97).map(|e| e.0).collect();
-            group.bench_function(
-                BenchmarkId::new(choice.name(), dataset.name()),
-                |b| {
-                    let mut i = 0;
-                    b.iter(|| {
-                        let k = keys[i % keys.len()];
-                        i += 1;
-                        index.lookup(k).unwrap()
-                    })
-                },
-            );
+            group.bench_function(BenchmarkId::new(choice.name(), dataset.name()), |b| {
+                let mut i = 0;
+                b.iter(|| {
+                    let k = keys[i % keys.len()];
+                    i += 1;
+                    index.lookup(k).unwrap()
+                })
+            });
         }
     }
     group.finish();
@@ -42,17 +39,14 @@ fn bench_scans(c: &mut Criterion) {
             let (mut index, workload) = loaded_index(choice, dataset, 4096);
             let keys: Vec<u64> = workload.bulk.iter().step_by(211).map(|e| e.0).collect();
             let mut out = Vec::with_capacity(128);
-            group.bench_function(
-                BenchmarkId::new(choice.name(), dataset.name()),
-                |b| {
-                    let mut i = 0;
-                    b.iter(|| {
-                        let k = keys[i % keys.len()];
-                        i += 1;
-                        index.scan(k, 100, &mut out).unwrap()
-                    })
-                },
-            );
+            group.bench_function(BenchmarkId::new(choice.name(), dataset.name()), |b| {
+                let mut i = 0;
+                b.iter(|| {
+                    let k = keys[i % keys.len()];
+                    i += 1;
+                    index.scan(k, 100, &mut out).unwrap()
+                })
+            });
         }
     }
     group.finish();

@@ -33,7 +33,8 @@ pub fn loaded_index(
     block_size: usize,
 ) -> (Box<dyn DiskIndex>, Workload) {
     let keys = dataset.generate_keys(BENCH_KEYS, 0xBEEF);
-    let workload = Workload::build(&keys, WorkloadSpec::new(WorkloadKind::LookupOnly, BENCH_OPS, 0));
+    let workload =
+        Workload::build(&keys, WorkloadSpec::new(WorkloadKind::LookupOnly, BENCH_OPS, 0));
     let disk = bench_disk(block_size);
     let mut index = choice.build(disk);
     index.bulk_load(&workload.bulk).expect("bulk load");

@@ -113,10 +113,7 @@ impl Default for LeafNode {
 impl LeafNode {
     /// Binary-searches for `key`, returning its payload if present.
     pub fn lookup(&self, key: Key) -> Option<Value> {
-        self.entries
-            .binary_search_by_key(&key, |&(k, _)| k)
-            .ok()
-            .map(|i| self.entries[i].1)
+        self.entries.binary_search_by_key(&key, |&(k, _)| k).ok().map(|i| self.entries[i].1)
     }
 
     /// Inserts or overwrites `key`. Returns `true` if a new entry was added
@@ -140,8 +137,7 @@ impl LeafNode {
         let mid = self.entries.len() / 2;
         let right_entries = self.entries.split_off(mid);
         let split_key = right_entries[0].0;
-        let right =
-            LeafNode { entries: right_entries, next: self.next, prev: INVALID_BLOCK };
+        let right = LeafNode { entries: right_entries, next: self.next, prev: INVALID_BLOCK };
         (split_key, right)
     }
 
@@ -227,7 +223,8 @@ mod tests {
 
     #[test]
     fn leaf_split_keeps_order_and_links() {
-        let mut leaf = LeafNode { entries: (0..10).map(|i| (i, i + 1)).collect(), next: 42, prev: 7 };
+        let mut leaf =
+            LeafNode { entries: (0..10).map(|i| (i, i + 1)).collect(), next: 42, prev: 7 };
         let (split_key, right) = leaf.split();
         assert_eq!(split_key, 5);
         assert_eq!(leaf.entries.len(), 5);
@@ -241,8 +238,7 @@ mod tests {
     fn decode_rejects_wrong_tags() {
         let leaf = LeafNode::default().encode(128).unwrap();
         assert!(InnerNode::decode(&leaf).is_err());
-        let inner =
-            InnerNode { keys: vec![1], children: vec![0, 1] }.encode(128).unwrap();
+        let inner = InnerNode { keys: vec![1], children: vec![0, 1] }.encode(128).unwrap();
         assert!(LeafNode::decode(&inner).is_err());
     }
 }

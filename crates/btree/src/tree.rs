@@ -405,10 +405,7 @@ mod tests {
     #[test]
     fn bulk_load_rejects_disorder_and_double_load() {
         let mut t = make_tree(512);
-        assert!(matches!(
-            t.bulk_load(&[(5, 1), (4, 1)]),
-            Err(IndexError::UnsortedBulkLoad { .. })
-        ));
+        assert!(matches!(t.bulk_load(&[(5, 1), (4, 1)]), Err(IndexError::UnsortedBulkLoad { .. })));
         t.bulk_load(&entries(10, 1)).unwrap();
         assert!(matches!(t.bulk_load(&entries(10, 1)), Err(IndexError::AlreadyLoaded)));
     }

@@ -34,7 +34,10 @@ impl fmt::Display for IndexError {
         match self {
             IndexError::Storage(e) => write!(f, "storage error: {e}"),
             IndexError::UnsortedBulkLoad { position } => {
-                write!(f, "bulk load keys must be strictly increasing (violated at position {position})")
+                write!(
+                    f,
+                    "bulk load keys must be strictly increasing (violated at position {position})"
+                )
             }
             IndexError::AlreadyLoaded => write!(f, "index has already been bulk loaded"),
             IndexError::DuplicateKey(k) => write!(f, "key {k} already exists"),

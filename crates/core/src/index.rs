@@ -46,13 +46,8 @@ impl IndexKind {
 
     /// All concrete (non-hybrid) index kinds evaluated by the paper, in the
     /// order the figures list them.
-    pub const EVALUATED: [IndexKind; 5] = [
-        IndexKind::BTree,
-        IndexKind::FitingTree,
-        IndexKind::Pgm,
-        IndexKind::Alex,
-        IndexKind::Lipp,
-    ];
+    pub const EVALUATED: [IndexKind; 5] =
+        [IndexKind::BTree, IndexKind::FitingTree, IndexKind::Pgm, IndexKind::Alex, IndexKind::Lipp];
 }
 
 impl std::fmt::Display for IndexKind {

@@ -55,8 +55,7 @@ impl LatencyRecorder {
         sorted.sort_unstable();
         let count = sorted.len();
         let total: u128 = sorted.iter().map(|&v| u128::from(v)).sum();
-        let mean = (total / count as u128) as f64
-            + (total % count as u128) as f64 / count as f64;
+        let mean = (total / count as u128) as f64 + (total % count as u128) as f64 / count as f64;
         let variance = sorted
             .iter()
             .map(|&v| {

@@ -86,7 +86,13 @@ pub fn table3(scale: &Scale) {
     println!("== Table 3: dataset profiling (block size 4 KB, {} keys/dataset) ==", scale.keys);
     let bounds = [16usize, 64, 256, 1024];
     let mut t = Table::new([
-        "dataset", "eps=16", "eps=64", "eps=256", "eps=1024", "btree leaves", "conflict degree",
+        "dataset",
+        "eps=16",
+        "eps=64",
+        "eps=256",
+        "eps=1024",
+        "btree leaves",
+        "conflict degree",
     ]);
     for dataset in Dataset::ALL {
         let keys = dataset.generate_keys(scale.keys, scale.seed);
@@ -153,7 +159,12 @@ pub fn fig4(scale: &Scale) {
 pub fn table4(scale: &Scale) {
     println!("== Table 4: fetched block breakdown (HDD, per query) ==");
     let mut t = Table::new([
-        "dataset", "index", "inner blk", "leaf blk (lookup)", "leaf blk (scan)", "utility (scan)",
+        "dataset",
+        "index",
+        "inner blk",
+        "leaf blk (lookup)",
+        "leaf blk (scan)",
+        "utility (scan)",
     ]);
     for dataset in Dataset::REPRESENTATIVE {
         let lookup = scale.search_workload(dataset, WorkloadKind::LookupOnly);
@@ -234,8 +245,7 @@ pub fn fig5(scale: &Scale) {
 /// Fig. 6 — write performance breakdown into the four insert steps.
 pub fn fig6(scale: &Scale) {
     println!("== Fig. 6: write breakdown, avg ms per insert (HDD, Write-Only) ==");
-    let mut t =
-        Table::new(["dataset", "index", "search", "insert", "smo", "maintenance", "total"]);
+    let mut t = Table::new(["dataset", "index", "search", "insert", "smo", "maintenance", "total"]);
     for dataset in Dataset::REPRESENTATIVE {
         let w = scale.mixed_workload(dataset, WorkloadKind::WriteOnly);
         for choice in IndexChoice::EVALUATED {
@@ -280,8 +290,7 @@ pub fn fig7(scale: &Scale) {
 pub fn fig8(scale: &Scale) {
     println!("== Fig. 8: search throughput, inner nodes memory-resident ==");
     println!("(LIPP is excluded, as in the paper: it has a single node type)");
-    let choices =
-        [IndexChoice::BTree, IndexChoice::Fiting, IndexChoice::Pgm, IndexChoice::Alex];
+    let choices = [IndexChoice::BTree, IndexChoice::Fiting, IndexChoice::Pgm, IndexChoice::Alex];
     for kind in [WorkloadKind::LookupOnly, WorkloadKind::ScanOnly] {
         println!("-- {} (HDD, ops/s) --", kind.name());
         let mut t = Table::new(["dataset", "btree", "fiting", "pgm", "alex"]);
@@ -301,7 +310,11 @@ pub fn fig8(scale: &Scale) {
 
 /// Fig. 9 — write workloads with inner nodes memory-resident.
 pub fn fig9(scale: &Scale) {
-    write_figure(scale, true, "Fig. 9: write/mixed workload throughput, inner nodes memory-resident");
+    write_figure(
+        scale,
+        true,
+        "Fig. 9: write/mixed workload throughput, inner nodes memory-resident",
+    );
 }
 
 /// Fig. 10 — storage usage on disk after the Write-Only workload.
@@ -395,18 +408,15 @@ pub fn fig14(scale: &Scale) {
     println!("== Fig. 14: normalized throughput, all workloads (HDD; 1.00 = best per workload) ==");
     for dataset in [Dataset::Ycsb, Dataset::Fb] {
         println!("-- {} --", dataset.name());
-        let mut t =
-            Table::new(["workload", "btree", "fiting", "pgm", "alex", "lipp"]);
+        let mut t = Table::new(["workload", "btree", "fiting", "pgm", "alex", "lipp"]);
         for kind in WorkloadKind::ALL {
             let w = if kind.bulk_loads_everything() {
                 scale.search_workload(dataset, kind)
             } else {
                 scale.mixed_workload(dataset, kind)
             };
-            let reports: Vec<WorkloadReport> = IndexChoice::EVALUATED
-                .iter()
-                .map(|&c| run_workload(c, &hdd(), &w))
-                .collect();
+            let reports: Vec<WorkloadReport> =
+                IndexChoice::EVALUATED.iter().map(|&c| run_workload(c, &hdd(), &w)).collect();
             let best = reports.iter().map(|r| r.throughput()).fold(0.0f64, f64::max);
             let mut row = vec![kind.name().to_string()];
             for r in &reports {
@@ -422,7 +432,8 @@ pub fn fig14(scale: &Scale) {
 /// files) on the Lookup-Only workload.
 pub fn layout_ablation(scale: &Scale) {
     println!("== ALEX layout ablation: Layout#1 (single file) vs Layout#2 (two files) ==");
-    let mut t = Table::new(["dataset", "layout1 blk", "layout2 blk", "layout1 ops/s", "layout2 ops/s"]);
+    let mut t =
+        Table::new(["dataset", "layout1 blk", "layout2 blk", "layout1 ops/s", "layout2 ops/s"]);
     for dataset in Dataset::REPRESENTATIVE {
         let w = scale.search_workload(dataset, WorkloadKind::LookupOnly);
         let l1 = run_workload(IndexChoice::AlexLayout1, &hdd(), &w);
@@ -516,8 +527,23 @@ mod tests {
     fn experiment_registry_contains_every_table_and_figure() {
         let names: Vec<&str> = all_experiments().iter().map(|(n, _)| *n).collect();
         for expected in [
-            "table2", "table3", "table4", "table5", "fig3", "fig4", "fig5", "fig6", "fig7",
-            "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "layout_ablation",
+            "table2",
+            "table3",
+            "table4",
+            "table5",
+            "fig3",
+            "fig4",
+            "fig5",
+            "fig6",
+            "fig7",
+            "fig8",
+            "fig9",
+            "fig10",
+            "fig11",
+            "fig12",
+            "fig13",
+            "fig14",
+            "layout_ablation",
         ] {
             assert!(names.contains(&expected), "missing experiment {expected}");
         }

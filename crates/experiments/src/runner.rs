@@ -207,7 +207,11 @@ impl WorkloadReport {
 
 /// Bulk loads `choice` over `workload.bulk` and executes `workload.ops`,
 /// measuring everything the paper reports.
-pub fn run_workload(choice: IndexChoice, config: &RunConfig, workload: &Workload) -> WorkloadReport {
+pub fn run_workload(
+    choice: IndexChoice,
+    config: &RunConfig,
+    workload: &Workload,
+) -> WorkloadReport {
     let disk = config.make_disk();
     let mut index = choice.build(Arc::clone(&disk));
 

@@ -262,9 +262,10 @@ impl Directory {
     /// current item count" the paper attributes to FITing-tree inserts.
     pub fn update_meta(&mut self, slot: DirSlot, meta: SegmentMeta) -> IndexResult<()> {
         let mut leaf = self.read_leaf(slot.block)?;
-        let entry = leaf.entries.get_mut(slot.slot).ok_or_else(|| {
-            IndexError::Internal(format!("stale directory slot {slot:?}"))
-        })?;
+        let entry = leaf
+            .entries
+            .get_mut(slot.slot)
+            .ok_or_else(|| IndexError::Internal(format!("stale directory slot {slot:?}")))?;
         if entry.first_key != meta.first_key {
             return Err(IndexError::Internal(format!(
                 "directory slot {slot:?} holds first_key {} but update targets {}",
@@ -279,21 +280,14 @@ impl Directory {
     /// or more new segments (sorted by `first_key`). Splits directory leaves
     /// and updates routing nodes as needed; this is the directory half of a
     /// resegmentation SMO.
-    pub fn replace(
-        &mut self,
-        old_first_key: Key,
-        new_metas: &[SegmentMeta],
-    ) -> IndexResult<()> {
+    pub fn replace(&mut self, old_first_key: Key, new_metas: &[SegmentMeta]) -> IndexResult<()> {
         if new_metas.is_empty() {
             return Err(IndexError::Internal("replace requires at least one new segment".into()));
         }
         let (path, leaf_block) = self.descend(old_first_key)?;
         let mut leaf = self.read_leaf(leaf_block)?;
-        let pos = leaf
-            .entries
-            .iter()
-            .position(|m| m.first_key == old_first_key)
-            .ok_or_else(|| {
+        let pos =
+            leaf.entries.iter().position(|m| m.first_key == old_first_key).ok_or_else(|| {
                 IndexError::Internal(format!("segment with first_key {old_first_key} not found"))
             })?;
         leaf.entries.splice(pos..=pos, new_metas.iter().copied());
@@ -481,8 +475,7 @@ mod tests {
         let mut dir = build(200, 512);
         // Replace one segment with 40 new ones — enough to overflow a leaf.
         let old = 100 * 100 + 10; // first_key of segment #100
-        let news: Vec<SegmentMeta> =
-            (0..40).map(|i| meta(old + i, 10_000 + i as u32)).collect();
+        let news: Vec<SegmentMeta> = (0..40).map(|i| meta(old + i, 10_000 + i as u32)).collect();
         dir.replace(old, &news).unwrap();
         assert_eq!(dir.segment_count(), 200 + 39);
         // Every new segment must now be found.

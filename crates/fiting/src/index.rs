@@ -172,11 +172,7 @@ impl FitingTree {
 
     /// Resegments `old` (identified by its directory `first_key`) together
     /// with `extra` entries, replacing it with freshly built segments.
-    fn resegment(
-        &mut self,
-        old: SegmentMeta,
-        extra: &[Entry],
-    ) -> IndexResult<()> {
+    fn resegment(&mut self, old: SegmentMeta, extra: &[Entry]) -> IndexResult<()> {
         self.smo_count += 1;
         let mut merged = read_all_data(&self.disk, self.seg_file, &old)?;
         merged.extend_from_slice(&read_buffer(&self.disk, self.seg_file, &old)?);
@@ -222,11 +218,7 @@ impl DiskIndex for FitingTree {
             return Err(IndexError::NotInitialized);
         }
         if key < self.global_min_key {
-            return Ok(self
-                .read_overflow()?
-                .iter()
-                .find(|&&(k, _)| k == key)
-                .map(|&(_, v)| v));
+            return Ok(self.read_overflow()?.iter().find(|&&(k, _)| k == key).map(|&(_, v)| v));
         }
         let (meta, _) = self.directory.find(key)?;
         if let Some(v) = search_data(&self.disk, self.seg_file, &meta, key, self.config.epsilon)? {
@@ -295,7 +287,13 @@ impl DiskIndex for FitingTree {
             if let Ok(pos) = data.binary_search_by_key(&key, |&(k, _)| k) {
                 data[pos].1 = value;
             }
-            write_data_region(&self.disk, self.seg_file, meta.start_block, meta.data_blocks, &data)?;
+            write_data_region(
+                &self.disk,
+                self.seg_file,
+                meta.start_block,
+                meta.data_blocks,
+                &data,
+            )?;
             let after_insert = self.disk.snapshot();
             self.breakdown.add(InsertStep::Insert, &after_insert.since(&after_search));
             self.breakdown.finish_insert();

@@ -69,10 +69,8 @@ impl SegmentMeta {
         if self.count == 0 {
             return 0;
         }
-        let model = LinearModel {
-            slope: self.slope,
-            intercept: -self.slope * self.first_key as f64,
-        };
+        let model =
+            LinearModel { slope: self.slope, intercept: -self.slope * self.first_key as f64 };
         model.predict_clamped(key, self.count as usize)
     }
 }
@@ -288,7 +286,8 @@ mod tests {
         let data_blocks = count.div_ceil(per_block).max(1) as u32;
         let buffer_blocks = 1;
         let start = disk.allocate(file, data_blocks + buffer_blocks).unwrap();
-        let slope = if count > 1 { (count as f64 - 1.0) / ((count as f64 - 1.0) * 10.0) } else { 0.0 };
+        let slope =
+            if count > 1 { (count as f64 - 1.0) / ((count as f64 - 1.0) * 10.0) } else { 0.0 };
         let meta = SegmentMeta {
             first_key: 0,
             slope,
@@ -340,8 +339,9 @@ mod tests {
     fn overflow_is_rejected() {
         let (disk, file, meta, _) = setup(10);
         let too_many: Vec<Entry> = (0..10_000u64).map(|i| (i, i)).collect();
-        assert!(write_data_region(&disk, file, meta.start_block, meta.data_blocks, &too_many)
-            .is_err());
+        assert!(
+            write_data_region(&disk, file, meta.start_block, meta.data_blocks, &too_many).is_err()
+        );
         assert!(write_buffer_region(&disk, file, &meta, &too_many).is_err());
     }
 

@@ -69,8 +69,7 @@ impl LeafLevel {
     /// Bulk-builds the leaf level, returning `(boundary key, block)` pairs in
     /// key order — the input the inner structures index.
     pub fn bulk_build(&mut self, entries: &[Entry]) -> IndexResult<Vec<(Key, BlockId)>> {
-        let per_leaf =
-            ((self.capacity as f64 * self.fill) as usize).clamp(1, self.capacity);
+        let per_leaf = ((self.capacity as f64 * self.fill) as usize).clamp(1, self.capacity);
         let leaves = entries.len().div_ceil(per_leaf).max(1);
         let first = self.disk.allocate(self.file, leaves as u32)?;
         let mut boundaries = Vec::with_capacity(leaves);

@@ -152,8 +152,8 @@ impl LippIndex {
 
     fn should_rebuild(&self, node: &LippNode) -> bool {
         let h = &node.header;
-        let grown =
-            f64::from(h.num_inserts) >= f64::from(h.build_size.max(64)) * self.config.rebuild_insert_factor;
+        let grown = f64::from(h.num_inserts)
+            >= f64::from(h.build_size.max(64)) * self.config.rebuild_insert_factor;
         grown && h.num_conflicts * 4 >= h.num_inserts
     }
 }
@@ -278,8 +278,7 @@ impl DiskIndex for LippIndex {
             ancestor.write_header(&self.disk)?;
         }
         let after_maintenance = self.disk.snapshot();
-        self.breakdown
-            .add(InsertStep::Maintenance, &after_maintenance.since(&after_smo_or_insert));
+        self.breakdown.add(InsertStep::Maintenance, &after_maintenance.since(&after_smo_or_insert));
 
         // Subtree-rebuild SMO: find the highest node on the path whose
         // statistics demand a rebuild and rebuild it.
@@ -394,9 +393,7 @@ mod tests {
     }
 
     fn clustered(n: u64) -> Vec<Entry> {
-        let mut keys: Vec<u64> = (0..n)
-            .map(|i| (i / 50) * 1_000_000 + (i % 50) * 3)
-            .collect();
+        let mut keys: Vec<u64> = (0..n).map(|i| (i / 50) * 1_000_000 + (i % 50) * 3).collect();
         keys.sort_unstable();
         keys.dedup();
         keys.into_iter().map(|k| (k, k + 1)).collect()

@@ -110,6 +110,7 @@ impl ShrinkingCone {
         debug_assert!(key > anchor, "keys must be strictly increasing");
         let dx = key as f64 - anchor as f64;
         let dy = self.count as f64; // segment-relative position of the new key
+
         // Feasible slopes so that |slope*dx - dy| <= epsilon.
         let lo = (dy - self.epsilon) / dx;
         let hi = (dy + self.epsilon) / dx;

@@ -203,8 +203,7 @@ impl PgmIndex {
             }
             target += 1;
         }
-        let component =
-            StaticPgm::build(Arc::clone(&self.disk), &merged, self.config.epsilon)?;
+        let component = StaticPgm::build(Arc::clone(&self.disk), &merged, self.config.epsilon)?;
         self.levels[target] = Some(component);
         self.run = 0;
         self.write_run(&[])?;
@@ -321,13 +320,8 @@ impl DiskIndex for PgmIndex {
     }
 
     fn stats(&self) -> IndexStats {
-        let height = self
-            .levels
-            .iter()
-            .flatten()
-            .map(|l| l.inner_levels() as u32 + 2)
-            .max()
-            .unwrap_or(1);
+        let height =
+            self.levels.iter().flatten().map(|l| l.inner_levels() as u32 + 2).max().unwrap_or(1);
         IndexStats {
             keys: self.key_count,
             height,

@@ -190,7 +190,8 @@ impl StaticPgm {
                 .collect();
         }
 
-        let root = records.pop().unwrap_or(SegRecord { first_key: 0, slope: 0.0, start: 0, len: 0 });
+        let root =
+            records.pop().unwrap_or(SegRecord { first_key: 0, slope: 0.0, start: 0, len: 0 });
         Ok(StaticPgm {
             disk,
             file,
@@ -255,12 +256,7 @@ impl StaticPgm {
 
     /// Finds, within an inner level, the record covering `key`: the rightmost
     /// record with `first_key <= key` inside the window `[lo, hi]`.
-    fn search_level(
-        &self,
-        level: &LevelInfo,
-        key: Key,
-        predicted: u64,
-    ) -> IndexResult<SegRecord> {
+    fn search_level(&self, level: &LevelInfo, key: Key, predicted: u64) -> IndexResult<SegRecord> {
         let rec_per_block = records_per_block(self.disk.block_size());
         // The covering record sits at rank(key) - 1, which can fall one slot
         // below the ε window around the predicted rank — widen by one.

@@ -63,10 +63,7 @@ impl MemoryBackend {
     }
 
     fn check(&self, file: u32, block: BlockId) -> StorageResult<usize> {
-        let f = self
-            .files
-            .get(file as usize)
-            .ok_or(StorageError::UnknownFile(file))?;
+        let f = self.files.get(file as usize).ok_or(StorageError::UnknownFile(file))?;
         let len = (f.len() / self.block_size) as u32;
         if block >= len {
             return Err(StorageError::BlockOutOfRange { file, block, len });
@@ -86,19 +83,13 @@ impl StorageBackend for MemoryBackend {
     }
 
     fn num_blocks(&self, file: u32) -> StorageResult<u32> {
-        let f = self
-            .files
-            .get(file as usize)
-            .ok_or(StorageError::UnknownFile(file))?;
+        let f = self.files.get(file as usize).ok_or(StorageError::UnknownFile(file))?;
         Ok((f.len() / self.block_size) as u32)
     }
 
     fn extend(&mut self, file: u32, count: u32) -> StorageResult<BlockId> {
         let bs = self.block_size;
-        let f = self
-            .files
-            .get_mut(file as usize)
-            .ok_or(StorageError::UnknownFile(file))?;
+        let f = self.files.get_mut(file as usize).ok_or(StorageError::UnknownFile(file))?;
         let first = (f.len() / bs) as u32;
         f.resize(f.len() + count as usize * bs, 0);
         Ok(first)
@@ -156,9 +147,7 @@ impl FileBackend {
     }
 
     fn file_mut(&mut self, file: u32) -> StorageResult<&mut File> {
-        self.files
-            .get_mut(file as usize)
-            .ok_or(StorageError::UnknownFile(file))
+        self.files.get_mut(file as usize).ok_or(StorageError::UnknownFile(file))
     }
 }
 
@@ -170,22 +159,14 @@ impl StorageBackend for FileBackend {
     fn create_file(&mut self) -> StorageResult<u32> {
         let id = self.files.len() as u32;
         let path = self.dir.join(format!("file_{id}.blk"));
-        let f = OpenOptions::new()
-            .read(true)
-            .write(true)
-            .create(true)
-            .truncate(true)
-            .open(path)?;
+        let f = OpenOptions::new().read(true).write(true).create(true).truncate(true).open(path)?;
         self.files.push(f);
         self.sizes.push(0);
         Ok(id)
     }
 
     fn num_blocks(&self, file: u32) -> StorageResult<u32> {
-        self.sizes
-            .get(file as usize)
-            .copied()
-            .ok_or(StorageError::UnknownFile(file))
+        self.sizes.get(file as usize).copied().ok_or(StorageError::UnknownFile(file))
     }
 
     fn extend(&mut self, file: u32, count: u32) -> StorageResult<BlockId> {
@@ -283,15 +264,9 @@ mod tests {
         let f = b.create_file().unwrap();
         b.extend(f, 1).unwrap();
         let mut small = vec![0u8; 64];
-        assert!(matches!(
-            b.read_block(f, 0, &mut small),
-            Err(StorageError::BadBufferSize { .. })
-        ));
+        assert!(matches!(b.read_block(f, 0, &mut small), Err(StorageError::BadBufferSize { .. })));
         let mut ok = vec![0u8; 128];
-        assert!(matches!(
-            b.read_block(f, 5, &mut ok),
-            Err(StorageError::BlockOutOfRange { .. })
-        ));
+        assert!(matches!(b.read_block(f, 5, &mut ok), Err(StorageError::BlockOutOfRange { .. })));
         assert!(matches!(b.read_block(9, 0, &mut ok), Err(StorageError::UnknownFile(9))));
     }
 

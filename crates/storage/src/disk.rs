@@ -309,9 +309,8 @@ impl Disk {
 
         // Device access.
         inner.backend.read_block(file, block, buf)?;
-        let sequential = inner
-            .last_device_access
-            .is_some_and(|(f, b)| f == file && block == b.wrapping_add(1));
+        let sequential =
+            inner.last_device_access.is_some_and(|(f, b)| f == file && block == b.wrapping_add(1));
         inner.last_device_access = Some((file, block));
         self.stats.record_read(kind);
         self.stats.record_device_ns(self.device.read_cost(sequential));
@@ -325,7 +324,12 @@ impl Disk {
     }
 
     /// Reads one block into a freshly allocated vector.
-    pub fn read_vec(&self, file: FileId, block: BlockId, kind: BlockKind) -> StorageResult<Vec<u8>> {
+    pub fn read_vec(
+        &self,
+        file: FileId,
+        block: BlockId,
+        kind: BlockKind,
+    ) -> StorageResult<Vec<u8>> {
         let mut buf = vec![0u8; self.block_size];
         self.read(file, block, kind, &mut buf)?;
         Ok(buf)

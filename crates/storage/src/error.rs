@@ -42,10 +42,9 @@ pub enum StorageError {
 impl fmt::Display for StorageError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            StorageError::BlockOutOfRange { file, block, len } => write!(
-                f,
-                "block {block} out of range for file {file} ({len} blocks allocated)"
-            ),
+            StorageError::BlockOutOfRange { file, block, len } => {
+                write!(f, "block {block} out of range for file {file} ({len} blocks allocated)")
+            }
             StorageError::UnknownFile(id) => write!(f, "unknown file id {id}"),
             StorageError::BadBufferSize { got, expected } => {
                 write!(f, "buffer size {got} does not match block size {expected}")

@@ -85,7 +85,7 @@ proptest! {
                     model.entries.retain(|(k, _)| *k != (0, b));
                 }
             }
-            prop_assert!(pool.len() <= capacity.max(0));
+            prop_assert!(pool.len() <= capacity);
             prop_assert_eq!(pool.len(), model.entries.len());
         }
     }

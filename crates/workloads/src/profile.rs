@@ -28,18 +28,12 @@ pub struct DatasetProfile {
 
 /// Profiles a sorted key set, reproducing the Table 3 metrics.
 pub fn profile_dataset(keys: &[Key], error_bounds: &[usize], block_size: usize) -> DatasetProfile {
-    let segments = error_bounds
-        .iter()
-        .map(|&eps| (eps, segment_keys(keys, eps).len()))
-        .collect();
+    let segments = error_bounds.iter().map(|&eps| (eps, segment_keys(keys, eps).len())).collect();
     let entries_per_leaf = ((block_size.saturating_sub(16)) / 16).max(1);
     let per_leaf = ((entries_per_leaf as f64) * 0.8) as usize;
     let btree_leaves = keys.len().div_ceil(per_leaf.max(1));
-    let conflict_degree = if keys.is_empty() {
-        0
-    } else {
-        fit_fmcd(keys, keys.len() * 2).conflict_degree
-    };
+    let conflict_degree =
+        if keys.is_empty() { 0 } else { fit_fmcd(keys, keys.len() * 2).conflict_degree };
     DatasetProfile { keys: keys.len(), segments, btree_leaves, conflict_degree }
 }
 
@@ -73,7 +67,13 @@ mod tests {
         assert!(osm.conflict_degree > ycsb.conflict_degree * 10);
         // The B+-tree leaf count only depends on the key count, mirroring the
         // constant row of Table 3.
-        assert_eq!(ycsb.btree_leaves, profile_dataset(&Dataset::Stack.generate_keys(n, 1), &[64], 4096).btree_leaves.max(ycsb.btree_leaves).min(ycsb.btree_leaves + 2));
+        assert_eq!(
+            ycsb.btree_leaves,
+            profile_dataset(&Dataset::Stack.generate_keys(n, 1), &[64], 4096)
+                .btree_leaves
+                .max(ycsb.btree_leaves)
+                .min(ycsb.btree_leaves + 2)
+        );
     }
 
     #[test]

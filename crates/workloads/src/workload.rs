@@ -246,8 +246,7 @@ mod tests {
                 "{kind:?}: insert fraction {frac}"
             );
             // Inserted keys are fresh (not bulk loaded).
-            let bulk_keys: std::collections::HashSet<Key> =
-                w.bulk.iter().map(|e| e.0).collect();
+            let bulk_keys: std::collections::HashSet<Key> = w.bulk.iter().map(|e| e.0).collect();
             for op in &w.ops {
                 if let Op::Insert(k, _) = op {
                     assert!(!bulk_keys.contains(k), "insert key {k} was already bulk loaded");

@@ -11,10 +11,7 @@ use lidx_workloads::{profile_dataset, Dataset, Workload, WorkloadKind, WorkloadS
 
 fn main() {
     let mut args = std::env::args().skip(1);
-    let dataset = args
-        .next()
-        .and_then(|s| Dataset::from_name(&s))
-        .unwrap_or(Dataset::Osm);
+    let dataset = args.next().and_then(|s| Dataset::from_name(&s)).unwrap_or(Dataset::Osm);
     let workload_kind = match args.next().as_deref() {
         Some("lookup-only") => WorkloadKind::LookupOnly,
         Some("scan-only") => WorkloadKind::ScanOnly,

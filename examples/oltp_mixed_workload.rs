@@ -18,7 +18,8 @@ fn main() {
 
     // Balanced workload: bulk load 30k keys, then 10k operations split 50/50
     // between lookups of existing keys and inserts of new ones.
-    let workload = Workload::build(&keys, WorkloadSpec::new(WorkloadKind::Balanced, 10_000, 30_000));
+    let workload =
+        Workload::build(&keys, WorkloadSpec::new(WorkloadKind::Balanced, 10_000, 30_000));
     println!(
         "workload: {} ({} lookups, {} inserts) over a {}-key bulk load\n",
         workload.kind.name(),

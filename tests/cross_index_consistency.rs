@@ -67,9 +67,8 @@ fn all_indexes_agree_with_an_oracle_on_lookups_and_scans() {
 #[test]
 fn all_indexes_agree_after_interleaved_inserts() {
     let bulk: Vec<Entry> = (0..5_000u64).map(|i| (i * 20, i)).collect();
-    let inserts: Vec<Entry> = (0..5_000u64)
-        .map(|i| (i * 20 + 7 + (i % 5), 1_000_000 + i))
-        .collect();
+    let inserts: Vec<Entry> =
+        (0..5_000u64).map(|i| (i * 20 + 7 + (i % 5), 1_000_000 + i)).collect();
     let mut oracle: BTreeMap<Key, Value> = bulk.iter().copied().collect();
     for &(k, v) in &inserts {
         oracle.insert(k, v);

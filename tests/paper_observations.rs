@@ -67,7 +67,8 @@ fn pgm_dominates_write_only() {
     for dataset in [Dataset::Ycsb, Dataset::Fb] {
         let w = mixed_workload(dataset, WorkloadKind::WriteOnly);
         let pgm = run_workload(IndexChoice::Pgm, &hdd(), &w);
-        for choice in [IndexChoice::BTree, IndexChoice::Fiting, IndexChoice::Alex, IndexChoice::Lipp]
+        for choice in
+            [IndexChoice::BTree, IndexChoice::Fiting, IndexChoice::Alex, IndexChoice::Lipp]
         {
             let other = run_workload(choice, &hdd(), &w);
             assert!(

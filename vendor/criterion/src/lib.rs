@@ -1,0 +1,304 @@
+//! A minimal stand-in for the subset of the `criterion` benchmark harness
+//! this workspace uses.
+//!
+//! It really measures: each benchmark runs its routine in timed batches
+//! until the configured measurement time elapses (after a warm-up), then
+//! prints the mean per-iteration wall-clock time. There are no statistics
+//! beyond the mean, no plots and no saved baselines — just enough to make
+//! `cargo bench` produce comparable numbers offline.
+//!
+//! Supported: `Criterion::benchmark_group`, group `sample_size` /
+//! `warm_up_time` / `measurement_time` / `bench_function` / `finish`,
+//! `Bencher::iter` / `iter_batched`, [`BenchmarkId`], [`BatchSize`],
+//! [`black_box`] and the [`criterion_group!`] / [`criterion_main!`] macros.
+
+#![warn(rust_2018_idioms)]
+
+use std::fmt::Display;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Prevents the compiler from optimising away a benchmarked value.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// How `Bencher::iter_batched` amortises setup cost. The stub runs one
+/// setup per routine invocation regardless of the hint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration state: many iterations per batch.
+    SmallInput,
+    /// Large per-iteration state: few iterations per batch.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// Identifier of one benchmark within a group: a function name plus a
+/// parameter rendering.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a parameter value.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    /// Creates an id from a parameter value only.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_owned() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Timing configuration shared by a group's benchmarks.
+#[derive(Debug, Clone, Copy)]
+struct Timing {
+    warm_up: Duration,
+    measurement: Duration,
+}
+
+impl Default for Timing {
+    fn default() -> Self {
+        Timing { warm_up: Duration::from_millis(300), measurement: Duration::from_millis(900) }
+    }
+}
+
+/// The top-level harness handle.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Applies command-line configuration. The stub accepts and ignores all
+    /// arguments (notably the `--bench` / `--test` flags cargo passes).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        eprintln!("group {name}");
+        BenchmarkGroup { _criterion: self, name, timing: Timing::default() }
+    }
+
+    /// Prints the final summary. The stub reports per-benchmark lines as it
+    /// goes, so this is a no-op kept for API compatibility.
+    pub fn final_summary(&mut self) {}
+}
+
+/// A named group of benchmarks sharing timing configuration.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    timing: Timing,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the target sample count. Accepted for API compatibility; the
+    /// stub sizes batches by time, not by sample count.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Sets the warm-up duration.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.timing.warm_up = d;
+        self
+    }
+
+    /// Sets the measurement duration.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.timing.measurement = d;
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher { timing: self.timing, result: None };
+        f(&mut bencher);
+        match bencher.result {
+            Some(r) => eprintln!(
+                "  {}/{}: {} per iter ({} iters)",
+                self.name,
+                id.id,
+                format_ns(r.mean_ns),
+                r.iters
+            ),
+            None => eprintln!("  {}/{}: no measurement recorded", self.name, id.id),
+        }
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Measurement {
+    mean_ns: f64,
+    iters: u64,
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// Drives the timed iterations of one benchmark.
+pub struct Bencher {
+    timing: Timing,
+    result: Option<Measurement>,
+}
+
+impl Bencher {
+    /// Measures `routine` repeatedly until the measurement time elapses.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        let warm_deadline = Instant::now() + self.timing.warm_up;
+        while Instant::now() < warm_deadline {
+            black_box(routine());
+        }
+        let mut iters = 0u64;
+        let mut elapsed = Duration::ZERO;
+        let start = Instant::now();
+        while start.elapsed() < self.timing.measurement {
+            let t0 = Instant::now();
+            black_box(routine());
+            elapsed += t0.elapsed();
+            iters += 1;
+        }
+        self.record(elapsed, iters);
+    }
+
+    /// Measures `routine` over inputs produced by `setup`; only the routine
+    /// is timed.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let warm_deadline = Instant::now() + self.timing.warm_up;
+        while Instant::now() < warm_deadline {
+            black_box(routine(setup()));
+        }
+        let mut iters = 0u64;
+        let mut elapsed = Duration::ZERO;
+        let start = Instant::now();
+        while start.elapsed() < self.timing.measurement {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            elapsed += t0.elapsed();
+            iters += 1;
+        }
+        self.record(elapsed, iters);
+    }
+
+    fn record(&mut self, elapsed: Duration, iters: u64) {
+        let mean_ns = if iters == 0 { 0.0 } else { elapsed.as_nanos() as f64 / iters as f64 };
+        self.result = Some(Measurement { mean_ns, iters });
+    }
+}
+
+/// Declares a group of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_measures_something() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("test");
+        group.warm_up_time(Duration::from_millis(1));
+        group.measurement_time(Duration::from_millis(5));
+        let mut count = 0u64;
+        group.bench_function("count", |b| {
+            b.iter(|| {
+                count += 1;
+                count
+            })
+        });
+        group.finish();
+        assert!(count > 0, "the routine must actually run");
+    }
+
+    #[test]
+    fn iter_batched_runs_setup_per_iteration() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("test");
+        group.warm_up_time(Duration::from_millis(1));
+        group.measurement_time(Duration::from_millis(5));
+        let mut setups = 0u64;
+        let mut runs = 0u64;
+        group.bench_function(BenchmarkId::new("batched", 1), |b| {
+            b.iter_batched(
+                || {
+                    setups += 1;
+                },
+                |()| {
+                    runs += 1;
+                },
+                BatchSize::LargeInput,
+            )
+        });
+        group.finish();
+        assert!(setups > 0 && setups == runs);
+    }
+
+    #[test]
+    fn benchmark_id_renders() {
+        assert_eq!(BenchmarkId::new("f", "p").id, "f/p");
+        assert_eq!(BenchmarkId::from("plain").id, "plain");
+    }
+}

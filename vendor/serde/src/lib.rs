@@ -1,0 +1,30 @@
+//! A minimal stand-in for the subset of `serde` this workspace uses.
+//!
+//! The workspace only derives `Serialize` as a marker on metric/report
+//! structs (actual output formatting is hand-written), so the traits here
+//! carry no methods. The derive macros are re-exported from the vendored
+//! `serde_derive` proc-macro crate.
+
+#![warn(rust_2018_idioms)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize {}
+
+macro_rules! impl_markers {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {}
+        impl Deserialize for $t {}
+    )*};
+}
+impl_markers!(
+    u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize, f32, f64, bool, char, String
+);
+
+impl<T: Serialize> Serialize for Vec<T> {}
+impl<T: Serialize> Serialize for Option<T> {}
+impl<T: Serialize + ?Sized> Serialize for &T {}

@@ -1,0 +1,26 @@
+//! Exercises the vendored derive exactly as the workspace does.
+
+use serde::Serialize;
+
+#[derive(Debug, Default, Clone, Copy, PartialEq, Serialize)]
+struct Summary {
+    count: u64,
+    mean: f64,
+}
+
+#[derive(Serialize)]
+enum Kind {
+    #[allow(dead_code)]
+    A,
+}
+
+fn assert_serialize<T: Serialize>() {}
+
+#[test]
+fn derive_produces_marker_impls() {
+    assert_serialize::<Summary>();
+    assert_serialize::<Kind>();
+    assert_serialize::<Vec<Summary>>();
+    assert_serialize::<Option<u64>>();
+    let _ = Summary { count: 1, mean: 2.0 };
+}

@@ -1,0 +1,42 @@
+//! Minimal derive macros backing the vendored `serde` stand-in.
+//!
+//! The derives emit marker-trait impls only: the workspace derives
+//! `Serialize` on report structs but serialisation itself goes through
+//! hand-written formatting, so no field-level code generation is needed.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extracts the identifier of the type a derive is applied to: the first
+/// identifier following the `struct` / `enum` / `union` keyword.
+fn type_name(input: TokenStream) -> Option<String> {
+    let mut saw_keyword = false;
+    for tt in input {
+        if let TokenTree::Ident(ident) = tt {
+            let text = ident.to_string();
+            if saw_keyword {
+                return Some(text);
+            }
+            if matches!(text.as_str(), "struct" | "enum" | "union") {
+                saw_keyword = true;
+            }
+        }
+    }
+    None
+}
+
+fn marker_impl(trait_path: &str, input: TokenStream) -> TokenStream {
+    let name = type_name(input).expect("derive input must name a struct or enum");
+    format!("impl {trait_path} for {name} {{}}").parse().unwrap()
+}
+
+/// Derives the vendored `serde::Serialize` marker trait.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    marker_impl("::serde::Serialize", input)
+}
+
+/// Derives the vendored `serde::Deserialize` marker trait.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    marker_impl("::serde::Deserialize", input)
+}
