@@ -3,8 +3,8 @@
 use std::sync::Arc;
 
 use lidx_core::{
-    index::validate_bulk_load, DiskIndex, Entry, IndexError, IndexKind, IndexResult, IndexStats,
-    InsertBreakdown, InsertStep, Key, Value,
+    index::validate_bulk_load, DiskIndex, Entry, IndexError, IndexKind, IndexRead, IndexResult,
+    IndexStats, InsertBreakdown, InsertStep, Key, Value,
 };
 use lidx_models::LinearModel;
 use lidx_storage::{BlockId, Disk, INVALID_BLOCK};
@@ -420,7 +420,7 @@ impl AlexIndex {
     }
 }
 
-impl DiskIndex for AlexIndex {
+impl IndexRead for AlexIndex {
     fn kind(&self) -> IndexKind {
         IndexKind::Alex
     }
@@ -429,64 +429,12 @@ impl DiskIndex for AlexIndex {
         &self.disk
     }
 
-    fn bulk_load(&mut self, entries: &[Entry]) -> IndexResult<()> {
-        if self.loaded {
-            return Err(IndexError::AlreadyLoaded);
-        }
-        validate_bulk_load(entries)?;
-        let mut leaves = Vec::new();
-        self.root = self.build_subtree(entries, &mut leaves, 0)?;
-        // Fix up sibling links across the whole leaf level.
-        for i in 0..leaves.len() {
-            leaves[i].header.prev = if i > 0 { leaves[i - 1].start } else { INVALID_BLOCK };
-            leaves[i].header.next =
-                if i + 1 < leaves.len() { leaves[i + 1].start } else { INVALID_BLOCK };
-            leaves[i].write_header(&self.disk)?;
-        }
-        self.key_count = entries.len() as u64;
-        self.loaded = true;
-        Ok(())
-    }
-
-    fn lookup(&mut self, key: Key) -> IndexResult<Option<Value>> {
+    fn lookup(&self, key: Key) -> IndexResult<Option<Value>> {
         let (_, data) = self.descend(key)?;
         data.lookup(&self.disk, key)
     }
 
-    fn insert(&mut self, key: Key, value: Value) -> IndexResult<()> {
-        if !self.loaded {
-            return Err(IndexError::NotInitialized);
-        }
-        loop {
-            let before = self.disk.snapshot();
-            let (path, mut node) = self.descend(key)?;
-            let after_search = self.disk.snapshot();
-            self.breakdown.add(InsertStep::Search, &after_search.since(&before));
-
-            let prior_count = node.header.count;
-            if self.try_insert_into(&mut node, key, value)? {
-                let after_insert = self.disk.snapshot();
-                self.breakdown.add(InsertStep::Insert, &after_insert.since(&after_search));
-                if node.header.count != prior_count {
-                    // Persist the updated occupancy and cost-model statistics
-                    // (the maintenance overhead of Fig. 6).
-                    node.write_header(&self.disk)?;
-                    let after_maintenance = self.disk.snapshot();
-                    self.breakdown
-                        .add(InsertStep::Maintenance, &after_maintenance.since(&after_insert));
-                }
-                self.breakdown.finish_insert();
-                return Ok(());
-            }
-
-            // The node was too full: run the SMO and retry.
-            self.smo(&path, node)?;
-            let after_smo = self.disk.snapshot();
-            self.breakdown.add(InsertStep::Smo, &after_smo.since(&after_search));
-        }
-    }
-
-    fn scan(&mut self, start: Key, count: usize, out: &mut Vec<Entry>) -> IndexResult<usize> {
+    fn scan(&self, start: Key, count: usize, out: &mut Vec<Entry>) -> IndexResult<usize> {
         out.clear();
         if count == 0 {
             if !self.loaded {
@@ -521,6 +469,60 @@ impl DiskIndex for AlexIndex {
             inner_nodes: self.inner_nodes,
             leaf_nodes: self.data_nodes,
             smo_count: self.smo_count,
+        }
+    }
+}
+
+impl DiskIndex for AlexIndex {
+    fn bulk_load(&mut self, entries: &[Entry]) -> IndexResult<()> {
+        if self.loaded {
+            return Err(IndexError::AlreadyLoaded);
+        }
+        validate_bulk_load(entries)?;
+        let mut leaves = Vec::new();
+        self.root = self.build_subtree(entries, &mut leaves, 0)?;
+        // Fix up sibling links across the whole leaf level.
+        for i in 0..leaves.len() {
+            leaves[i].header.prev = if i > 0 { leaves[i - 1].start } else { INVALID_BLOCK };
+            leaves[i].header.next =
+                if i + 1 < leaves.len() { leaves[i + 1].start } else { INVALID_BLOCK };
+            leaves[i].write_header(&self.disk)?;
+        }
+        self.key_count = entries.len() as u64;
+        self.loaded = true;
+        Ok(())
+    }
+
+    fn insert(&mut self, key: Key, value: Value) -> IndexResult<()> {
+        if !self.loaded {
+            return Err(IndexError::NotInitialized);
+        }
+        loop {
+            let before = self.disk.snapshot();
+            let (path, mut node) = self.descend(key)?;
+            let after_search = self.disk.snapshot();
+            self.breakdown.add(InsertStep::Search, &after_search.since(&before));
+
+            let prior_count = node.header.count;
+            if self.try_insert_into(&mut node, key, value)? {
+                let after_insert = self.disk.snapshot();
+                self.breakdown.add(InsertStep::Insert, &after_insert.since(&after_search));
+                if node.header.count != prior_count {
+                    // Persist the updated occupancy and cost-model statistics
+                    // (the maintenance overhead of Fig. 6).
+                    node.write_header(&self.disk)?;
+                    let after_maintenance = self.disk.snapshot();
+                    self.breakdown
+                        .add(InsertStep::Maintenance, &after_maintenance.since(&after_insert));
+                }
+                self.breakdown.finish_insert();
+                return Ok(());
+            }
+
+            // The node was too full: run the SMO and retry.
+            self.smo(&path, node)?;
+            let after_smo = self.disk.snapshot();
+            self.breakdown.add(InsertStep::Smo, &after_smo.since(&after_search));
         }
     }
 
@@ -625,6 +627,35 @@ mod tests {
         assert_eq!(out[0], (1, 777));
         assert_eq!(out.len(), 3);
         assert!(out.windows(2).all(|w| w[0].0 < w[1].0));
+    }
+
+    #[test]
+    fn scan_boundary_cases_match_oracle() {
+        let mut t = index(512);
+        let data = entries(1_500, 5);
+        t.bulk_load(&data).unwrap();
+        let mut out = Vec::new();
+
+        // count == 0 returns nothing and clears `out`.
+        out.push((1, 1));
+        assert_eq!(t.scan(data[0].0, 0, &mut out).unwrap(), 0);
+        assert!(out.is_empty());
+
+        // Starts above the maximum stored key return nothing.
+        let max_key = data.last().unwrap().0;
+        for start in [max_key + 1, u64::MAX] {
+            assert_eq!(t.scan(start, 10, &mut out).unwrap(), 0, "scan from {start}");
+            assert!(out.is_empty());
+        }
+
+        // Scanning from every stored key covers every block / segment / node
+        // boundary; each result must match the oracle slice exactly.
+        for (i, &(k, _)) in data.iter().enumerate() {
+            let n = t.scan(k, 5, &mut out).unwrap();
+            let expected: Vec<Entry> = data[i..].iter().take(5).copied().collect();
+            assert_eq!(n, expected.len(), "scan length from key {k}");
+            assert_eq!(out, expected, "scan contents from key {k}");
+        }
     }
 
     #[test]

@@ -13,7 +13,7 @@ fn bench_block_sizes(c: &mut Criterion) {
     group.measurement_time(Duration::from_millis(900));
     for block_size in [1024usize, 4096, 16384] {
         for choice in BENCH_INDEXES {
-            let (mut index, workload) = loaded_index(choice, Dataset::Fb, block_size);
+            let (index, workload) = loaded_index(choice, Dataset::Fb, block_size);
             let keys: Vec<u64> = workload.bulk.iter().step_by(131).map(|e| e.0).collect();
             group.bench_function(
                 BenchmarkId::new(choice.name(), format!("{}KB", block_size / 1024)),

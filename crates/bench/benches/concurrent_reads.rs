@@ -1,0 +1,118 @@
+//! Beyond the paper — scaling of the shared (concurrent) read path.
+//!
+//! The paper's evaluation is single-threaded; this bench measures what the
+//! `IndexRead` trait split buys: N reader threads over one frozen index,
+//! with the device cost model *realised* as blocking time (25 µs per random
+//! read, SSD-like but scaled down so the sweep stays fast). Each measured
+//! iteration performs a fixed total of [`LOOKUPS_PER_ROUND`] lookups split
+//! across the threads, so the per-iteration time dropping with the thread
+//! count is aggregate-throughput scaling: readers overlap their simulated
+//! I/O waits exactly as outstanding requests overlap on a real disk. Had the
+//! storage layer still serialised every read behind one mutex, the sleep
+//! would happen under the lock and the sweep would stay flat at 1.0x.
+//!
+//! A summary table of aggregate throughput and speedup vs one thread is
+//! printed after the Criterion measurements.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lidx_core::DiskIndex;
+use lidx_experiments::runner::IndexChoice;
+use lidx_storage::{DeviceModel, Disk, DiskConfig};
+use lidx_workloads::Dataset;
+
+/// Total lookups per measured round, split evenly across the reader threads.
+const LOOKUPS_PER_ROUND: usize = 192;
+/// Reader-thread counts swept by the bench.
+const THREAD_SWEEP: [usize; 4] = [1, 2, 4, 8];
+/// Indexes covered (one per structural family keeps the sweep quick; the
+/// `par_lookup` experiment target sweeps all seven variants).
+const CHOICES: [IndexChoice; 3] = [IndexChoice::BTree, IndexChoice::Pgm, IndexChoice::HybridPla];
+
+fn sim_ssd_disk() -> Arc<Disk> {
+    Disk::in_memory(
+        DiskConfig::with_block_size(4096)
+            .device(DeviceModel::custom("ssd-25us", 25_000, 30_000, 15_000))
+            .simulate_latency(true),
+    )
+}
+
+fn loaded(choice: IndexChoice) -> (Box<dyn DiskIndex>, Vec<u64>) {
+    let keys = Dataset::Ycsb.generate_keys(50_000, 0xC0C0);
+    let entries: Vec<(u64, u64)> = keys.iter().map(|&k| (k, k + 1)).collect();
+    let mut index = choice.build(sim_ssd_disk());
+    index.bulk_load(&entries).expect("bulk load");
+    let probe: Vec<u64> = keys.iter().step_by(131).copied().collect();
+    (index, probe)
+}
+
+/// One measured round: `LOOKUPS_PER_ROUND` lookups split across `threads`.
+fn round(index: &dyn DiskIndex, probe: &[u64], threads: usize, round_no: usize) {
+    let per_thread = LOOKUPS_PER_ROUND / threads;
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            s.spawn(move || {
+                let base = round_no * LOOKUPS_PER_ROUND + t * per_thread;
+                for i in 0..per_thread {
+                    let k = probe[(base + i) % probe.len()];
+                    index.lookup(k).expect("lookup");
+                }
+            });
+        }
+    });
+}
+
+fn bench_thread_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("concurrent_reads");
+    group.warm_up_time(Duration::from_millis(200));
+    group.measurement_time(Duration::from_millis(1200));
+    for choice in CHOICES {
+        let (index, probe) = loaded(choice);
+        for threads in THREAD_SWEEP {
+            let mut round_no = 0;
+            group.bench_function(BenchmarkId::new(choice.name(), format!("t{threads}")), |b| {
+                b.iter(|| {
+                    round(&*index, &probe, threads, round_no);
+                    round_no += 1;
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+/// Prints aggregate lookups/second and the speedup over one thread, the
+/// acceptance signal for the concurrent read path (>1.5x at 4 threads).
+fn scaling_summary(_c: &mut Criterion) {
+    eprintln!("  --- aggregate throughput summary (simulated 25us SSD) ---");
+    for choice in CHOICES {
+        let (index, probe) = loaded(choice);
+        let mut base = 0.0f64;
+        for threads in THREAD_SWEEP {
+            const ROUNDS: usize = 8;
+            // One untimed warm round, then a few timed ones.
+            round(&*index, &probe, threads, 0);
+            let t0 = Instant::now();
+            for r in 1..=ROUNDS {
+                round(&*index, &probe, threads, r);
+            }
+            let secs = t0.elapsed().as_secs_f64();
+            let ops_per_sec = (ROUNDS * LOOKUPS_PER_ROUND) as f64 / secs;
+            if threads == 1 {
+                base = ops_per_sec;
+            }
+            eprintln!(
+                "  {:>12} t{}: {:>10.0} ops/s  ({:.2}x vs 1 thread)",
+                choice.name(),
+                threads,
+                ops_per_sec,
+                ops_per_sec / base
+            );
+        }
+    }
+}
+
+criterion_group!(benches, bench_thread_scaling, scaling_summary);
+criterion_main!(benches);

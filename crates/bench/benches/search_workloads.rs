@@ -14,7 +14,7 @@ fn bench_lookups(c: &mut Criterion) {
     group.measurement_time(Duration::from_millis(900));
     for dataset in Dataset::REPRESENTATIVE {
         for choice in BENCH_INDEXES {
-            let (mut index, workload) = loaded_index(choice, dataset, 4096);
+            let (index, workload) = loaded_index(choice, dataset, 4096);
             let keys: Vec<u64> = workload.bulk.iter().step_by(97).map(|e| e.0).collect();
             group.bench_function(BenchmarkId::new(choice.name(), dataset.name()), |b| {
                 let mut i = 0;
@@ -36,7 +36,7 @@ fn bench_scans(c: &mut Criterion) {
     group.measurement_time(Duration::from_millis(900));
     for dataset in Dataset::REPRESENTATIVE {
         for choice in BENCH_INDEXES {
-            let (mut index, workload) = loaded_index(choice, dataset, 4096);
+            let (index, workload) = loaded_index(choice, dataset, 4096);
             let keys: Vec<u64> = workload.bulk.iter().step_by(211).map(|e| e.0).collect();
             let mut out = Vec::with_capacity(128);
             group.bench_function(BenchmarkId::new(choice.name(), dataset.name()), |b| {

@@ -3,8 +3,8 @@
 use std::sync::Arc;
 
 use lidx_core::{
-    index::validate_bulk_load, DiskIndex, Entry, IndexError, IndexKind, IndexResult, IndexStats,
-    InsertBreakdown, InsertStep, Key, Value,
+    index::validate_bulk_load, DiskIndex, Entry, IndexError, IndexKind, IndexRead, IndexResult,
+    IndexStats, InsertBreakdown, InsertStep, Key, Value,
 };
 use lidx_storage::{BlockId, BlockKind, BlockWriter, Disk, INVALID_BLOCK};
 
@@ -138,7 +138,7 @@ impl BTreeIndex {
     /// lookup). Used by structures that index range boundaries, e.g. the
     /// hybrid designs of §6.1.2 which map each leaf page's boundary key to a
     /// page address.
-    pub fn lookup_floor(&mut self, key: Key) -> IndexResult<Option<Entry>> {
+    pub fn lookup_floor(&self, key: Key) -> IndexResult<Option<Entry>> {
         let (_, leaf_block) = self.descend(key)?;
         let leaf = self.read_leaf(leaf_block)?;
         let pos = leaf.entries.partition_point(|&(k, _)| k <= key);
@@ -273,7 +273,7 @@ impl BTreeIndex {
     }
 }
 
-impl DiskIndex for BTreeIndex {
+impl IndexRead for BTreeIndex {
     fn kind(&self) -> IndexKind {
         IndexKind::BTree
     }
@@ -282,55 +282,13 @@ impl DiskIndex for BTreeIndex {
         &self.disk
     }
 
-    fn bulk_load(&mut self, entries: &[Entry]) -> IndexResult<()> {
-        if self.loaded {
-            return Err(IndexError::AlreadyLoaded);
-        }
-        validate_bulk_load(entries)?;
-        let mut level = self.bulk_load_leaves(entries)?;
-        self.height = 1;
-        while level.len() > 1 {
-            level = self.bulk_load_inner_level(&level)?;
-            self.height += 1;
-        }
-        self.root = level[0].1;
-        self.key_count = entries.len() as u64;
-        self.loaded = true;
-        self.persist_meta()?;
-        Ok(())
-    }
-
-    fn lookup(&mut self, key: Key) -> IndexResult<Option<Value>> {
+    fn lookup(&self, key: Key) -> IndexResult<Option<Value>> {
         let (_, leaf_block) = self.descend(key)?;
         let leaf = self.read_leaf(leaf_block)?;
         Ok(leaf.lookup(key))
     }
 
-    fn insert(&mut self, key: Key, value: Value) -> IndexResult<()> {
-        let before = self.disk.snapshot();
-        let (path, leaf_block) = self.descend(key)?;
-        let mut leaf = self.read_leaf(leaf_block)?;
-        let after_search = self.disk.snapshot();
-        self.breakdown.add(InsertStep::Search, &after_search.since(&before));
-
-        let added = leaf.upsert(key, value);
-        if added {
-            self.key_count += 1;
-        }
-        if leaf.entries.len() <= self.capacity.leaf_entries {
-            self.write_leaf(leaf_block, &leaf)?;
-            let after_insert = self.disk.snapshot();
-            self.breakdown.add(InsertStep::Insert, &after_insert.since(&after_search));
-        } else {
-            self.split_leaf_and_propagate(&path, leaf_block, leaf)?;
-            let after_smo = self.disk.snapshot();
-            self.breakdown.add(InsertStep::Smo, &after_smo.since(&after_search));
-        }
-        self.breakdown.finish_insert();
-        Ok(())
-    }
-
-    fn scan(&mut self, start: Key, count: usize, out: &mut Vec<Entry>) -> IndexResult<usize> {
+    fn scan(&self, start: Key, count: usize, out: &mut Vec<Entry>) -> IndexResult<usize> {
         out.clear();
         if count == 0 {
             return Ok(0);
@@ -365,6 +323,50 @@ impl DiskIndex for BTreeIndex {
             leaf_nodes: self.leaf_nodes,
             smo_count: self.smo_count,
         }
+    }
+}
+
+impl DiskIndex for BTreeIndex {
+    fn bulk_load(&mut self, entries: &[Entry]) -> IndexResult<()> {
+        if self.loaded {
+            return Err(IndexError::AlreadyLoaded);
+        }
+        validate_bulk_load(entries)?;
+        let mut level = self.bulk_load_leaves(entries)?;
+        self.height = 1;
+        while level.len() > 1 {
+            level = self.bulk_load_inner_level(&level)?;
+            self.height += 1;
+        }
+        self.root = level[0].1;
+        self.key_count = entries.len() as u64;
+        self.loaded = true;
+        self.persist_meta()?;
+        Ok(())
+    }
+
+    fn insert(&mut self, key: Key, value: Value) -> IndexResult<()> {
+        let before = self.disk.snapshot();
+        let (path, leaf_block) = self.descend(key)?;
+        let mut leaf = self.read_leaf(leaf_block)?;
+        let after_search = self.disk.snapshot();
+        self.breakdown.add(InsertStep::Search, &after_search.since(&before));
+
+        let added = leaf.upsert(key, value);
+        if added {
+            self.key_count += 1;
+        }
+        if leaf.entries.len() <= self.capacity.leaf_entries {
+            self.write_leaf(leaf_block, &leaf)?;
+            let after_insert = self.disk.snapshot();
+            self.breakdown.add(InsertStep::Insert, &after_insert.since(&after_search));
+        } else {
+            self.split_leaf_and_propagate(&path, leaf_block, leaf)?;
+            let after_smo = self.disk.snapshot();
+            self.breakdown.add(InsertStep::Smo, &after_smo.since(&after_search));
+        }
+        self.breakdown.finish_insert();
+        Ok(())
     }
 
     fn insert_breakdown(&self) -> InsertBreakdown {
@@ -535,6 +537,59 @@ mod tests {
         assert_eq!(t.lookup(5).unwrap(), Some(6));
         let mut out = Vec::new();
         assert_eq!(t.scan(0, 10, &mut out).unwrap(), 1);
+    }
+
+    #[test]
+    fn scan_boundary_cases_match_oracle() {
+        // Small leaves (256-byte blocks) so scanning from every stored key
+        // exercises starts at exact leaf-block boundaries.
+        let mut t = make_tree(256);
+        let data = entries(600, 3);
+        t.bulk_load(&data).unwrap();
+        let mut out = Vec::new();
+
+        // count == 0 returns nothing and leaves `out` empty.
+        out.push((1, 1));
+        assert_eq!(t.scan(data[0].0, 0, &mut out).unwrap(), 0);
+        assert!(out.is_empty());
+
+        // Starts above the maximum key return nothing.
+        let max_key = data.last().unwrap().0;
+        for start in [max_key + 1, u64::MAX] {
+            assert_eq!(t.scan(start, 10, &mut out).unwrap(), 0, "scan from {start}");
+            assert!(out.is_empty());
+        }
+
+        // Scanning from every stored key (covering every leaf boundary)
+        // matches the oracle slice.
+        for (i, &(k, _)) in data.iter().enumerate() {
+            let n = t.scan(k, 7, &mut out).unwrap();
+            let expected: Vec<Entry> = data[i..].iter().take(7).copied().collect();
+            assert_eq!(n, expected.len(), "scan length from key {k}");
+            assert_eq!(out, expected, "scan contents from key {k}");
+        }
+    }
+
+    #[test]
+    fn concurrent_lookups_agree_with_serial_answers() {
+        let mut t = make_tree(512);
+        let data = entries(20_000, 3);
+        t.bulk_load(&data).unwrap();
+        let t = &t;
+        let data = &data;
+        std::thread::scope(|s| {
+            for tid in 0..4usize {
+                s.spawn(move || {
+                    let mut out = Vec::new();
+                    for &(k, v) in data.iter().skip(tid * 31).step_by(127) {
+                        assert_eq!(t.lookup(k).unwrap(), Some(v));
+                        assert_eq!(t.lookup(k + 1).unwrap(), None);
+                        let n = t.scan(k, 5, &mut out).unwrap();
+                        assert!(n >= 1 && out[0] == (k, v));
+                    }
+                });
+            }
+        });
     }
 
     #[test]

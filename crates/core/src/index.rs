@@ -73,22 +73,32 @@ pub struct IndexStats {
     pub smo_count: u64,
 }
 
-/// A disk-resident, updatable ordered index over `u64` keys.
+/// The shared-lookup (read) side of a disk-resident index.
 ///
-/// All five operations the paper's workloads exercise are represented:
-/// bulk load (used to build the index before each workload), point lookup,
-/// insert, and range scan (lookup of a start key followed by reading the
-/// next `count` entries in key order).
+/// Every method takes `&self`, so a bulk-loaded ("frozen") index can serve
+/// N reader threads concurrently: share the index behind a plain reference
+/// (e.g. via [`std::thread::scope`]) or an `Arc` and call [`lookup`] /
+/// [`scan`] from as many threads as you like. The `Send + Sync` supertraits
+/// make that contract part of the type: implementations must confine any
+/// interior mutability to thread-safe state (in this workspace that is the
+/// [`Disk`] layer — atomic statistics plus a lock-striped buffer pool — and
+/// nothing in the index structures themselves).
 ///
-/// Implementations route every block access through the [`Disk`] returned by
-/// [`DiskIndex::disk`], which is how the harness observes fetched-block
-/// counts and simulated device time.
-pub trait DiskIndex {
+/// **Frozen-index contract.** Concurrent reads are only *meaningful* against
+/// an index that is not being mutated. Rust's borrow rules enforce this for
+/// free: [`DiskIndex::insert`] and [`DiskIndex::bulk_load`] take `&mut self`,
+/// so a writer cannot coexist with shared readers. There is no internal
+/// versioning or latching beyond the storage layer — per-index concurrency
+/// control (latch crabbing, epochs) is future work tracked in ROADMAP.md.
+///
+/// [`lookup`]: IndexRead::lookup
+/// [`scan`]: IndexRead::scan
+pub trait IndexRead: Send + Sync {
     /// Which family this index belongs to.
     fn kind(&self) -> IndexKind;
 
     /// A human-readable name (defaults to the family name; hybrid variants
-    /// override this with e.g. `"hybrid-lipp"`).
+    /// override this with e.g. `"hybrid-pla"`).
     fn name(&self) -> String {
         self.kind().name().to_string()
     }
@@ -96,23 +106,13 @@ pub trait DiskIndex {
     /// The disk this index performs its I/O against.
     fn disk(&self) -> &Arc<Disk>;
 
-    /// Builds the index from strictly-increasing `(key, payload)` pairs.
-    ///
-    /// Must be called exactly once, before any other operation, and fails
-    /// with [`crate::IndexError::UnsortedBulkLoad`] if the input is not
-    /// strictly increasing.
-    fn bulk_load(&mut self, entries: &[Entry]) -> IndexResult<()>;
-
     /// Returns the payload stored for `key`, or `None` if absent.
-    fn lookup(&mut self, key: Key) -> IndexResult<Option<Value>>;
-
-    /// Inserts a new key-payload pair.
-    fn insert(&mut self, key: Key, value: Value) -> IndexResult<()>;
+    fn lookup(&self, key: Key) -> IndexResult<Option<Value>>;
 
     /// Collects up to `count` entries with keys `>= start` in ascending key
     /// order into `out` (which is cleared first), returning how many were
     /// produced.
-    fn scan(&mut self, start: Key, count: usize, out: &mut Vec<Entry>) -> IndexResult<usize>;
+    fn scan(&self, start: Key, count: usize, out: &mut Vec<Entry>) -> IndexResult<usize>;
 
     /// Number of keys stored.
     fn len(&self) -> u64;
@@ -130,6 +130,29 @@ pub trait DiskIndex {
     fn storage_blocks(&self) -> u64 {
         self.disk().total_blocks()
     }
+}
+
+/// A disk-resident, updatable ordered index over `u64` keys.
+///
+/// All five operations the paper's workloads exercise are represented: bulk
+/// load (used to build the index before each workload), point lookup,
+/// insert, and range scan — the read side lives in the [`IndexRead`]
+/// supertrait so a frozen index can be shared across reader threads, while
+/// the write side here takes `&mut self`.
+///
+/// Implementations route every block access through the [`Disk`] returned by
+/// [`IndexRead::disk`], which is how the harness observes fetched-block
+/// counts and simulated device time.
+pub trait DiskIndex: IndexRead {
+    /// Builds the index from strictly-increasing `(key, payload)` pairs.
+    ///
+    /// Must be called exactly once, before any other operation, and fails
+    /// with [`crate::IndexError::UnsortedBulkLoad`] if the input is not
+    /// strictly increasing.
+    fn bulk_load(&mut self, entries: &[Entry]) -> IndexResult<()>;
+
+    /// Inserts a new key-payload pair.
+    fn insert(&mut self, key: Key, value: Value) -> IndexResult<()>;
 
     /// The accumulated insert-step breakdown (search / insert / SMO /
     /// maintenance) since the index was created. Used for Fig. 6.

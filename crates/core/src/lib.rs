@@ -5,9 +5,12 @@
 //!
 //! * [`Key`] / [`Value`] — the paper indexes 64-bit unsigned keys and uses
 //!   `key + 1` as the payload.
-//! * [`index::DiskIndex`] — the operations every evaluated index must
-//!   support: bulk load, lookup, insert, and range scan, plus introspection
-//!   hooks (storage footprint, per-operation I/O, insert-step breakdown).
+//! * [`index::IndexRead`] / [`index::DiskIndex`] — the operations every
+//!   evaluated index must support, split into a shared (`&self`) read side —
+//!   lookup, range scan, statistics — that N threads may call concurrently
+//!   against a bulk-loaded index, and an exclusive (`&mut self`) write side:
+//!   bulk load and insert, plus introspection hooks (storage footprint,
+//!   per-operation I/O, insert-step breakdown).
 //! * [`metrics`] — latency recording (mean / p50 / p99 / standard deviation),
 //!   throughput derivation from the simulated device time, and the
 //!   search / insert / SMO / maintenance breakdown of Fig. 6.
@@ -21,7 +24,7 @@ pub mod index;
 pub mod metrics;
 
 pub use error::{IndexError, IndexResult};
-pub use index::{DiskIndex, IndexKind, IndexStats};
+pub use index::{DiskIndex, IndexKind, IndexRead, IndexStats};
 pub use metrics::{InsertBreakdown, InsertStep, LatencyRecorder, LatencySummary, Throughput};
 
 /// The key type indexed throughout the evaluation (the paper uses `uint64`).

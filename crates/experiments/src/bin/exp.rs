@@ -4,11 +4,12 @@
 //! cargo run --release -p lidx-experiments --bin exp -- <target> [options]
 //!
 //! targets:  table2 table3 table4 table5 fig3 fig4 ... fig14
-//!           layout_ablation space_reuse_ablation all list
+//!           layout_ablation space_reuse_ablation par_lookup all list
 //! options:  --keys N        dataset size for search workloads   (default 200000)
 //!           --ops N         operations per workload             (default 5000)
 //!           --bulk N        bulk-loaded keys for mixed workloads (default 50000)
 //!           --seed N        RNG seed                             (default 42)
+//!           --threads N     max reader threads for par_lookup    (default 4)
 //!           --quick         tiny scale for smoke testing
 //! ```
 
@@ -26,8 +27,17 @@ fn parse_args() -> (Vec<String>, Scale) {
                 scale.bulk_keys = args.next().and_then(|v| v.parse().ok()).expect("--bulk N")
             }
             "--seed" => scale.seed = args.next().and_then(|v| v.parse().ok()).expect("--seed N"),
+            "--threads" => {
+                scale.threads = args.next().and_then(|v| v.parse().ok()).expect("--threads N")
+            }
             "--quick" => {
-                scale = Scale { keys: 20_000, ops: 500, bulk_keys: 5_000, seed: scale.seed }
+                scale = Scale {
+                    keys: 20_000,
+                    ops: 500,
+                    bulk_keys: 5_000,
+                    seed: scale.seed,
+                    threads: scale.threads,
+                }
             }
             other => targets.push(other.to_string()),
         }
@@ -40,7 +50,9 @@ fn main() {
     let registry = all_experiments();
 
     if targets.is_empty() || targets.iter().any(|t| t == "list") {
-        eprintln!("usage: exp <target>... [--keys N] [--ops N] [--bulk N] [--seed N] [--quick]");
+        eprintln!(
+            "usage: exp <target>... [--keys N] [--ops N] [--bulk N] [--seed N] [--threads N] [--quick]"
+        );
         eprintln!("targets:");
         for (name, _) in &registry {
             eprintln!("  {name}");

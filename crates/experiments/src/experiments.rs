@@ -12,7 +12,7 @@ use lidx_storage::DeviceModel;
 use lidx_workloads::{profile_dataset, Dataset, Workload, WorkloadKind, WorkloadSpec};
 
 use crate::report::{f2, ms, ops, Table};
-use crate::runner::{run_workload, IndexChoice, RunConfig, WorkloadReport};
+use crate::runner::{run_par_lookup, run_workload, IndexChoice, RunConfig, WorkloadReport};
 
 /// Scale knobs shared by every experiment.
 #[derive(Debug, Clone, Copy)]
@@ -25,11 +25,14 @@ pub struct Scale {
     pub bulk_keys: usize,
     /// RNG seed for datasets and workloads.
     pub seed: u64,
+    /// Maximum reader-thread count for the concurrent-lookup sweep (the
+    /// sweep doubles from 1 up to this value).
+    pub threads: usize,
 }
 
 impl Default for Scale {
     fn default() -> Self {
-        Scale { keys: 200_000, ops: 5_000, bulk_keys: 50_000, seed: 42 }
+        Scale { keys: 200_000, ops: 5_000, bulk_keys: 50_000, seed: 42, threads: 4 }
     }
 }
 
@@ -487,6 +490,48 @@ pub fn space_reuse_ablation(scale: &Scale) {
     t.print();
 }
 
+/// Beyond the paper: aggregate lookup throughput of N concurrent reader
+/// threads over a frozen index (the read side of the `DiskIndex` trait takes
+/// `&self`, so readers share the index with no index-level locking). The
+/// device cost model is realised as actual blocking time so the sweep shows
+/// I/O latency hiding — the same effect queue depth has on a real SSD.
+pub fn par_lookup(scale: &Scale) {
+    println!(
+        "== Concurrent lookups: aggregate throughput vs reader threads (simulated SSD latency) =="
+    );
+    // A scaled-down SSD so the sweep completes quickly: 25 us random read.
+    let cfg = RunConfig {
+        device: DeviceModel::custom("ssd-25us", 25_000, 30_000, 15_000),
+        simulate_device_latency: true,
+        ..Default::default()
+    };
+    let w = scale.search_workload(Dataset::Ycsb, WorkloadKind::LookupOnly);
+    let mut sweep = Vec::new();
+    let mut t = 1usize;
+    while t <= scale.threads.max(1) {
+        sweep.push(t);
+        t *= 2;
+    }
+    let mut table = Table::new(["index", "threads", "ops/s", "per-thread ops/s", "speedup"]);
+    for choice in IndexChoice::ALL_DESIGNS {
+        let mut base = 0.0f64;
+        for &threads in &sweep {
+            let r = run_par_lookup(choice, &cfg, &w, threads);
+            if threads == 1 {
+                base = r.aggregate_ops_per_sec();
+            }
+            table.row([
+                r.index.clone(),
+                threads.to_string(),
+                ops(r.aggregate_ops_per_sec()),
+                ops(r.per_thread_ops_per_sec()),
+                f2(r.aggregate_ops_per_sec() / base.max(f64::MIN_POSITIVE)),
+            ]);
+        }
+    }
+    table.print();
+}
+
 /// An experiment entry: a stable name and the function that prints it.
 pub type ExperimentFn = fn(&Scale);
 
@@ -511,6 +556,7 @@ pub fn all_experiments() -> Vec<(&'static str, ExperimentFn)> {
         ("fig13", fig13),
         ("fig14", fig14),
         ("layout_ablation", layout_ablation),
+        ("par_lookup", par_lookup),
         ("space_reuse_ablation", space_reuse_ablation),
     ]
 }
@@ -520,7 +566,7 @@ mod tests {
     use super::*;
 
     fn tiny() -> Scale {
-        Scale { keys: 3_000, ops: 60, bulk_keys: 1_500, seed: 7 }
+        Scale { keys: 3_000, ops: 60, bulk_keys: 1_500, seed: 7, threads: 2 }
     }
 
     #[test]
@@ -544,6 +590,7 @@ mod tests {
             "fig13",
             "fig14",
             "layout_ablation",
+            "par_lookup",
         ] {
             assert!(names.contains(&expected), "missing experiment {expected}");
         }
@@ -563,5 +610,10 @@ mod tests {
         let s = tiny();
         fig6(&s);
         fig10(&s);
+    }
+
+    #[test]
+    fn par_lookup_sweep_runs_at_tiny_scale() {
+        par_lookup(&tiny());
     }
 }

@@ -1,6 +1,7 @@
 //! Building indexes and executing workloads against them.
 
 use std::sync::Arc;
+use std::time::Instant;
 
 use lidx_alex::{AlexConfig, AlexIndex, AlexLayout};
 use lidx_btree::BTreeIndex;
@@ -45,6 +46,32 @@ impl IndexChoice {
         IndexChoice::Lipp,
     ];
 
+    /// The seven distinct index designs (excludes the `AlexLayout1`
+    /// ablation, which is the same design with a different file layout).
+    /// This is the list the cross-index oracle suites and concurrency
+    /// sweeps iterate, so a newly added design is picked up everywhere.
+    pub const ALL_DESIGNS: [IndexChoice; 7] = [
+        IndexChoice::BTree,
+        IndexChoice::Fiting,
+        IndexChoice::Pgm,
+        IndexChoice::Alex,
+        IndexChoice::Lipp,
+        IndexChoice::HybridPla,
+        IndexChoice::HybridModelTree,
+    ];
+
+    /// Every variant, including ablation configurations.
+    pub const ALL: [IndexChoice; 8] = [
+        IndexChoice::BTree,
+        IndexChoice::Fiting,
+        IndexChoice::Pgm,
+        IndexChoice::Alex,
+        IndexChoice::AlexLayout1,
+        IndexChoice::Lipp,
+        IndexChoice::HybridPla,
+        IndexChoice::HybridModelTree,
+    ];
+
     /// Short name used in report rows.
     pub fn name(self) -> &'static str {
         match self {
@@ -61,18 +88,7 @@ impl IndexChoice {
 
     /// Parses a name produced by [`IndexChoice::name`].
     pub fn from_name(s: &str) -> Option<IndexChoice> {
-        [
-            IndexChoice::BTree,
-            IndexChoice::Fiting,
-            IndexChoice::Pgm,
-            IndexChoice::Alex,
-            IndexChoice::AlexLayout1,
-            IndexChoice::Lipp,
-            IndexChoice::HybridPla,
-            IndexChoice::HybridModelTree,
-        ]
-        .into_iter()
-        .find(|c| c.name() == s)
+        Self::ALL.into_iter().find(|c| c.name() == s)
     }
 
     /// Builds an empty index of this kind over `disk`.
@@ -126,6 +142,11 @@ pub struct RunConfig {
     pub buffer_blocks: usize,
     /// Treat inner-node and meta blocks as memory-resident (§6.2).
     pub memory_resident_inner: bool,
+    /// Realise the device cost model as actual blocking time (each charged
+    /// read/write sleeps for its simulated latency, outside all locks). Used
+    /// by the concurrent-read phases so N reader threads overlap their
+    /// simulated I/O waits exactly like outstanding disk requests.
+    pub simulate_device_latency: bool,
 }
 
 impl Default for RunConfig {
@@ -135,6 +156,7 @@ impl Default for RunConfig {
             device: DeviceModel::hdd(),
             buffer_blocks: 0,
             memory_resident_inner: false,
+            simulate_device_latency: false,
         }
     }
 }
@@ -144,7 +166,8 @@ impl RunConfig {
     pub fn make_disk(&self) -> Arc<Disk> {
         let mut cfg = DiskConfig::with_block_size(self.block_size)
             .device(self.device)
-            .buffer_blocks(self.buffer_blocks);
+            .buffer_blocks(self.buffer_blocks)
+            .simulate_latency(self.simulate_device_latency);
         if self.memory_resident_inner {
             cfg = cfg.memory_resident(&[BlockKind::Inner, BlockKind::Meta]);
         }
@@ -275,6 +298,114 @@ pub fn bulk_keys(workload: &Workload) -> Vec<Key> {
     workload.bulk.iter().map(|e| e.0).collect()
 }
 
+/// Everything measured by a [`run_par_lookup`] phase: N reader threads
+/// sharing one bulk-loaded (frozen) index.
+///
+/// Unlike [`WorkloadReport`], throughput here is derived from *wall-clock*
+/// time: the point of the phase is to observe how real reader threads
+/// overlap, which simulated (purely counted) device time cannot express.
+#[derive(Debug, Clone)]
+pub struct ParLookupReport {
+    /// Index name.
+    pub index: String,
+    /// Number of reader threads.
+    pub threads: usize,
+    /// Total lookups executed across all threads.
+    pub total_ops: u64,
+    /// Wall-clock seconds from the first thread starting to the last one
+    /// finishing.
+    pub wall_seconds: f64,
+    /// Lookups that returned `None` (sanity signal: lookup-only workloads
+    /// draw their keys from the bulk load, so this should be zero).
+    pub not_found: u64,
+    /// Device blocks read during the phase.
+    pub blocks_read: u64,
+}
+
+impl ParLookupReport {
+    /// Aggregate lookups per wall-clock second across all threads.
+    pub fn aggregate_ops_per_sec(&self) -> f64 {
+        if self.wall_seconds <= 0.0 {
+            f64::INFINITY
+        } else {
+            self.total_ops as f64 / self.wall_seconds
+        }
+    }
+
+    /// Average per-thread lookups per wall-clock second.
+    pub fn per_thread_ops_per_sec(&self) -> f64 {
+        self.aggregate_ops_per_sec() / self.threads.max(1) as f64
+    }
+}
+
+/// Bulk loads `choice` over `workload.bulk`, freezes the index, then executes
+/// the workload's lookup keys from `threads` concurrent reader threads
+/// (round-robin partitioning), measuring wall-clock throughput.
+///
+/// This is the "N threads of lookups against a bulk-loaded index" phase from
+/// the roadmap: the index is shared as `&dyn DiskIndex` — the `IndexRead`
+/// half of the trait takes `&self` and is `Sync`, so no locking exists
+/// outside the storage layer. Panics if the workload contains no lookups.
+pub fn run_par_lookup(
+    choice: IndexChoice,
+    config: &RunConfig,
+    workload: &Workload,
+    threads: usize,
+) -> ParLookupReport {
+    assert!(threads >= 1, "at least one reader thread is required");
+    let disk = config.make_disk();
+    let mut index = choice.build(Arc::clone(&disk));
+    index.bulk_load(&workload.bulk).expect("bulk load");
+
+    let keys: Vec<Key> = workload
+        .ops
+        .iter()
+        .filter_map(|op| match *op {
+            Op::Lookup(k) => Some(k),
+            _ => None,
+        })
+        .collect();
+    assert!(!keys.is_empty(), "par_lookup requires a workload with lookup operations");
+
+    // Steady-state measurement, as in run_workload: reset counters and start
+    // from a cold access state.
+    disk.stats().reset();
+    disk.clear_buffer();
+    disk.reset_access_state();
+
+    let shared: &dyn DiskIndex = &*index;
+    let keys = &keys;
+    let start = Instant::now();
+    let not_found: u64 = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                s.spawn(move || {
+                    let mut misses = 0u64;
+                    let mut i = t;
+                    while i < keys.len() {
+                        if shared.lookup(keys[i]).expect("lookup").is_none() {
+                            misses += 1;
+                        }
+                        i += threads;
+                    }
+                    misses
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("reader thread panicked")).sum()
+    });
+    let wall_seconds = start.elapsed().as_secs_f64();
+
+    ParLookupReport {
+        index: index.name(),
+        threads,
+        total_ops: keys.len() as u64,
+        wall_seconds,
+        not_found,
+        blocks_read: disk.stats().reads(),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -284,15 +415,7 @@ mod tests {
     fn every_index_runs_a_small_lookup_workload() {
         let keys = Dataset::Ycsb.generate_keys(5_000, 1);
         let w = Workload::build(&keys, WorkloadSpec::new(WorkloadKind::LookupOnly, 200, 0));
-        for choice in [
-            IndexChoice::BTree,
-            IndexChoice::Fiting,
-            IndexChoice::Pgm,
-            IndexChoice::Alex,
-            IndexChoice::Lipp,
-            IndexChoice::HybridPla,
-            IndexChoice::HybridModelTree,
-        ] {
+        for choice in IndexChoice::ALL_DESIGNS {
             let r = run_workload(choice, &RunConfig::default(), &w);
             assert_eq!(r.ops, 200);
             assert!(r.avg_reads_per_op >= 1.0, "{choice:?} must read blocks for lookups");
@@ -325,17 +448,23 @@ mod tests {
     }
 
     #[test]
+    fn par_lookup_runs_every_index_with_multiple_threads() {
+        let keys = Dataset::Ycsb.generate_keys(4_000, 3);
+        let w = Workload::build(&keys, WorkloadSpec::new(WorkloadKind::LookupOnly, 256, 0));
+        for choice in IndexChoice::ALL_DESIGNS {
+            let r = run_par_lookup(choice, &RunConfig::default(), &w, 4);
+            assert_eq!(r.threads, 4);
+            assert_eq!(r.total_ops, 256, "{choice:?} must execute every lookup");
+            assert_eq!(r.not_found, 0, "{choice:?} lookup keys come from the bulk load");
+            assert!(r.blocks_read > 0, "{choice:?} must fetch blocks");
+            assert!(r.aggregate_ops_per_sec() > 0.0);
+            assert!(r.per_thread_ops_per_sec() <= r.aggregate_ops_per_sec());
+        }
+    }
+
+    #[test]
     fn index_choice_names_roundtrip() {
-        for c in [
-            IndexChoice::BTree,
-            IndexChoice::Fiting,
-            IndexChoice::Pgm,
-            IndexChoice::Alex,
-            IndexChoice::AlexLayout1,
-            IndexChoice::Lipp,
-            IndexChoice::HybridPla,
-            IndexChoice::HybridModelTree,
-        ] {
+        for c in IndexChoice::ALL {
             assert_eq!(IndexChoice::from_name(c.name()), Some(c));
         }
         assert_eq!(IndexChoice::from_name("nope"), None);

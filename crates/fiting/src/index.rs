@@ -3,8 +3,8 @@
 use std::sync::Arc;
 
 use lidx_core::{
-    index::validate_bulk_load, DiskIndex, Entry, IndexError, IndexKind, IndexResult, IndexStats,
-    InsertBreakdown, InsertStep, Key, Value,
+    index::validate_bulk_load, DiskIndex, Entry, IndexError, IndexKind, IndexRead, IndexResult,
+    IndexStats, InsertBreakdown, InsertStep, Key, Value,
 };
 use lidx_models::pla::ShrinkingCone;
 use lidx_storage::{BlockKind, Disk};
@@ -191,7 +191,7 @@ impl FitingTree {
     }
 }
 
-impl DiskIndex for FitingTree {
+impl IndexRead for FitingTree {
     fn kind(&self) -> IndexKind {
         IndexKind::FitingTree
     }
@@ -200,20 +200,7 @@ impl DiskIndex for FitingTree {
         &self.disk
     }
 
-    fn bulk_load(&mut self, entries: &[Entry]) -> IndexResult<()> {
-        if self.loaded {
-            return Err(IndexError::AlreadyLoaded);
-        }
-        validate_bulk_load(entries)?;
-        let metas = self.build_segments(entries)?;
-        self.global_min_key = metas[0].first_key;
-        self.directory.bulk_build(&metas)?;
-        self.key_count = entries.len() as u64;
-        self.loaded = true;
-        Ok(())
-    }
-
-    fn lookup(&mut self, key: Key) -> IndexResult<Option<Value>> {
+    fn lookup(&self, key: Key) -> IndexResult<Option<Value>> {
         if !self.loaded {
             return Err(IndexError::NotInitialized);
         }
@@ -231,6 +218,117 @@ impl DiskIndex for FitingTree {
             }
         }
         Ok(None)
+    }
+
+    fn scan(&self, start: Key, count: usize, out: &mut Vec<Entry>) -> IndexResult<usize> {
+        out.clear();
+        if count == 0 || !self.loaded {
+            if !self.loaded {
+                return Err(IndexError::NotInitialized);
+            }
+            return Ok(0);
+        }
+
+        // Entries in the overflow buffer are all below the global minimum, so
+        // they come first in key order.
+        if start < self.global_min_key && self.overflow_count > 0 {
+            let overflow = self.read_overflow()?;
+            for &(k, v) in overflow.iter().filter(|&&(k, _)| k >= start) {
+                out.push((k, v));
+                if out.len() == count {
+                    return Ok(out.len());
+                }
+            }
+        }
+
+        let anchor = start.max(self.global_min_key);
+        let (mut meta, mut slot) = self.directory.find(anchor)?;
+        let mut first_segment = true;
+        loop {
+            // Only the blocks that can contain keys >= `start` are fetched:
+            // within the first segment the model bounds the start position to
+            // within ε, and later segments are read from their beginning.
+            let from_pos = if first_segment && start > meta.first_key {
+                meta.predict(start).saturating_sub(self.config.epsilon)
+            } else {
+                0
+            };
+            first_segment = false;
+            let needed = count - out.len();
+            let data =
+                segment::read_data_from(&self.disk, self.seg_file, &meta, from_pos, start, needed)?;
+            let buffer = if meta.buffer_count > 0 {
+                read_buffer(&self.disk, self.seg_file, &meta)?
+            } else {
+                Vec::new()
+            };
+            let mut di = data.iter().peekable();
+            let mut bi = buffer.iter().peekable();
+            while out.len() < count {
+                let next = match (di.peek(), bi.peek()) {
+                    (Some(&&d), Some(&&b)) => {
+                        if d.0 <= b.0 {
+                            di.next();
+                            d
+                        } else {
+                            bi.next();
+                            b
+                        }
+                    }
+                    (Some(&&d), None) => {
+                        di.next();
+                        d
+                    }
+                    (None, Some(&&b)) => {
+                        bi.next();
+                        b
+                    }
+                    (None, None) => break,
+                };
+                if next.0 >= start {
+                    out.push(next);
+                }
+            }
+            if out.len() == count {
+                return Ok(out.len());
+            }
+            match self.directory.next_segment(slot)? {
+                Some((m, s)) => {
+                    meta = m;
+                    slot = s;
+                }
+                None => return Ok(out.len()),
+            }
+        }
+    }
+
+    fn len(&self) -> u64 {
+        self.key_count
+    }
+
+    fn stats(&self) -> IndexStats {
+        IndexStats {
+            keys: self.key_count,
+            height: self.directory.height() + 1,
+            inner_nodes: self.directory.routing_nodes() + self.directory.leaf_nodes(),
+            leaf_nodes: self.directory.segment_count(),
+            smo_count: self.smo_count,
+        }
+    }
+}
+
+impl DiskIndex for FitingTree {
+    fn bulk_load(&mut self, entries: &[Entry]) -> IndexResult<()> {
+        if self.loaded {
+            return Err(IndexError::AlreadyLoaded);
+        }
+        validate_bulk_load(entries)?;
+        let metas = self.build_segments(entries)?;
+        self.global_min_key = metas[0].first_key;
+        self.directory.bulk_build(&metas)?;
+        self.key_count = entries.len() as u64;
+        self.loaded = true;
+        Ok(())
     }
 
     fn insert(&mut self, key: Key, value: Value) -> IndexResult<()> {
@@ -333,102 +431,6 @@ impl DiskIndex for FitingTree {
         }
         self.breakdown.finish_insert();
         Ok(())
-    }
-
-    fn scan(&mut self, start: Key, count: usize, out: &mut Vec<Entry>) -> IndexResult<usize> {
-        out.clear();
-        if count == 0 || !self.loaded {
-            if !self.loaded {
-                return Err(IndexError::NotInitialized);
-            }
-            return Ok(0);
-        }
-
-        // Entries in the overflow buffer are all below the global minimum, so
-        // they come first in key order.
-        if start < self.global_min_key && self.overflow_count > 0 {
-            let overflow = self.read_overflow()?;
-            for &(k, v) in overflow.iter().filter(|&&(k, _)| k >= start) {
-                out.push((k, v));
-                if out.len() == count {
-                    return Ok(out.len());
-                }
-            }
-        }
-
-        let anchor = start.max(self.global_min_key);
-        let (mut meta, mut slot) = self.directory.find(anchor)?;
-        let mut first_segment = true;
-        loop {
-            // Only the blocks that can contain keys >= `start` are fetched:
-            // within the first segment the model bounds the start position to
-            // within ε, and later segments are read from their beginning.
-            let from_pos = if first_segment && start > meta.first_key {
-                meta.predict(start).saturating_sub(self.config.epsilon)
-            } else {
-                0
-            };
-            first_segment = false;
-            let needed = count - out.len();
-            let data =
-                segment::read_data_from(&self.disk, self.seg_file, &meta, from_pos, start, needed)?;
-            let buffer = if meta.buffer_count > 0 {
-                read_buffer(&self.disk, self.seg_file, &meta)?
-            } else {
-                Vec::new()
-            };
-            let mut di = data.iter().peekable();
-            let mut bi = buffer.iter().peekable();
-            while out.len() < count {
-                let next = match (di.peek(), bi.peek()) {
-                    (Some(&&d), Some(&&b)) => {
-                        if d.0 <= b.0 {
-                            di.next();
-                            d
-                        } else {
-                            bi.next();
-                            b
-                        }
-                    }
-                    (Some(&&d), None) => {
-                        di.next();
-                        d
-                    }
-                    (None, Some(&&b)) => {
-                        bi.next();
-                        b
-                    }
-                    (None, None) => break,
-                };
-                if next.0 >= start {
-                    out.push(next);
-                }
-            }
-            if out.len() == count {
-                return Ok(out.len());
-            }
-            match self.directory.next_segment(slot)? {
-                Some((m, s)) => {
-                    meta = m;
-                    slot = s;
-                }
-                None => return Ok(out.len()),
-            }
-        }
-    }
-
-    fn len(&self) -> u64 {
-        self.key_count
-    }
-
-    fn stats(&self) -> IndexStats {
-        IndexStats {
-            keys: self.key_count,
-            height: self.directory.height() + 1,
-            inner_nodes: self.directory.routing_nodes() + self.directory.leaf_nodes(),
-            leaf_nodes: self.directory.segment_count(),
-            smo_count: self.smo_count,
-        }
     }
 
     fn insert_breakdown(&self) -> InsertBreakdown {
@@ -553,6 +555,35 @@ mod tests {
     }
 
     #[test]
+    fn scan_boundary_cases_match_oracle() {
+        let mut t = tree(512);
+        let data = irregular_entries(1_200);
+        t.bulk_load(&data).unwrap();
+        let mut out = Vec::new();
+
+        // count == 0 returns nothing and clears `out`.
+        out.push((1, 1));
+        assert_eq!(t.scan(data[0].0, 0, &mut out).unwrap(), 0);
+        assert!(out.is_empty());
+
+        // Starts above the maximum stored key return nothing.
+        let max_key = data.last().unwrap().0;
+        for start in [max_key + 1, u64::MAX] {
+            assert_eq!(t.scan(start, 10, &mut out).unwrap(), 0, "scan from {start}");
+            assert!(out.is_empty());
+        }
+
+        // Scanning from every stored key covers every block / segment / node
+        // boundary; each result must match the oracle slice exactly.
+        for (i, &(k, _)) in data.iter().enumerate() {
+            let n = t.scan(k, 5, &mut out).unwrap();
+            let expected: Vec<Entry> = data[i..].iter().take(5).copied().collect();
+            assert_eq!(n, expected.len(), "scan length from key {k}");
+            assert_eq!(out, expected, "scan contents from key {k}");
+        }
+    }
+
+    #[test]
     fn lookup_fetched_blocks_match_expected_shape() {
         // With ε=16 and 512-byte blocks (32 entries/block) a lookup should
         // fetch the directory path plus one or two data blocks.
@@ -582,7 +613,7 @@ mod tests {
         assert!(t.bulk_load(&[(3, 1), (2, 1)]).is_err());
         t.bulk_load(&[(1, 1), (2, 2)]).unwrap();
         assert!(matches!(t.bulk_load(&[(1, 1)]), Err(IndexError::AlreadyLoaded)));
-        let mut t2 = tree(512);
+        let t2 = tree(512);
         assert!(matches!(t2.lookup(1), Err(IndexError::NotInitialized)));
     }
 

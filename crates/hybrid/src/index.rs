@@ -3,8 +3,8 @@
 use std::sync::Arc;
 
 use lidx_core::{
-    index::validate_bulk_load, DiskIndex, Entry, IndexError, IndexKind, IndexResult, IndexStats,
-    InsertBreakdown, InsertStep, Key, Value,
+    index::validate_bulk_load, DiskIndex, Entry, IndexError, IndexKind, IndexRead, IndexResult,
+    IndexStats, InsertBreakdown, InsertStep, Key, Value,
 };
 use lidx_storage::{BlockId, Disk};
 
@@ -54,7 +54,7 @@ pub struct HybridIndex {
     disk: Arc<Disk>,
     config: HybridConfig,
     leaves: LeafLevel,
-    inner: Box<dyn InnerDirectory + Send>,
+    inner: Box<dyn InnerDirectory + Send + Sync>,
     /// In-memory copy of the `(boundary, leaf block)` pairs, used only to
     /// rebuild the inner directory after leaf splits (meta-style state; all
     /// routing I/O still goes through the on-disk directory).
@@ -69,7 +69,7 @@ impl HybridIndex {
     /// Creates an empty hybrid index.
     pub fn new(disk: Arc<Disk>, config: HybridConfig) -> IndexResult<Self> {
         let leaves = LeafLevel::new(Arc::clone(&disk), config.leaf_fill)?;
-        let inner: Box<dyn InnerDirectory + Send> = match config.inner {
+        let inner: Box<dyn InnerDirectory + Send + Sync> = match config.inner {
             HybridInnerKind::Pla => Box::new(PlaInner::new(Arc::clone(&disk), config.epsilon)?),
             HybridInnerKind::ModelTree => {
                 Box::new(ModelTreeInner::new(Arc::clone(&disk), config.gap_factor)?)
@@ -99,7 +99,7 @@ impl HybridIndex {
     }
 }
 
-impl DiskIndex for HybridIndex {
+impl IndexRead for HybridIndex {
     fn kind(&self) -> IndexKind {
         IndexKind::Hybrid
     }
@@ -112,6 +112,42 @@ impl DiskIndex for HybridIndex {
         &self.disk
     }
 
+    fn lookup(&self, key: Key) -> IndexResult<Option<Value>> {
+        if !self.loaded {
+            return Err(IndexError::NotInitialized);
+        }
+        let leaf = self.inner.find_leaf(key)?;
+        self.leaves.lookup_in(leaf, key)
+    }
+
+    fn scan(&self, start: Key, count: usize, out: &mut Vec<Entry>) -> IndexResult<usize> {
+        out.clear();
+        if !self.loaded {
+            return Err(IndexError::NotInitialized);
+        }
+        if count == 0 {
+            return Ok(0);
+        }
+        let leaf = self.inner.find_leaf(start)?;
+        self.leaves.scan_from(leaf, start, count, out)
+    }
+
+    fn len(&self) -> u64 {
+        self.key_count
+    }
+
+    fn stats(&self) -> IndexStats {
+        IndexStats {
+            keys: self.key_count,
+            height: self.inner.height() + 1,
+            inner_nodes: self.inner.node_count(),
+            leaf_nodes: self.leaves.leaf_count(),
+            smo_count: self.smo_count,
+        }
+    }
+}
+
+impl DiskIndex for HybridIndex {
     fn bulk_load(&mut self, entries: &[Entry]) -> IndexResult<()> {
         if self.loaded {
             return Err(IndexError::AlreadyLoaded);
@@ -122,14 +158,6 @@ impl DiskIndex for HybridIndex {
         self.key_count = entries.len() as u64;
         self.loaded = true;
         Ok(())
-    }
-
-    fn lookup(&mut self, key: Key) -> IndexResult<Option<Value>> {
-        if !self.loaded {
-            return Err(IndexError::NotInitialized);
-        }
-        let leaf = self.inner.find_leaf(key)?;
-        self.leaves.lookup_in(leaf, key)
     }
 
     fn insert(&mut self, key: Key, value: Value) -> IndexResult<()> {
@@ -166,32 +194,6 @@ impl DiskIndex for HybridIndex {
         Ok(())
     }
 
-    fn scan(&mut self, start: Key, count: usize, out: &mut Vec<Entry>) -> IndexResult<usize> {
-        out.clear();
-        if !self.loaded {
-            return Err(IndexError::NotInitialized);
-        }
-        if count == 0 {
-            return Ok(0);
-        }
-        let leaf = self.inner.find_leaf(start)?;
-        self.leaves.scan_from(leaf, start, count, out)
-    }
-
-    fn len(&self) -> u64 {
-        self.key_count
-    }
-
-    fn stats(&self) -> IndexStats {
-        IndexStats {
-            keys: self.key_count,
-            height: self.inner.height() + 1,
-            inner_nodes: self.inner.node_count(),
-            leaf_nodes: self.leaves.leaf_count(),
-            smo_count: self.smo_count,
-        }
-    }
-
     fn insert_breakdown(&self) -> InsertBreakdown {
         self.breakdown
     }
@@ -220,7 +222,7 @@ mod tests {
     #[test]
     fn lookups_work_for_both_inner_kinds() {
         for inner in [HybridInnerKind::Pla, HybridInnerKind::ModelTree] {
-            let (mut h, data) = build(inner, 20_000);
+            let (h, data) = build(inner, 20_000);
             assert_eq!(h.len(), data.len() as u64);
             for &(k, v) in data.iter().step_by(487) {
                 assert_eq!(h.lookup(k).unwrap(), Some(v), "{inner:?} key {k}");
@@ -233,7 +235,7 @@ mod tests {
     #[test]
     fn scans_behave_like_a_btree_leaf_chain() {
         for inner in [HybridInnerKind::Pla, HybridInnerKind::ModelTree] {
-            let (mut h, data) = build(inner, 10_000);
+            let (h, data) = build(inner, 10_000);
             let mut out = Vec::new();
             let n = h.scan(data[3_000].0, 500, &mut out).unwrap();
             assert_eq!(n, 500);
@@ -247,7 +249,7 @@ mod tests {
     fn scan_leaf_io_is_dense_like_a_btree() {
         // The whole point of the hybrid design: scans fetch only dense leaf
         // blocks (plus the inner descent), unlike ALEX/LIPP native scans.
-        let (mut h, data) = build(HybridInnerKind::Pla, 20_000);
+        let (h, data) = build(HybridInnerKind::Pla, 20_000);
         let mut out = Vec::new();
         h.disk().stats().reset();
         h.disk().reset_access_state();
@@ -256,6 +258,34 @@ mod tests {
         // 100 entries at ~25 entries per 512-byte leaf = about 5 leaf blocks.
         assert!(leaf_reads <= 8, "scan fetched {leaf_reads} leaf blocks");
         assert_eq!(h.disk().stats().reads_of(BlockKind::Utility), 0);
+    }
+
+    #[test]
+    fn scan_boundary_cases_match_oracle() {
+        for inner in [HybridInnerKind::Pla, HybridInnerKind::ModelTree] {
+            let (t, data) = build(inner, 1_200);
+            let mut out = Vec::new();
+
+            // count == 0 returns nothing and clears `out`.
+            out.push((1, 1));
+            assert_eq!(t.scan(data[0].0, 0, &mut out).unwrap(), 0);
+            assert!(out.is_empty());
+
+            // Starts above the maximum stored key return nothing.
+            let max_key = data.last().unwrap().0;
+            for start in [max_key + 1, u64::MAX] {
+                assert_eq!(t.scan(start, 10, &mut out).unwrap(), 0, "{inner:?} from {start}");
+                assert!(out.is_empty());
+            }
+
+            // Scanning from every stored key covers every leaf boundary.
+            for (i, &(k, _)) in data.iter().enumerate() {
+                let n = t.scan(k, 5, &mut out).unwrap();
+                let expected: Vec<Entry> = data[i..].iter().take(5).copied().collect();
+                assert_eq!(n, expected.len(), "{inner:?} scan length from key {k}");
+                assert_eq!(out, expected, "{inner:?} scan contents from key {k}");
+            }
+        }
     }
 
     #[test]

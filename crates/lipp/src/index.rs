@@ -3,8 +3,8 @@
 use std::sync::Arc;
 
 use lidx_core::{
-    index::validate_bulk_load, DiskIndex, Entry, IndexError, IndexKind, IndexResult, IndexStats,
-    InsertBreakdown, InsertStep, Key, Value,
+    index::validate_bulk_load, DiskIndex, Entry, IndexError, IndexKind, IndexRead, IndexResult,
+    IndexStats, InsertBreakdown, InsertStep, Key, Value,
 };
 use lidx_models::fmcd::fit_fmcd;
 use lidx_storage::{BlockId, Disk};
@@ -170,7 +170,7 @@ fn count_nodes(disk: &Disk, node: &LippNode, acc: &mut u64) -> IndexResult<()> {
     Ok(())
 }
 
-impl DiskIndex for LippIndex {
+impl IndexRead for LippIndex {
     fn kind(&self) -> IndexKind {
         IndexKind::Lipp
     }
@@ -179,18 +179,7 @@ impl DiskIndex for LippIndex {
         &self.disk
     }
 
-    fn bulk_load(&mut self, entries: &[Entry]) -> IndexResult<()> {
-        if self.loaded {
-            return Err(IndexError::AlreadyLoaded);
-        }
-        validate_bulk_load(entries)?;
-        self.root = self.build_subtree(entries, 0)?;
-        self.key_count = entries.len() as u64;
-        self.loaded = true;
-        Ok(())
-    }
-
-    fn lookup(&mut self, key: Key) -> IndexResult<Option<Value>> {
+    fn lookup(&self, key: Key) -> IndexResult<Option<Value>> {
         if !self.loaded {
             return Err(IndexError::NotInitialized);
         }
@@ -203,6 +192,85 @@ impl DiskIndex for LippIndex {
                 Slot::Child(b) => node = LippNode::load(&self.disk, self.file, b)?,
             }
         }
+    }
+
+    fn scan(&self, start: Key, count: usize, out: &mut Vec<Entry>) -> IndexResult<usize> {
+        out.clear();
+        if !self.loaded {
+            return Err(IndexError::NotInitialized);
+        }
+        if count == 0 {
+            return Ok(0);
+        }
+        // Seed the traversal stack with the access path of `start`: every
+        // ancestor resumes just after the slot we descended through.
+        let mut stack: Vec<(LippNode, u32)> = Vec::new();
+        let mut node = LippNode::load(&self.disk, self.file, self.root)?;
+        loop {
+            let slot = node.predict(start);
+            match node.read_slot(&self.disk, slot)? {
+                Slot::Child(b) => {
+                    stack.push((node, slot + 1));
+                    node = LippNode::load(&self.disk, self.file, b)?;
+                }
+                _ => {
+                    stack.push((node, slot));
+                    break;
+                }
+            }
+        }
+
+        // In-order traversal across the interleaved DATA / NODE slots — the
+        // scattered accesses behind LIPP's poor scan performance (O5).
+        'outer: while let Some((node, mut idx)) = stack.pop() {
+            while idx < node.header.capacity {
+                if out.len() >= count {
+                    break 'outer;
+                }
+                match node.read_slot(&self.disk, idx)? {
+                    Slot::Null => {}
+                    Slot::Data(k, v) => {
+                        if k >= start {
+                            out.push((k, v));
+                        }
+                    }
+                    Slot::Child(b) => {
+                        stack.push((node, idx + 1));
+                        stack.push((LippNode::load(&self.disk, self.file, b)?, 0));
+                        continue 'outer;
+                    }
+                }
+                idx += 1;
+            }
+        }
+        Ok(out.len())
+    }
+
+    fn len(&self) -> u64 {
+        self.key_count
+    }
+
+    fn stats(&self) -> IndexStats {
+        IndexStats {
+            keys: self.key_count,
+            height: self.max_depth,
+            inner_nodes: 0,
+            leaf_nodes: self.node_count,
+            smo_count: self.smo_count,
+        }
+    }
+}
+
+impl DiskIndex for LippIndex {
+    fn bulk_load(&mut self, entries: &[Entry]) -> IndexResult<()> {
+        if self.loaded {
+            return Err(IndexError::AlreadyLoaded);
+        }
+        validate_bulk_load(entries)?;
+        self.root = self.build_subtree(entries, 0)?;
+        self.key_count = entries.len() as u64;
+        self.loaded = true;
+        Ok(())
     }
 
     fn insert(&mut self, key: Key, value: Value) -> IndexResult<()> {
@@ -305,72 +373,6 @@ impl DiskIndex for LippIndex {
 
         self.breakdown.finish_insert();
         Ok(())
-    }
-
-    fn scan(&mut self, start: Key, count: usize, out: &mut Vec<Entry>) -> IndexResult<usize> {
-        out.clear();
-        if !self.loaded {
-            return Err(IndexError::NotInitialized);
-        }
-        if count == 0 {
-            return Ok(0);
-        }
-        // Seed the traversal stack with the access path of `start`: every
-        // ancestor resumes just after the slot we descended through.
-        let mut stack: Vec<(LippNode, u32)> = Vec::new();
-        let mut node = LippNode::load(&self.disk, self.file, self.root)?;
-        loop {
-            let slot = node.predict(start);
-            match node.read_slot(&self.disk, slot)? {
-                Slot::Child(b) => {
-                    stack.push((node, slot + 1));
-                    node = LippNode::load(&self.disk, self.file, b)?;
-                }
-                _ => {
-                    stack.push((node, slot));
-                    break;
-                }
-            }
-        }
-
-        // In-order traversal across the interleaved DATA / NODE slots — the
-        // scattered accesses behind LIPP's poor scan performance (O5).
-        'outer: while let Some((node, mut idx)) = stack.pop() {
-            while idx < node.header.capacity {
-                if out.len() >= count {
-                    break 'outer;
-                }
-                match node.read_slot(&self.disk, idx)? {
-                    Slot::Null => {}
-                    Slot::Data(k, v) => {
-                        if k >= start {
-                            out.push((k, v));
-                        }
-                    }
-                    Slot::Child(b) => {
-                        stack.push((node, idx + 1));
-                        stack.push((LippNode::load(&self.disk, self.file, b)?, 0));
-                        continue 'outer;
-                    }
-                }
-                idx += 1;
-            }
-        }
-        Ok(out.len())
-    }
-
-    fn len(&self) -> u64 {
-        self.key_count
-    }
-
-    fn stats(&self) -> IndexStats {
-        IndexStats {
-            keys: self.key_count,
-            height: self.max_depth,
-            inner_nodes: 0,
-            leaf_nodes: self.node_count,
-            smo_count: self.smo_count,
-        }
     }
 
     fn insert_breakdown(&self) -> InsertBreakdown {
@@ -488,6 +490,35 @@ mod tests {
         );
         let b = l.insert_breakdown();
         assert!(b.writes(lidx_core::InsertStep::Maintenance) >= 1);
+    }
+
+    #[test]
+    fn scan_boundary_cases_match_oracle() {
+        let mut t = index();
+        let data = uniformish(1_200);
+        t.bulk_load(&data).unwrap();
+        let mut out = Vec::new();
+
+        // count == 0 returns nothing and clears `out`.
+        out.push((1, 1));
+        assert_eq!(t.scan(data[0].0, 0, &mut out).unwrap(), 0);
+        assert!(out.is_empty());
+
+        // Starts above the maximum stored key return nothing.
+        let max_key = data.last().unwrap().0;
+        for start in [max_key + 1, u64::MAX] {
+            assert_eq!(t.scan(start, 10, &mut out).unwrap(), 0, "scan from {start}");
+            assert!(out.is_empty());
+        }
+
+        // Scanning from every stored key covers every block / segment / node
+        // boundary; each result must match the oracle slice exactly.
+        for (i, &(k, _)) in data.iter().enumerate() {
+            let n = t.scan(k, 5, &mut out).unwrap();
+            let expected: Vec<Entry> = data[i..].iter().take(5).copied().collect();
+            assert_eq!(n, expected.len(), "scan length from key {k}");
+            assert_eq!(out, expected, "scan contents from key {k}");
+        }
     }
 
     #[test]

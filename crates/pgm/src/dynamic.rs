@@ -16,8 +16,8 @@
 use std::sync::Arc;
 
 use lidx_core::{
-    index::validate_bulk_load, DiskIndex, Entry, IndexError, IndexKind, IndexResult, IndexStats,
-    InsertBreakdown, InsertStep, Key, Value,
+    index::validate_bulk_load, DiskIndex, Entry, IndexError, IndexKind, IndexRead, IndexResult,
+    IndexStats, InsertBreakdown, InsertStep, Key, Value,
 };
 use lidx_storage::{BlockKind, Disk};
 
@@ -211,7 +211,7 @@ impl PgmIndex {
     }
 }
 
-impl DiskIndex for PgmIndex {
+impl IndexRead for PgmIndex {
     fn kind(&self) -> IndexKind {
         IndexKind::Pgm
     }
@@ -220,27 +220,7 @@ impl DiskIndex for PgmIndex {
         &self.disk
     }
 
-    fn bulk_load(&mut self, entries: &[Entry]) -> IndexResult<()> {
-        if self.loaded {
-            return Err(IndexError::AlreadyLoaded);
-        }
-        validate_bulk_load(entries)?;
-        // Place the bulk-loaded data in the smallest level large enough.
-        let mut level = 0usize;
-        while self.level_capacity(level) < entries.len() as u64 {
-            level += 1;
-        }
-        while self.levels.len() <= level {
-            self.levels.push(None);
-        }
-        let component = StaticPgm::build(Arc::clone(&self.disk), entries, self.config.epsilon)?;
-        self.levels[level] = Some(component);
-        self.key_count = entries.len() as u64;
-        self.loaded = true;
-        Ok(())
-    }
-
-    fn lookup(&mut self, key: Key) -> IndexResult<Option<Value>> {
+    fn lookup(&self, key: Key) -> IndexResult<Option<Value>> {
         if !self.loaded {
             return Err(IndexError::NotInitialized);
         }
@@ -259,39 +239,7 @@ impl DiskIndex for PgmIndex {
         Ok(None)
     }
 
-    fn insert(&mut self, key: Key, value: Value) -> IndexResult<()> {
-        if !self.loaded {
-            return Err(IndexError::NotInitialized);
-        }
-        let before = self.disk.snapshot();
-        // PGM only searches the insert run on insert (the paper highlights
-        // this as the reason for its write-only dominance, O6).
-        let mut run = self.read_run()?;
-        let after_search = self.disk.snapshot();
-        self.breakdown.add(InsertStep::Search, &after_search.since(&before));
-
-        match run.binary_search_by_key(&key, |&(k, _)| k) {
-            Ok(pos) => run[pos].1 = value,
-            Err(pos) => {
-                run.insert(pos, (key, value));
-                self.key_count += 1;
-            }
-        }
-        if run.len() <= self.config.insert_run_entries {
-            self.run = run.len() as u32;
-            self.write_run(&run)?;
-            let after_insert = self.disk.snapshot();
-            self.breakdown.add(InsertStep::Insert, &after_insert.since(&after_search));
-        } else {
-            self.flush_run(run)?;
-            let after_smo = self.disk.snapshot();
-            self.breakdown.add(InsertStep::Smo, &after_smo.since(&after_search));
-        }
-        self.breakdown.finish_insert();
-        Ok(())
-    }
-
-    fn scan(&mut self, start: Key, count: usize, out: &mut Vec<Entry>) -> IndexResult<usize> {
+    fn scan(&self, start: Key, count: usize, out: &mut Vec<Entry>) -> IndexResult<usize> {
         out.clear();
         if !self.loaded {
             return Err(IndexError::NotInitialized);
@@ -335,6 +283,60 @@ impl DiskIndex for PgmIndex {
         // Merged components release their files, so PGM's live footprint is
         // the allocation minus what has been freed (§6.3).
         self.disk.total_blocks() - self.disk.stats().freed_blocks()
+    }
+}
+
+impl DiskIndex for PgmIndex {
+    fn bulk_load(&mut self, entries: &[Entry]) -> IndexResult<()> {
+        if self.loaded {
+            return Err(IndexError::AlreadyLoaded);
+        }
+        validate_bulk_load(entries)?;
+        // Place the bulk-loaded data in the smallest level large enough.
+        let mut level = 0usize;
+        while self.level_capacity(level) < entries.len() as u64 {
+            level += 1;
+        }
+        while self.levels.len() <= level {
+            self.levels.push(None);
+        }
+        let component = StaticPgm::build(Arc::clone(&self.disk), entries, self.config.epsilon)?;
+        self.levels[level] = Some(component);
+        self.key_count = entries.len() as u64;
+        self.loaded = true;
+        Ok(())
+    }
+
+    fn insert(&mut self, key: Key, value: Value) -> IndexResult<()> {
+        if !self.loaded {
+            return Err(IndexError::NotInitialized);
+        }
+        let before = self.disk.snapshot();
+        // PGM only searches the insert run on insert (the paper highlights
+        // this as the reason for its write-only dominance, O6).
+        let mut run = self.read_run()?;
+        let after_search = self.disk.snapshot();
+        self.breakdown.add(InsertStep::Search, &after_search.since(&before));
+
+        match run.binary_search_by_key(&key, |&(k, _)| k) {
+            Ok(pos) => run[pos].1 = value,
+            Err(pos) => {
+                run.insert(pos, (key, value));
+                self.key_count += 1;
+            }
+        }
+        if run.len() <= self.config.insert_run_entries {
+            self.run = run.len() as u32;
+            self.write_run(&run)?;
+            let after_insert = self.disk.snapshot();
+            self.breakdown.add(InsertStep::Insert, &after_insert.since(&after_search));
+        } else {
+            self.flush_run(run)?;
+            let after_smo = self.disk.snapshot();
+            self.breakdown.add(InsertStep::Smo, &after_smo.since(&after_search));
+        }
+        self.breakdown.finish_insert();
+        Ok(())
     }
 
     fn insert_breakdown(&self) -> InsertBreakdown {
@@ -439,6 +441,48 @@ mod tests {
         assert_eq!(out[0].0, 1);
         assert_eq!(out[1].0, 3);
         assert_eq!(out[2].0, 5);
+    }
+
+    #[test]
+    fn scan_boundary_cases_match_oracle() {
+        let mut t = index(512, 32);
+        let data = entries(1_200, 7);
+        t.bulk_load(&data).unwrap();
+        // Push some keys through the insert run so scans must merge
+        // components at their boundaries too.
+        for i in 0..50u64 {
+            t.insert(i * 7 * 24 + 4, 42).unwrap();
+        }
+        let mut data: Vec<Entry> = data;
+        for i in 0..50u64 {
+            let k = i * 7 * 24 + 4;
+            match data.binary_search_by_key(&k, |e| e.0) {
+                Ok(p) => data[p].1 = 42,
+                Err(p) => data.insert(p, (k, 42)),
+            }
+        }
+        let mut out = Vec::new();
+
+        // count == 0 returns nothing and clears `out`.
+        out.push((1, 1));
+        assert_eq!(t.scan(data[0].0, 0, &mut out).unwrap(), 0);
+        assert!(out.is_empty());
+
+        // Starts above the maximum stored key return nothing.
+        let max_key = data.last().unwrap().0;
+        for start in [max_key + 1, u64::MAX] {
+            assert_eq!(t.scan(start, 10, &mut out).unwrap(), 0, "scan from {start}");
+            assert!(out.is_empty());
+        }
+
+        // Scanning from every stored key covers every block / segment / node
+        // boundary; each result must match the oracle slice exactly.
+        for (i, &(k, _)) in data.iter().enumerate() {
+            let n = t.scan(k, 5, &mut out).unwrap();
+            let expected: Vec<Entry> = data[i..].iter().take(5).copied().collect();
+            assert_eq!(n, expected.len(), "scan length from key {k}");
+            assert_eq!(out, expected, "scan contents from key {k}");
+        }
     }
 
     #[test]

@@ -11,10 +11,19 @@
 //! * [`FileBackend`] — blocks live in real files under a directory, accessed
 //!   with positional reads/writes. Used to verify that the index
 //!   implementations genuinely round-trip through persistent storage.
+//!
+//! Every method takes `&self`: backends synchronise internally (a reader /
+//! writer lock over the file table) so N reader threads can fetch blocks in
+//! parallel without serialising on the [`crate::Disk`] façade. Structural
+//! operations (`create_file`, `extend`) take the write lock; block reads and
+//! writes only need the read lock — concurrent writes to the *same* block
+//! are the caller's responsibility, which the frozen-index read phase
+//! guarantees never happens.
 
 use std::fs::{File, OpenOptions};
-use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::PathBuf;
+
+use parking_lot::RwLock;
 
 use crate::error::{StorageError, StorageResult};
 use crate::BlockId;
@@ -22,27 +31,29 @@ use crate::BlockId;
 /// A block-addressed storage device holding multiple files.
 ///
 /// All offsets are in units of whole blocks; the block size is fixed at
-/// construction time and identical for every file of the backend.
-pub trait StorageBackend: Send {
+/// construction time and identical for every file of the backend. The
+/// `Send + Sync` bounds are what allow a [`crate::Disk`] to be shared across
+/// reader threads.
+pub trait StorageBackend: Send + Sync {
     /// The block size in bytes.
     fn block_size(&self) -> usize;
 
     /// Creates a new, empty file and returns its id.
-    fn create_file(&mut self) -> StorageResult<u32>;
+    fn create_file(&self) -> StorageResult<u32>;
 
     /// Number of blocks currently allocated in `file`.
     fn num_blocks(&self, file: u32) -> StorageResult<u32>;
 
     /// Appends `count` zeroed blocks to `file`, returning the id of the first
     /// new block. The new blocks are contiguous.
-    fn extend(&mut self, file: u32, count: u32) -> StorageResult<BlockId>;
+    fn extend(&self, file: u32, count: u32) -> StorageResult<BlockId>;
 
     /// Reads block `block` of `file` into `buf` (which must be exactly one
     /// block long).
-    fn read_block(&mut self, file: u32, block: BlockId, buf: &mut [u8]) -> StorageResult<()>;
+    fn read_block(&self, file: u32, block: BlockId, buf: &mut [u8]) -> StorageResult<()>;
 
     /// Writes `data` (exactly one block long) into block `block` of `file`.
-    fn write_block(&mut self, file: u32, block: BlockId, data: &[u8]) -> StorageResult<()>;
+    fn write_block(&self, file: u32, block: BlockId, data: &[u8]) -> StorageResult<()>;
 
     /// Total number of files.
     fn num_files(&self) -> u32;
@@ -52,18 +63,18 @@ pub trait StorageBackend: Send {
 #[derive(Debug)]
 pub struct MemoryBackend {
     block_size: usize,
-    files: Vec<Vec<u8>>,
+    files: RwLock<Vec<Vec<u8>>>,
 }
 
 impl MemoryBackend {
     /// Creates an empty backend with the given block size.
     pub fn new(block_size: usize) -> Self {
         assert!(block_size >= 64, "block size must be at least 64 bytes");
-        MemoryBackend { block_size, files: Vec::new() }
+        MemoryBackend { block_size, files: RwLock::new(Vec::new()) }
     }
 
-    fn check(&self, file: u32, block: BlockId) -> StorageResult<usize> {
-        let f = self.files.get(file as usize).ok_or(StorageError::UnknownFile(file))?;
+    fn check(&self, files: &[Vec<u8>], file: u32, block: BlockId) -> StorageResult<usize> {
+        let f = files.get(file as usize).ok_or(StorageError::UnknownFile(file))?;
         let len = (f.len() / self.block_size) as u32;
         if block >= len {
             return Err(StorageError::BlockOutOfRange { file, block, len });
@@ -77,44 +88,49 @@ impl StorageBackend for MemoryBackend {
         self.block_size
     }
 
-    fn create_file(&mut self) -> StorageResult<u32> {
-        self.files.push(Vec::new());
-        Ok((self.files.len() - 1) as u32)
+    fn create_file(&self) -> StorageResult<u32> {
+        let mut files = self.files.write();
+        files.push(Vec::new());
+        Ok((files.len() - 1) as u32)
     }
 
     fn num_blocks(&self, file: u32) -> StorageResult<u32> {
-        let f = self.files.get(file as usize).ok_or(StorageError::UnknownFile(file))?;
+        let files = self.files.read();
+        let f = files.get(file as usize).ok_or(StorageError::UnknownFile(file))?;
         Ok((f.len() / self.block_size) as u32)
     }
 
-    fn extend(&mut self, file: u32, count: u32) -> StorageResult<BlockId> {
+    fn extend(&self, file: u32, count: u32) -> StorageResult<BlockId> {
         let bs = self.block_size;
-        let f = self.files.get_mut(file as usize).ok_or(StorageError::UnknownFile(file))?;
+        let mut files = self.files.write();
+        let f = files.get_mut(file as usize).ok_or(StorageError::UnknownFile(file))?;
         let first = (f.len() / bs) as u32;
         f.resize(f.len() + count as usize * bs, 0);
         Ok(first)
     }
 
-    fn read_block(&mut self, file: u32, block: BlockId, buf: &mut [u8]) -> StorageResult<()> {
+    fn read_block(&self, file: u32, block: BlockId, buf: &mut [u8]) -> StorageResult<()> {
         if buf.len() != self.block_size {
             return Err(StorageError::BadBufferSize { got: buf.len(), expected: self.block_size });
         }
-        let off = self.check(file, block)?;
-        buf.copy_from_slice(&self.files[file as usize][off..off + self.block_size]);
+        let files = self.files.read();
+        let off = self.check(&files, file, block)?;
+        buf.copy_from_slice(&files[file as usize][off..off + self.block_size]);
         Ok(())
     }
 
-    fn write_block(&mut self, file: u32, block: BlockId, data: &[u8]) -> StorageResult<()> {
+    fn write_block(&self, file: u32, block: BlockId, data: &[u8]) -> StorageResult<()> {
         if data.len() != self.block_size {
             return Err(StorageError::BadBufferSize { got: data.len(), expected: self.block_size });
         }
-        let off = self.check(file, block)?;
-        self.files[file as usize][off..off + self.block_size].copy_from_slice(data);
+        let mut files = self.files.write();
+        let off = self.check(&files, file, block)?;
+        files[file as usize][off..off + self.block_size].copy_from_slice(data);
         Ok(())
     }
 
     fn num_files(&self) -> u32 {
-        self.files.len() as u32
+        self.files.read().len() as u32
     }
 }
 
@@ -123,11 +139,18 @@ impl StorageBackend for MemoryBackend {
 /// Files are named `file_<id>.blk` inside the directory supplied at
 /// construction. The directory is created if needed and is *not* removed on
 /// drop; callers own its lifecycle (the test-suite uses temporary
-/// directories).
+/// directories). Block I/O uses positional reads/writes (`pread`/`pwrite`
+/// on Unix, `seek_read`/`seek_write` on Windows), which work through a
+/// shared `&File`, so readers never contend on a seek position.
 #[derive(Debug)]
 pub struct FileBackend {
     block_size: usize,
     dir: PathBuf,
+    state: RwLock<FileBackendState>,
+}
+
+#[derive(Debug, Default)]
+struct FileBackendState {
     files: Vec<File>,
     sizes: Vec<u32>,
 }
@@ -138,17 +161,63 @@ impl FileBackend {
         assert!(block_size >= 64, "block size must be at least 64 bytes");
         let dir = dir.into();
         std::fs::create_dir_all(&dir)?;
-        Ok(FileBackend { block_size, dir, files: Vec::new(), sizes: Vec::new() })
+        Ok(FileBackend { block_size, dir, state: RwLock::new(FileBackendState::default()) })
     }
 
     /// The directory backing this store.
     pub fn dir(&self) -> &std::path::Path {
         &self.dir
     }
+}
 
-    fn file_mut(&mut self, file: u32) -> StorageResult<&mut File> {
-        self.files.get_mut(file as usize).ok_or(StorageError::UnknownFile(file))
+impl FileBackendState {
+    fn checked(&self, file: u32, block: BlockId) -> StorageResult<&File> {
+        let len = *self.sizes.get(file as usize).ok_or(StorageError::UnknownFile(file))?;
+        if block >= len {
+            return Err(StorageError::BlockOutOfRange { file, block, len });
+        }
+        Ok(&self.files[file as usize])
     }
+}
+
+/// Positional read through a shared `&File` (no seek-pointer contention).
+#[cfg(unix)]
+fn read_at(f: &File, buf: &mut [u8], offset: u64) -> std::io::Result<()> {
+    std::os::unix::fs::FileExt::read_exact_at(f, buf, offset)
+}
+
+/// Positional write through a shared `&File` (no seek-pointer contention).
+#[cfg(unix)]
+fn write_at(f: &File, data: &[u8], offset: u64) -> std::io::Result<()> {
+    std::os::unix::fs::FileExt::write_all_at(f, data, offset)
+}
+
+#[cfg(windows)]
+fn read_at(f: &File, mut buf: &mut [u8], mut offset: u64) -> std::io::Result<()> {
+    // seek_read moves the OS file pointer, but every access in this backend
+    // passes an absolute offset, so that is harmless.
+    while !buf.is_empty() {
+        let n = std::os::windows::fs::FileExt::seek_read(f, buf, offset)?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "unexpected end of block file",
+            ));
+        }
+        buf = &mut buf[n..];
+        offset += n as u64;
+    }
+    Ok(())
+}
+
+#[cfg(windows)]
+fn write_at(f: &File, mut data: &[u8], mut offset: u64) -> std::io::Result<()> {
+    while !data.is_empty() {
+        let n = std::os::windows::fs::FileExt::seek_write(f, data, offset)?;
+        data = &data[n..];
+        offset += n as u64;
+    }
+    Ok(())
 }
 
 impl StorageBackend for FileBackend {
@@ -156,60 +225,52 @@ impl StorageBackend for FileBackend {
         self.block_size
     }
 
-    fn create_file(&mut self) -> StorageResult<u32> {
-        let id = self.files.len() as u32;
+    fn create_file(&self) -> StorageResult<u32> {
+        let mut state = self.state.write();
+        let id = state.files.len() as u32;
         let path = self.dir.join(format!("file_{id}.blk"));
         let f = OpenOptions::new().read(true).write(true).create(true).truncate(true).open(path)?;
-        self.files.push(f);
-        self.sizes.push(0);
+        state.files.push(f);
+        state.sizes.push(0);
         Ok(id)
     }
 
     fn num_blocks(&self, file: u32) -> StorageResult<u32> {
-        self.sizes.get(file as usize).copied().ok_or(StorageError::UnknownFile(file))
+        self.state.read().sizes.get(file as usize).copied().ok_or(StorageError::UnknownFile(file))
     }
 
-    fn extend(&mut self, file: u32, count: u32) -> StorageResult<BlockId> {
+    fn extend(&self, file: u32, count: u32) -> StorageResult<BlockId> {
         let bs = self.block_size;
-        let first = self.num_blocks(file)?;
+        let mut state = self.state.write();
+        let first = *state.sizes.get(file as usize).ok_or(StorageError::UnknownFile(file))?;
         let new_len = (first as u64 + count as u64) * bs as u64;
-        self.file_mut(file)?.set_len(new_len)?;
-        self.sizes[file as usize] = first + count;
+        state.files[file as usize].set_len(new_len)?;
+        state.sizes[file as usize] = first + count;
         Ok(first)
     }
 
-    fn read_block(&mut self, file: u32, block: BlockId, buf: &mut [u8]) -> StorageResult<()> {
+    fn read_block(&self, file: u32, block: BlockId, buf: &mut [u8]) -> StorageResult<()> {
         if buf.len() != self.block_size {
             return Err(StorageError::BadBufferSize { got: buf.len(), expected: self.block_size });
         }
-        let len = self.num_blocks(file)?;
-        if block >= len {
-            return Err(StorageError::BlockOutOfRange { file, block, len });
-        }
-        let off = block as u64 * self.block_size as u64;
-        let f = self.file_mut(file)?;
-        f.seek(SeekFrom::Start(off))?;
-        f.read_exact(buf)?;
+        let state = self.state.read();
+        let f = state.checked(file, block)?;
+        read_at(f, buf, block as u64 * self.block_size as u64)?;
         Ok(())
     }
 
-    fn write_block(&mut self, file: u32, block: BlockId, data: &[u8]) -> StorageResult<()> {
+    fn write_block(&self, file: u32, block: BlockId, data: &[u8]) -> StorageResult<()> {
         if data.len() != self.block_size {
             return Err(StorageError::BadBufferSize { got: data.len(), expected: self.block_size });
         }
-        let len = self.num_blocks(file)?;
-        if block >= len {
-            return Err(StorageError::BlockOutOfRange { file, block, len });
-        }
-        let off = block as u64 * self.block_size as u64;
-        let f = self.file_mut(file)?;
-        f.seek(SeekFrom::Start(off))?;
-        f.write_all(data)?;
+        let state = self.state.read();
+        let f = state.checked(file, block)?;
+        write_at(f, data, block as u64 * self.block_size as u64)?;
         Ok(())
     }
 
     fn num_files(&self) -> u32 {
-        self.files.len() as u32
+        self.state.read().files.len() as u32
     }
 }
 
@@ -217,7 +278,7 @@ impl StorageBackend for FileBackend {
 mod tests {
     use super::*;
 
-    fn roundtrip(backend: &mut dyn StorageBackend) {
+    fn roundtrip(backend: &dyn StorageBackend) {
         let bs = backend.block_size();
         let f = backend.create_file().unwrap();
         assert_eq!(backend.num_blocks(f).unwrap(), 0);
@@ -246,21 +307,21 @@ mod tests {
 
     #[test]
     fn memory_backend_roundtrip() {
-        let mut b = MemoryBackend::new(256);
-        roundtrip(&mut b);
+        let b = MemoryBackend::new(256);
+        roundtrip(&b);
     }
 
     #[test]
     fn file_backend_roundtrip() {
         let dir = std::env::temp_dir().join(format!("lidx-storage-test-{}", std::process::id()));
-        let mut b = FileBackend::new(&dir, 256).unwrap();
-        roundtrip(&mut b);
+        let b = FileBackend::new(&dir, 256).unwrap();
+        roundtrip(&b);
         std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]
     fn out_of_range_and_bad_sizes_error() {
-        let mut b = MemoryBackend::new(128);
+        let b = MemoryBackend::new(128);
         let f = b.create_file().unwrap();
         b.extend(f, 1).unwrap();
         let mut small = vec![0u8; 64];
@@ -272,7 +333,7 @@ mod tests {
 
     #[test]
     fn multiple_files_are_independent() {
-        let mut b = MemoryBackend::new(128);
+        let b = MemoryBackend::new(128);
         let f1 = b.create_file().unwrap();
         let f2 = b.create_file().unwrap();
         b.extend(f1, 2).unwrap();
@@ -288,5 +349,28 @@ mod tests {
         let mut out = vec![0u8; 128];
         b.read_block(f1, 1, &mut out).unwrap();
         assert!(out.iter().all(|&x| x == 7));
+    }
+
+    #[test]
+    fn memory_backend_supports_parallel_readers() {
+        let b = MemoryBackend::new(128);
+        let f = b.create_file().unwrap();
+        b.extend(f, 16).unwrap();
+        for blk in 0..16u32 {
+            b.write_block(f, blk, &[blk as u8; 128]).unwrap();
+        }
+        let b = &b;
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                s.spawn(move || {
+                    let mut buf = vec![0u8; 128];
+                    for round in 0..200u32 {
+                        let blk = (round + t) % 16;
+                        b.read_block(f, blk, &mut buf).unwrap();
+                        assert!(buf.iter().all(|&x| x == blk as u8), "torn read of block {blk}");
+                    }
+                });
+            }
+        });
     }
 }

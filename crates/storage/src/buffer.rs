@@ -2,11 +2,21 @@
 //!
 //! The paper's default configuration has *no* buffer manager — every request
 //! hits the disk — but §6.6 studies the impact of caching 0–128 blocks with
-//! an LRU policy (Fig. 13). This module provides that cache. It is a simple
-//! strict-LRU map; the evaluation is single-threaded per query so no latching
-//! or pinning protocol is required.
+//! an LRU policy (Fig. 13). This module provides that cache at two levels:
+//!
+//! * [`BufferPool`] — a single strict-LRU map, unsynchronised. Used directly
+//!   by single-threaded micro-benchmarks and as the building block below.
+//! * [`ShardedBufferPool`] — a lock-striped array of [`BufferPool`] shards,
+//!   each behind its own mutex, selected by `(file ^ block)`. This is what
+//!   [`crate::Disk`] embeds so N reader threads hitting different blocks do
+//!   not serialise on one pool lock. Within a shard the policy is still
+//!   strict LRU; consecutive blocks of one file stripe round-robin across
+//!   shards, so the common "small pool, hot working set" configurations of
+//!   Fig. 13 keep their hit behaviour.
 
 use std::collections::HashMap;
+
+use parking_lot::Mutex;
 
 /// A strict-LRU cache of block contents keyed by `(file, block)`.
 ///
@@ -183,6 +193,131 @@ impl BufferPool {
     }
 }
 
+/// The maximum number of lock stripes a [`ShardedBufferPool`] uses.
+const MAX_SHARDS: usize = 8;
+
+/// The smallest per-stripe capacity worth striping for. Below this, shard
+/// collisions would visibly distort the strict-LRU hit behaviour that the
+/// paper's buffer-size study (Fig. 13) depends on, so smaller pools fall
+/// back to a single stripe — i.e. an exact global LRU behind one mutex.
+const MIN_BLOCKS_PER_SHARD: usize = 4;
+
+/// A lock-striped LRU buffer pool: an array of [`BufferPool`] shards, each
+/// behind its own mutex.
+///
+/// The shard for a block is `(file ^ block) % shards` with a power-of-two
+/// shard count, so consecutive blocks of one file land on distinct shards
+/// (good both for lock spreading and for keeping a sequentially-filled pool
+/// balanced). Pools smaller than `2 * MIN_BLOCKS_PER_SHARD` blocks use a
+/// single stripe and therefore behave *exactly* like the global strict-LRU
+/// [`BufferPool`]; larger pools trade a bounded amount of LRU fidelity
+/// (eviction is per-stripe) for reader parallelism. `capacity == 0`
+/// disables caching, exactly like [`BufferPool`].
+#[derive(Debug)]
+pub struct ShardedBufferPool {
+    shards: Box<[Mutex<BufferPool>]>,
+    mask: u32,
+    capacity: usize,
+}
+
+impl ShardedBufferPool {
+    /// Creates a pool holding at most `capacity` blocks in total, striped
+    /// over up to [`MAX_SHARDS`] locks with at least
+    /// [`MIN_BLOCKS_PER_SHARD`] blocks per stripe (so small pools keep
+    /// whole-pool strict-LRU behaviour).
+    pub fn new(capacity: usize) -> Self {
+        let shard_count = if capacity == 0 {
+            1
+        } else {
+            // Largest power of two <= min(capacity / MIN_BLOCKS_PER_SHARD,
+            // MAX_SHARDS), and at least 1.
+            let limit = (capacity / MIN_BLOCKS_PER_SHARD).clamp(1, MAX_SHARDS);
+            let mut n = 1usize;
+            while n * 2 <= limit {
+                n *= 2;
+            }
+            n
+        };
+        let per_shard = capacity.div_ceil(shard_count);
+        let shards = (0..shard_count)
+            .map(|_| Mutex::new(BufferPool::new(if capacity == 0 { 0 } else { per_shard })))
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        ShardedBufferPool { shards, mask: shard_count as u32 - 1, capacity }
+    }
+
+    /// The configured total capacity in blocks.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of lock stripes.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Capacity of each stripe in blocks (`ceil(capacity / shard_count)`;
+    /// 0 when the pool is disabled). Exposed so model-based tests can mirror
+    /// the per-stripe LRU behaviour exactly.
+    pub fn shard_capacity(&self) -> usize {
+        self.shards[0].lock().capacity()
+    }
+
+    /// The stripe a given block maps to (exposed so model-based tests can
+    /// mirror the placement exactly).
+    pub fn shard_index(&self, file: u32, block: u32) -> usize {
+        ((file ^ block) & self.mask) as usize
+    }
+
+    fn shard(&self, file: u32, block: u32) -> &Mutex<BufferPool> {
+        &self.shards[self.shard_index(file, block)]
+    }
+
+    /// Number of blocks currently cached across all shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().len()).sum()
+    }
+
+    /// True if no blocks are cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Cache hits observed so far, across all shards.
+    pub fn hits(&self) -> u64 {
+        self.shards.iter().map(|s| s.lock().hits()).sum()
+    }
+
+    /// Cache misses observed so far, across all shards.
+    pub fn misses(&self) -> u64 {
+        self.shards.iter().map(|s| s.lock().misses()).sum()
+    }
+
+    /// Looks up a block; on a hit, copies its contents into `out` and marks
+    /// it most-recently used within its shard. Returns `true` on a hit.
+    pub fn get(&self, file: u32, block: u32, out: &mut [u8]) -> bool {
+        self.shard(file, block).lock().get(file, block, out)
+    }
+
+    /// Inserts or refreshes a block's contents, evicting the least-recently
+    /// used block of its shard if that shard is full.
+    pub fn put(&self, file: u32, block: u32, data: &[u8]) {
+        self.shard(file, block).lock().put(file, block, data);
+    }
+
+    /// Removes a cached block if present.
+    pub fn invalidate(&self, file: u32, block: u32) {
+        self.shard(file, block).lock().invalidate(file, block);
+    }
+
+    /// Drops every cached block and resets hit/miss counters.
+    pub fn clear(&self) {
+        for s in self.shards.iter() {
+            s.lock().clear();
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -272,5 +407,114 @@ mod tests {
         for i in 992..1000u32 {
             assert!(p.get(0, i, &mut out), "block {i} should be resident");
         }
+    }
+}
+
+#[cfg(test)]
+mod sharded_tests {
+    use super::*;
+
+    #[test]
+    fn shard_count_tracks_capacity() {
+        // Small pools (every Fig. 13 size up to 4 blocks) stay on one
+        // stripe and are therefore an exact global strict LRU.
+        assert_eq!(ShardedBufferPool::new(0).shard_count(), 1);
+        assert_eq!(ShardedBufferPool::new(1).shard_count(), 1);
+        assert_eq!(ShardedBufferPool::new(4).shard_count(), 1);
+        assert_eq!(ShardedBufferPool::new(7).shard_count(), 1);
+        // Larger pools stripe, always keeping >= 4 blocks per stripe.
+        assert_eq!(ShardedBufferPool::new(8).shard_count(), 2);
+        assert_eq!(ShardedBufferPool::new(16).shard_count(), 4);
+        assert_eq!(ShardedBufferPool::new(64).shard_count(), 8);
+        assert_eq!(ShardedBufferPool::new(128).shard_count(), 8);
+        assert_eq!(ShardedBufferPool::new(64).capacity(), 64);
+        assert!(ShardedBufferPool::new(64).shard_capacity() >= 4);
+    }
+
+    #[test]
+    fn small_pools_behave_as_exact_global_lru() {
+        // Capacity 2 with accesses that would collide on a striped pool: a
+        // strict global LRU of 2 keeps both blocks resident. This pins the
+        // Fig. 13 small-pool fidelity.
+        let p = ShardedBufferPool::new(2);
+        assert_eq!(p.shard_count(), 1);
+        p.put(0, 0, &[1u8; 8]);
+        p.put(0, 2, &[2u8; 8]);
+        let mut out = [0u8; 8];
+        for _ in 0..4 {
+            assert!(p.get(0, 0, &mut out), "block 0 must stay resident");
+            assert!(p.get(0, 2, &mut out), "block 2 must stay resident");
+        }
+        assert_eq!(p.hits(), 8);
+    }
+
+    #[test]
+    fn consecutive_blocks_stripe_across_shards() {
+        let p = ShardedBufferPool::new(16);
+        assert_eq!(p.shard_count(), 4);
+        let seen: std::collections::HashSet<_> = (0..4u32).map(|b| p.shard_index(0, b)).collect();
+        assert_eq!(seen.len(), 4, "blocks 0..4 must land on distinct shards");
+        // A sequentially-filled pool therefore stays balanced and resident.
+        for b in 0..16u32 {
+            p.put(0, b, &[b as u8; 8]);
+        }
+        let mut out = vec![0u8; 8];
+        for b in [2u32, 0, 3, 1, 15, 8] {
+            assert!(p.get(0, b, &mut out), "block {b} must be resident");
+            assert_eq!(out, vec![b as u8; 8]);
+        }
+        assert_eq!(p.hits(), 6);
+        assert_eq!(p.len(), 16);
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let p = ShardedBufferPool::new(0);
+        p.put(0, 0, &[1u8; 8]);
+        let mut out = [0u8; 8];
+        assert!(!p.get(0, 0, &mut out));
+        assert!(p.is_empty());
+        assert_eq!(p.misses(), 1);
+    }
+
+    #[test]
+    fn invalidate_and_clear_are_shard_aware() {
+        let p = ShardedBufferPool::new(8);
+        for b in 0..8u32 {
+            p.put(1, b, &[b as u8; 8]);
+        }
+        p.invalidate(1, 5);
+        let mut out = [0u8; 8];
+        assert!(!p.get(1, 5, &mut out));
+        assert!(p.get(1, 6, &mut out));
+        p.clear();
+        assert!(p.is_empty());
+        assert_eq!(p.hits(), 0);
+    }
+
+    #[test]
+    fn concurrent_get_put_keeps_blocks_intact() {
+        // 8 threads hammer the pool with whole-block values; any hit must
+        // return an untorn block (all bytes identical).
+        let p = ShardedBufferPool::new(16);
+        let p = &p;
+        std::thread::scope(|s| {
+            for t in 0..8u32 {
+                s.spawn(move || {
+                    let mut out = vec![0u8; 64];
+                    for round in 0..500u32 {
+                        let block = (round.wrapping_mul(7) + t) % 32;
+                        p.put(0, block, &[(block % 251) as u8; 64]);
+                        if p.get(0, block, &mut out) {
+                            assert!(
+                                out.iter().all(|&b| b == (block % 251) as u8),
+                                "torn block {block}: {out:?}"
+                            );
+                        }
+                    }
+                });
+            }
+        });
+        assert!(p.len() <= 16 + p.shard_count());
     }
 }

@@ -11,18 +11,22 @@
 //!   accesses into simulated latency, replacing the paper's physical disks.
 //! * [`stats::IoStats`] — per-index I/O accounting (reads / writes, split by
 //!   [`BlockKind`]) that drives every fetched-block table in the paper.
-//! * [`buffer::BufferPool`] — an LRU block cache used for the buffer-size
-//!   study (Fig. 13 of the paper).
+//! * [`buffer::BufferPool`] / [`buffer::ShardedBufferPool`] — an LRU block
+//!   cache used for the buffer-size study (Fig. 13 of the paper), and its
+//!   lock-striped variant embedded in [`Disk`] so concurrent readers do not
+//!   serialise on a single pool mutex.
 //! * [`pager::Pager`] — extent allocation on top of a file, required by ALEX
 //!   and LIPP whose variable-sized nodes may span several contiguous blocks.
 //! * [`Disk`] — the façade combining all of the above, which is what index
 //!   crates actually talk to.
 //!
-//! The central simplification relative to a production buffer manager is that
-//! the evaluation is single-query-at-a-time (as in the paper), so the buffer
-//! pool does not need pinning or latching; interior mutability with
-//! [`parking_lot::Mutex`] keeps the API ergonomic for the index
-//! implementations.
+//! Relative to a production buffer manager the pool still has no pinning
+//! protocol (blocks are copied out rather than referenced in place), but the
+//! whole layer is safe for N concurrent reader threads over a frozen index:
+//! statistics are atomic counters, the pool is lock-striped, backends
+//! synchronise internally behind a reader/writer lock, and the single-slot
+//! last-block-reuse cache degrades gracefully under contention (`try_lock`,
+//! never blocking a reader).
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -37,7 +41,7 @@ pub mod pager;
 pub mod stats;
 
 pub use backend::{FileBackend, MemoryBackend, StorageBackend};
-pub use buffer::BufferPool;
+pub use buffer::{BufferPool, ShardedBufferPool};
 pub use codec::{BlockReader, BlockWriter};
 pub use device::DeviceModel;
 pub use disk::{Disk, DiskConfig, FileId};

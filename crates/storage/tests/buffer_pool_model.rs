@@ -2,7 +2,7 @@
 //! exactly like a reference model, and the Disk façade must preserve data
 //! regardless of the access pattern and configuration.
 
-use lidx_storage::{BlockKind, BufferPool, DeviceModel, Disk, DiskConfig};
+use lidx_storage::{BlockKind, BufferPool, DeviceModel, Disk, DiskConfig, ShardedBufferPool};
 use proptest::prelude::*;
 
 /// A straightforward reference LRU: a vector ordered from most- to
@@ -54,6 +54,23 @@ fn pool_op() -> impl Strategy<Value = PoolOp> {
     ]
 }
 
+/// An op against the sharded pool: multi-file, multi-key get / put ("pin" in
+/// buffer-manager terms: put then re-get) / invalidate sequences.
+#[derive(Debug, Clone)]
+enum ShardedOp {
+    Get(u32, u32),
+    Put(u32, u32, u8),
+    Invalidate(u32, u32),
+}
+
+fn sharded_op() -> impl Strategy<Value = ShardedOp> {
+    prop_oneof![
+        (0u32..3, 0u32..32).prop_map(|(f, b)| ShardedOp::Get(f, b)),
+        (0u32..3, 0u32..32, any::<u8>()).prop_map(|(f, b, v)| ShardedOp::Put(f, b, v)),
+        (0u32..3, 0u32..32).prop_map(|(f, b)| ShardedOp::Invalidate(f, b)),
+    ]
+}
+
 proptest! {
     #![proptest_config(ProptestConfig { cases: 64, .. ProptestConfig::default() })]
 
@@ -88,6 +105,55 @@ proptest! {
             prop_assert!(pool.len() <= capacity);
             prop_assert_eq!(pool.len(), model.entries.len());
         }
+    }
+
+    /// The lock-striped pool behaves, stripe by stripe, exactly like a
+    /// sequential reference LRU: the shard of a block is a pure function of
+    /// its key, and each shard is an independent strict-LRU of
+    /// `shard_capacity()` blocks. Model-checked against [`ModelLru`] under
+    /// interleaved multi-file get / put / invalidate sequences.
+    #[test]
+    fn sharded_pool_matches_per_shard_reference_lru(
+        capacity in 0usize..24,
+        ops in proptest::collection::vec(sharded_op(), 1..250),
+    ) {
+        let pool = ShardedBufferPool::new(capacity);
+        let mut models: Vec<ModelLru> =
+            (0..pool.shard_count()).map(|_| ModelLru::new(pool.shard_capacity())).collect();
+        let mut buf = vec![0u8; 16];
+        let mut gets = 0u64;
+        for op in ops {
+            match op {
+                ShardedOp::Get(f, b) => {
+                    gets += 1;
+                    let hit = pool.get(f, b, &mut buf);
+                    let expected = models[pool.shard_index(f, b)].get((f, b));
+                    prop_assert_eq!(hit, expected.is_some(), "hit/miss mismatch for ({}, {})", f, b);
+                    if let Some(e) = expected {
+                        prop_assert_eq!(&buf, &e, "contents mismatch for ({}, {})", f, b);
+                    }
+                }
+                ShardedOp::Put(f, b, v) => {
+                    let data = vec![v; 16];
+                    pool.put(f, b, &data);
+                    models[pool.shard_index(f, b)].put((f, b), data);
+                }
+                ShardedOp::Invalidate(f, b) => {
+                    pool.invalidate(f, b);
+                    models[pool.shard_index(f, b)].entries.retain(|(k, _)| *k != (f, b));
+                }
+            }
+            prop_assert_eq!(
+                pool.len(),
+                models.iter().map(|m| m.entries.len()).sum::<usize>(),
+                "pool size must match the sum of the per-shard models"
+            );
+        }
+        prop_assert_eq!(
+            pool.hits() + pool.misses(),
+            gets,
+            "every get must be counted as exactly one hit or miss"
+        );
     }
 
     /// Whatever the configuration (buffer, reuse, device), reads always

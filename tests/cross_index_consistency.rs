@@ -9,16 +9,6 @@ use lidx_core::{DiskIndex, Entry, Key, Value};
 use lidx_experiments::runner::{IndexChoice, RunConfig};
 use proptest::prelude::*;
 
-const ALL_CHOICES: [IndexChoice; 7] = [
-    IndexChoice::BTree,
-    IndexChoice::Fiting,
-    IndexChoice::Pgm,
-    IndexChoice::Alex,
-    IndexChoice::Lipp,
-    IndexChoice::HybridPla,
-    IndexChoice::HybridModelTree,
-];
-
 fn build_loaded(choice: IndexChoice, entries: &[Entry]) -> Box<dyn DiskIndex> {
     let disk = RunConfig::default().make_disk();
     let mut index = choice.build(disk);
@@ -36,8 +26,8 @@ fn all_indexes_agree_with_an_oracle_on_lookups_and_scans() {
         .collect();
     let oracle: BTreeMap<Key, Value> = entries.iter().copied().collect();
 
-    for choice in ALL_CHOICES {
-        let mut index = build_loaded(choice, &entries);
+    for choice in IndexChoice::ALL_DESIGNS {
+        let index = build_loaded(choice, &entries);
         assert_eq!(index.len(), entries.len() as u64, "{choice:?} key count");
 
         // Present, absent and boundary lookups.
@@ -74,7 +64,7 @@ fn all_indexes_agree_after_interleaved_inserts() {
         oracle.insert(k, v);
     }
 
-    for choice in ALL_CHOICES {
+    for choice in IndexChoice::ALL_DESIGNS {
         let mut index = build_loaded(choice, &bulk);
         for &(k, v) in &inserts {
             index.insert(k, v).unwrap();
@@ -97,7 +87,7 @@ fn all_indexes_agree_after_interleaved_inserts() {
 #[test]
 fn overwriting_a_key_is_visible_everywhere() {
     let bulk: Vec<Entry> = (1..=2_000u64).map(|i| (i * 3, i)).collect();
-    for choice in ALL_CHOICES {
+    for choice in IndexChoice::ALL_DESIGNS {
         let mut index = build_loaded(choice, &bulk);
         index.insert(300, 999_999).unwrap();
         assert_eq!(index.lookup(300).unwrap(), Some(999_999), "{choice:?} lookup after overwrite");
