@@ -163,7 +163,7 @@ pub struct DataNode {
 impl DataNode {
     /// Reads the header of the data node at `start` (one block read).
     pub fn load(disk: &Disk, file: u32, start: BlockId) -> IndexResult<Self> {
-        let buf = disk.read_vec(file, start, BlockKind::Leaf)?;
+        let buf = disk.read_ref(file, start, BlockKind::Leaf)?;
         Ok(DataNode { file, start, header: DataHeader::decode(&buf)? })
     }
 
@@ -193,7 +193,7 @@ impl DataNode {
     /// Reads the slot at `slot` (entry may be a gap duplicate).
     pub fn read_slot(&self, disk: &Disk, slot: u32) -> IndexResult<Entry> {
         let (block, idx) = self.slot_block(slot, disk);
-        let buf = disk.read_vec(self.file, block, BlockKind::Leaf)?;
+        let buf = disk.read_ref(self.file, block, BlockKind::Leaf)?;
         let off = idx * SLOT_BYTES;
         Ok((
             Key::from_le_bytes(buf[off..off + 8].try_into().unwrap()),
@@ -216,7 +216,7 @@ impl DataNode {
     pub fn read_bit(&self, disk: &Disk, slot: u32) -> IndexResult<bool> {
         let bs = disk.block_size();
         let block = self.start + 1 + slot / (bs as u32 * 8);
-        let buf = disk.read_vec(self.file, block, BlockKind::Utility)?;
+        let buf = disk.read_ref(self.file, block, BlockKind::Utility)?;
         let bit = (slot as usize) % (bs * 8);
         Ok(buf[bit / 8] & (1 << (bit % 8)) != 0)
     }
@@ -365,20 +365,24 @@ impl DataNode {
         let bits_per_block = (bs * 8) as u32;
         let geo = self.geometry(bs);
         let mut bitmap_block_idx = u32::MAX;
-        let mut bitmap = Vec::new();
+        let mut bitmap_frame: Option<lidx_storage::BlockRef> = None;
         let mut slot = from_slot;
         while slot < self.header.capacity && out.len() < limit {
             // Fetch the bitmap block covering this slot if we do not already
             // hold it (charged as a utility block).
             let needed_bitmap = slot / bits_per_block;
             if needed_bitmap != bitmap_block_idx {
-                bitmap =
-                    disk.read_vec(self.file, self.start + 1 + needed_bitmap, BlockKind::Utility)?;
+                bitmap_frame = Some(disk.read_ref(
+                    self.file,
+                    self.start + 1 + needed_bitmap,
+                    BlockKind::Utility,
+                )?);
                 bitmap_block_idx = needed_bitmap;
             }
+            let bitmap = bitmap_frame.as_deref().expect("bitmap block pinned");
             // Fetch the slot block and walk every slot it contains.
             let slot_block = slot / per_block;
-            let buf = disk.read_vec(
+            let buf = disk.read_ref(
                 self.file,
                 self.start + 1 + geo.bitmap_blocks + slot_block,
                 BlockKind::Leaf,
@@ -561,7 +565,7 @@ impl InnerNode {
 
     /// Reads the header of the inner node at `start` (one block read).
     pub fn load(disk: &Disk, file: u32, start: BlockId) -> IndexResult<Self> {
-        let buf = disk.read_vec(file, start, BlockKind::Inner)?;
+        let buf = disk.read_ref(file, start, BlockKind::Inner)?;
         let mut r = BlockReader::new(&buf);
         let tag = r.get_u8()?;
         if tag != TAG_INNER {
@@ -644,7 +648,7 @@ impl InnerNode {
             let per_block = (bs / 8) as u32;
             (self.start + 1 + rest / per_block, ((rest % per_block) as usize) * 8)
         };
-        let buf = disk.read_vec(self.file, block, BlockKind::Inner)?;
+        let buf = disk.read_ref(self.file, block, BlockKind::Inner)?;
         Ok(ChildPtr::unpack(u64::from_le_bytes(buf[offset..offset + 8].try_into().unwrap())))
     }
 

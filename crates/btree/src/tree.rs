@@ -95,7 +95,7 @@ impl BTreeIndex {
     }
 
     fn read_leaf(&self, block: BlockId) -> IndexResult<LeafNode> {
-        let buf = self.disk.read_vec(self.file, block, BlockKind::Leaf)?;
+        let buf = self.disk.read_ref(self.file, block, BlockKind::Leaf)?;
         LeafNode::decode(&buf)
     }
 
@@ -106,7 +106,7 @@ impl BTreeIndex {
     }
 
     fn read_inner(&self, block: BlockId) -> IndexResult<InnerNode> {
-        let buf = self.disk.read_vec(self.file, block, BlockKind::Inner)?;
+        let buf = self.disk.read_ref(self.file, block, BlockKind::Inner)?;
         InnerNode::decode(&buf)
     }
 
@@ -286,6 +286,39 @@ impl IndexRead for BTreeIndex {
         let (_, leaf_block) = self.descend(key)?;
         let leaf = self.read_leaf(leaf_block)?;
         Ok(leaf.lookup(key))
+    }
+
+    /// Batched lookups sort the probe keys and walk the tree once per *run*
+    /// of keys landing in the same leaf: the shared root-to-leaf path and the
+    /// leaf decode are paid once per run instead of once per key.
+    fn lookup_batch(&self, keys: &[Key], out: &mut Vec<Option<Value>>) -> IndexResult<()> {
+        out.clear();
+        out.resize(keys.len(), None);
+        if keys.is_empty() {
+            return Ok(());
+        }
+        let mut order: Vec<u32> = (0..keys.len() as u32).collect();
+        order.sort_unstable_by_key(|&i| keys[i as usize]);
+        let mut current: Option<(BlockId, LeafNode)> = None;
+        for &i in &order {
+            let key = keys[i as usize];
+            // A sorted probe key still belongs to the pinned leaf as long as
+            // it does not exceed the leaf's last stored key (leaves cover
+            // contiguous, disjoint key ranges). Keys in the gap between two
+            // leaves re-descend, which routes them to a leaf that proves
+            // their absence just as a sequential lookup would.
+            let in_current = current
+                .as_ref()
+                .is_some_and(|(_, leaf)| leaf.entries.last().is_some_and(|&(k, _)| key <= k));
+            if !in_current {
+                let (_, leaf_block) = self.descend(key)?;
+                if current.as_ref().map(|(b, _)| *b) != Some(leaf_block) {
+                    current = Some((leaf_block, self.read_leaf(leaf_block)?));
+                }
+            }
+            out[i as usize] = current.as_ref().expect("leaf pinned").1.lookup(key);
+        }
+        Ok(())
     }
 
     fn scan(&self, start: Key, count: usize, out: &mut Vec<Entry>) -> IndexResult<usize> {
@@ -568,6 +601,49 @@ mod tests {
             assert_eq!(n, expected.len(), "scan length from key {k}");
             assert_eq!(out, expected, "scan contents from key {k}");
         }
+    }
+
+    #[test]
+    fn lookup_batch_matches_sequential_and_amortises_descents() {
+        let mut t = make_tree(512);
+        let data = entries(10_000, 3);
+        t.bulk_load(&data).unwrap();
+        // Unsorted probes mixing hits, misses, duplicates and extremes.
+        let probes: Vec<Key> = data
+            .iter()
+            .step_by(37)
+            .map(|&(k, _)| k)
+            .chain([0, 2, u64::MAX, data[500].0, data[500].0, data[500].0 + 1])
+            .rev()
+            .collect();
+        let mut batched = Vec::new();
+        t.lookup_batch(&probes, &mut batched).unwrap();
+        assert_eq!(batched.len(), probes.len());
+        for (i, &p) in probes.iter().enumerate() {
+            assert_eq!(batched[i], t.lookup(p).unwrap(), "probe {p}");
+        }
+
+        // A batch of co-located keys descends once per leaf run, so it must
+        // fetch strictly fewer blocks than the same lookups done one by one.
+        let run: Vec<Key> = data[..256].iter().map(|&(k, _)| k).collect();
+        t.disk().stats().reset();
+        t.disk().reset_access_state();
+        t.lookup_batch(&run, &mut batched).unwrap();
+        let batch_reads = t.disk().stats().reads();
+        t.disk().stats().reset();
+        t.disk().reset_access_state();
+        for &k in &run {
+            t.lookup(k).unwrap();
+        }
+        let seq_reads = t.disk().stats().reads();
+        assert!(
+            batch_reads * 2 < seq_reads,
+            "batched reads ({batch_reads}) must amortise sequential reads ({seq_reads})"
+        );
+
+        // Empty batches are a no-op.
+        t.lookup_batch(&[], &mut batched).unwrap();
+        assert!(batched.is_empty());
     }
 
     #[test]

@@ -109,6 +109,27 @@ pub trait IndexRead: Send + Sync {
     /// Returns the payload stored for `key`, or `None` if absent.
     fn lookup(&self, key: Key) -> IndexResult<Option<Value>>;
 
+    /// Looks up every key of `keys`, writing the answer for `keys[i]` to
+    /// `out[i]` (`out` is cleared and resized first).
+    ///
+    /// Semantically identical to calling [`lookup`] once per key, in any
+    /// order — duplicates, misses and unsorted input are all fine. The
+    /// default implementation is exactly that loop; indexes whose structure
+    /// lets a sorted probe share work (the B+-tree descends once per leaf
+    /// run, PGM reads its insert run once per batch and reuses data blocks
+    /// across keys that land together) override it to amortise block
+    /// fetches and decoding across the batch.
+    ///
+    /// [`lookup`]: IndexRead::lookup
+    fn lookup_batch(&self, keys: &[Key], out: &mut Vec<Option<Value>>) -> IndexResult<()> {
+        out.clear();
+        out.reserve(keys.len());
+        for &key in keys {
+            out.push(self.lookup(key)?);
+        }
+        Ok(())
+    }
+
     /// Collects up to `count` entries with keys `>= start` in ascending key
     /// order into `out` (which is cleared first), returning how many were
     /// produced.

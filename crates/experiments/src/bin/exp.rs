@@ -73,7 +73,9 @@ fn main() {
             }
             continue;
         }
-        match registry.iter().find(|(name, _)| name == target) {
+        // Accept kebab-case spellings (`bench-snapshot` == `bench_snapshot`).
+        let target = target.replace('-', "_");
+        match registry.iter().find(|(name, _)| *name == target) {
             Some((_, f)) => {
                 println!();
                 f(&scale);

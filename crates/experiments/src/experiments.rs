@@ -12,7 +12,10 @@ use lidx_storage::DeviceModel;
 use lidx_workloads::{profile_dataset, Dataset, Workload, WorkloadKind, WorkloadSpec};
 
 use crate::report::{f2, ms, ops, Table};
-use crate::runner::{run_par_lookup, run_workload, IndexChoice, RunConfig, WorkloadReport};
+use crate::runner::{
+    run_batch_lookup, run_par_lookup, run_par_lookup_batched, run_workload, IndexChoice, RunConfig,
+    WorkloadReport,
+};
 
 /// Scale knobs shared by every experiment.
 #[derive(Debug, Clone, Copy)]
@@ -532,6 +535,144 @@ pub fn par_lookup(scale: &Scale) {
     table.print();
 }
 
+/// Beyond the paper: the batched lookup path. For every index design, the
+/// same lookup-only workload is executed per key and through
+/// `IndexRead::lookup_batch` (64 keys per batch) against a warm 64-block
+/// buffer pool, comparing fetched blocks, wall-clock time per lookup and the
+/// copy counters. Sequential lookups over the zero-copy `read_ref` path
+/// already show `bytes copied = 0`; batching additionally amortises shared
+/// inner blocks and leaf decodes across co-located keys.
+pub fn batch_lookup(scale: &Scale) {
+    println!("== Batched lookups vs sequential (warm 64-block buffer pool, HDD model) ==");
+    let cfg = RunConfig { buffer_blocks: 64, ..hdd() };
+    let w = scale.search_workload(Dataset::Ycsb, WorkloadKind::LookupOnly);
+    let mut t = Table::new([
+        "index",
+        "seq blk/op",
+        "batch blk/op",
+        "seq ns/op",
+        "batch ns/op",
+        "speedup",
+        "seq copied B",
+        "batch copied B",
+    ]);
+    for choice in IndexChoice::ALL_DESIGNS {
+        let seq = run_batch_lookup(choice, &cfg, &w, 1);
+        let bat = run_batch_lookup(choice, &cfg, &w, 64);
+        assert_eq!(bat.not_found, seq.not_found, "{choice:?} batch/sequential disagree");
+        t.row([
+            seq.index.clone(),
+            f2(seq.reads_per_op()),
+            f2(bat.reads_per_op()),
+            format!("{:.0}", seq.wall_ns_per_op()),
+            format!("{:.0}", bat.wall_ns_per_op()),
+            f2(seq.wall_ns_per_op() / bat.wall_ns_per_op().max(f64::MIN_POSITIVE)),
+            seq.bytes_copied.to_string(),
+            bat.bytes_copied.to_string(),
+        ]);
+    }
+    t.print();
+
+    // The same comparison under reader parallelism: batched threads.
+    println!("-- 4 reader threads, per-key vs 64-key batches (wall-clock ops/s) --");
+    let mut pt = Table::new(["index", "per-key ops/s", "batched ops/s"]);
+    for choice in [IndexChoice::BTree, IndexChoice::Pgm] {
+        let per_key = run_par_lookup_batched(choice, &cfg, &w, 4, 1);
+        let batched = run_par_lookup_batched(choice, &cfg, &w, 4, 64);
+        pt.row([
+            per_key.index.clone(),
+            ops(per_key.aggregate_ops_per_sec()),
+            ops(batched.aggregate_ops_per_sec()),
+        ]);
+    }
+    pt.print();
+}
+
+/// Machine-readable perf snapshot: writes `BENCH_lookup.json` with
+/// per-index wall-clock ns per lookup (sequential and batched), fetched
+/// blocks per lookup, buffer hit rate, simulated I/O seconds and the
+/// zero-copy counters, so future PRs have a perf trajectory to compare
+/// against. The JSON is emitted by hand (stable field order, no serde).
+pub fn bench_snapshot(scale: &Scale) {
+    bench_snapshot_to(scale, std::path::Path::new("BENCH_lookup.json"));
+}
+
+/// [`bench_snapshot`] with an explicit output path (tests write to a temp
+/// file; the `exp` binary always writes `BENCH_lookup.json` in the cwd).
+pub fn bench_snapshot_to(scale: &Scale, path: &std::path::Path) {
+    let path = path.display();
+    println!("== bench snapshot: writing {path} ==");
+    let cfg = RunConfig { buffer_blocks: 64, ..hdd() };
+    let w = scale.search_workload(Dataset::Ycsb, WorkloadKind::LookupOnly);
+    let mut entries = Vec::new();
+    let mut t = Table::new([
+        "index",
+        "ns/op",
+        "batch ns/op",
+        "blk/op",
+        "pool hit",
+        "reuse hit",
+        "sim io s",
+    ]);
+    for choice in IndexChoice::ALL_DESIGNS {
+        let seq = run_batch_lookup(choice, &cfg, &w, 1);
+        let bat = run_batch_lookup(choice, &cfg, &w, 64);
+        t.row([
+            seq.index.clone(),
+            format!("{:.0}", seq.wall_ns_per_op()),
+            format!("{:.0}", bat.wall_ns_per_op()),
+            f2(seq.reads_per_op()),
+            f2(seq.buffer_hit_rate()),
+            f2(seq.reuse_hit_rate()),
+            format!("{:.4}", seq.device_seconds),
+        ]);
+        entries.push(format!(
+            concat!(
+                "    {{\n",
+                "      \"index\": \"{}\",\n",
+                "      \"ns_per_lookup\": {:.1},\n",
+                "      \"batch64_ns_per_lookup\": {:.1},\n",
+                "      \"reads_per_lookup\": {:.4},\n",
+                "      \"buffer_hit_rate\": {:.4},\n",
+                "      \"reuse_hit_rate\": {:.4},\n",
+                "      \"simulated_io_seconds\": {:.6},\n",
+                "      \"bytes_copied\": {},\n",
+                "      \"frames_pinned\": {}\n",
+                "    }}"
+            ),
+            seq.index,
+            seq.wall_ns_per_op(),
+            bat.wall_ns_per_op(),
+            seq.reads_per_op(),
+            seq.buffer_hit_rate(),
+            seq.reuse_hit_rate(),
+            seq.device_seconds,
+            seq.bytes_copied,
+            seq.frames_pinned,
+        ));
+    }
+    t.print();
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"schema\": \"lidx-bench-snapshot-v1\",\n",
+            "  \"workload\": \"lookup-only/ycsb\",\n",
+            "  \"buffer_blocks\": 64,\n",
+            "  \"keys\": {},\n",
+            "  \"ops\": {},\n",
+            "  \"seed\": {},\n",
+            "  \"indexes\": [\n{}\n  ]\n",
+            "}}\n"
+        ),
+        scale.keys,
+        scale.ops,
+        scale.seed,
+        entries.join(",\n"),
+    );
+    std::fs::write(path.to_string(), json).expect("write bench snapshot");
+    println!("wrote {path}");
+}
+
 /// An experiment entry: a stable name and the function that prints it.
 pub type ExperimentFn = fn(&Scale);
 
@@ -557,6 +698,8 @@ pub fn all_experiments() -> Vec<(&'static str, ExperimentFn)> {
         ("fig14", fig14),
         ("layout_ablation", layout_ablation),
         ("par_lookup", par_lookup),
+        ("batch_lookup", batch_lookup),
+        ("bench_snapshot", bench_snapshot),
         ("space_reuse_ablation", space_reuse_ablation),
     ]
 }
@@ -615,5 +758,40 @@ mod tests {
     #[test]
     fn par_lookup_sweep_runs_at_tiny_scale() {
         par_lookup(&tiny());
+    }
+
+    #[test]
+    fn batch_lookup_comparison_runs_at_tiny_scale() {
+        batch_lookup(&tiny());
+    }
+
+    #[test]
+    fn bench_snapshot_writes_machine_readable_json() {
+        let path = std::env::temp_dir().join("lidx_bench_snapshot_test.json");
+        bench_snapshot_to(&tiny(), &path);
+        let s = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        for index in ["btree", "fiting", "pgm", "alex", "lipp", "hybrid-pla", "hybrid-model-tree"] {
+            assert!(s.contains(&format!("\"index\": \"{index}\"")), "snapshot misses {index}");
+        }
+        for field in [
+            "ns_per_lookup",
+            "batch64_ns_per_lookup",
+            "reads_per_lookup",
+            "buffer_hit_rate",
+            "reuse_hit_rate",
+            "simulated_io_seconds",
+            "bytes_copied",
+            "frames_pinned",
+        ] {
+            assert!(s.contains(field), "snapshot misses field {field}");
+        }
+        // Lookup hot paths are zero-copy: the sequential pass must record
+        // exactly zero caller-buffer copies for *every one* of the seven
+        // indexes (one `"bytes_copied": 0` line per index entry).
+        let zero_copy_lines = s.matches("\"bytes_copied\": 0,").count();
+        let copied_lines = s.matches("\"bytes_copied\":").count();
+        assert_eq!(copied_lines, 7, "one bytes_copied field per index: {s}");
+        assert_eq!(zero_copy_lines, 7, "every index's lookup path must copy 0 bytes: {s}");
     }
 }

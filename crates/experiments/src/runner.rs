@@ -310,6 +310,9 @@ pub struct ParLookupReport {
     pub index: String,
     /// Number of reader threads.
     pub threads: usize,
+    /// Lookups per [`lidx_core::index::IndexRead::lookup_batch`] call
+    /// (1 = per-key lookups).
+    pub batch: usize,
     /// Total lookups executed across all threads.
     pub total_ops: u64,
     /// Wall-clock seconds from the first thread starting to the last one
@@ -352,6 +355,21 @@ pub fn run_par_lookup(
     workload: &Workload,
     threads: usize,
 ) -> ParLookupReport {
+    run_par_lookup_batched(choice, config, workload, threads, 1)
+}
+
+/// Like [`run_par_lookup`], but each reader thread issues its keys through
+/// [`lidx_core::index::IndexRead::lookup_batch`] in chunks of `batch`
+/// (`batch <= 1` degenerates to per-key lookups). This is the parallel
+/// harness for the batched read path: the same frozen-index sharing, with
+/// per-thread batches amortising shared inner blocks and leaf decodes.
+pub fn run_par_lookup_batched(
+    choice: IndexChoice,
+    config: &RunConfig,
+    workload: &Workload,
+    threads: usize,
+    batch: usize,
+) -> ParLookupReport {
     assert!(threads >= 1, "at least one reader thread is required");
     let disk = config.make_disk();
     let mut index = choice.build(Arc::clone(&disk));
@@ -380,13 +398,20 @@ pub fn run_par_lookup(
         let handles: Vec<_> = (0..threads)
             .map(|t| {
                 s.spawn(move || {
+                    let mine: Vec<Key> = keys.iter().skip(t).step_by(threads).copied().collect();
                     let mut misses = 0u64;
-                    let mut i = t;
-                    while i < keys.len() {
-                        if shared.lookup(keys[i]).expect("lookup").is_none() {
-                            misses += 1;
+                    if batch <= 1 {
+                        for &k in &mine {
+                            if shared.lookup(k).expect("lookup").is_none() {
+                                misses += 1;
+                            }
                         }
-                        i += threads;
+                    } else {
+                        let mut answers = Vec::with_capacity(batch);
+                        for chunk in mine.chunks(batch) {
+                            shared.lookup_batch(chunk, &mut answers).expect("lookup_batch");
+                            misses += answers.iter().filter(|a| a.is_none()).count() as u64;
+                        }
                     }
                     misses
                 })
@@ -399,10 +424,145 @@ pub fn run_par_lookup(
     ParLookupReport {
         index: index.name(),
         threads,
+        batch: batch.max(1),
         total_ops: keys.len() as u64,
         wall_seconds,
         not_found,
         blocks_read: disk.stats().reads(),
+    }
+}
+
+/// Everything measured by one [`run_batch_lookup`] phase: a lookup-only
+/// workload executed against a warm buffer pool, either per-key or through
+/// [`lidx_core::index::IndexRead::lookup_batch`].
+#[derive(Debug, Clone)]
+pub struct BatchLookupReport {
+    /// Index name.
+    pub index: String,
+    /// Lookups executed.
+    pub ops: u64,
+    /// Lookups per batch call (1 = sequential per-key lookups).
+    pub batch: usize,
+    /// Wall-clock seconds for the measured pass.
+    pub wall_seconds: f64,
+    /// Simulated device seconds for the measured pass.
+    pub device_seconds: f64,
+    /// Device block reads during the measured pass.
+    pub reads: u64,
+    /// Buffer-pool hits during the measured pass.
+    pub buffer_hits: u64,
+    /// Last-block reuse hits during the measured pass.
+    pub reuse_hits: u64,
+    /// Bytes copied into caller buffers (legacy path; 0 proves zero-copy).
+    pub bytes_copied: u64,
+    /// Pinned frames handed out.
+    pub frames_pinned: u64,
+    /// Lookups that returned `None` (should be 0: keys come from the bulk).
+    pub not_found: u64,
+}
+
+impl BatchLookupReport {
+    /// Wall-clock nanoseconds per lookup.
+    pub fn wall_ns_per_op(&self) -> f64 {
+        self.wall_seconds * 1e9 / self.ops.max(1) as f64
+    }
+
+    /// Device block reads per lookup.
+    pub fn reads_per_op(&self) -> f64 {
+        self.reads as f64 / self.ops.max(1) as f64
+    }
+
+    /// Fraction of served reads that hit the buffer pool (last-block reuse
+    /// hits are reported separately by [`BatchLookupReport::reuse_hit_rate`]
+    /// so pool-tuning comparisons are not polluted by the single-slot
+    /// reuse cache).
+    pub fn buffer_hit_rate(&self) -> f64 {
+        let served = self.reads + self.buffer_hits + self.reuse_hits;
+        if served == 0 {
+            0.0
+        } else {
+            self.buffer_hits as f64 / served as f64
+        }
+    }
+
+    /// Fraction of served reads that hit the single-slot last-block reuse
+    /// cache (§6.5).
+    pub fn reuse_hit_rate(&self) -> f64 {
+        let served = self.reads + self.buffer_hits + self.reuse_hits;
+        if served == 0 {
+            0.0
+        } else {
+            self.reuse_hits as f64 / served as f64
+        }
+    }
+}
+
+/// Bulk loads `choice`, warms the buffer pool with one untimed pass over the
+/// workload's lookup keys, then measures a second pass issued either per key
+/// (`batch <= 1`) or through `lookup_batch` in chunks of `batch`.
+///
+/// The warm pass makes this a *buffer-hit* measurement: with the pool sized
+/// to the working set, the measured pass isolates the per-lookup CPU and
+/// copy overhead that the zero-copy `BlockRef` path eliminates — which is
+/// exactly what `BENCH_lookup.json` tracks across PRs.
+pub fn run_batch_lookup(
+    choice: IndexChoice,
+    config: &RunConfig,
+    workload: &Workload,
+    batch: usize,
+) -> BatchLookupReport {
+    let disk = config.make_disk();
+    let mut index = choice.build(Arc::clone(&disk));
+    index.bulk_load(&workload.bulk).expect("bulk load");
+
+    let keys: Vec<Key> = workload
+        .ops
+        .iter()
+        .filter_map(|op| match *op {
+            Op::Lookup(k) => Some(k),
+            _ => None,
+        })
+        .collect();
+    assert!(!keys.is_empty(), "batch_lookup requires a workload with lookup operations");
+
+    // Warm pass: populate the buffer pool, then reset the counters so the
+    // measured pass reflects steady-state hit behaviour.
+    for &k in &keys {
+        index.lookup(k).expect("warm lookup");
+    }
+    disk.stats().reset();
+    disk.reset_access_state();
+
+    let mut not_found = 0u64;
+    let start = Instant::now();
+    if batch <= 1 {
+        for &k in &keys {
+            if index.lookup(k).expect("lookup").is_none() {
+                not_found += 1;
+            }
+        }
+    } else {
+        let mut answers = Vec::with_capacity(batch);
+        for chunk in keys.chunks(batch) {
+            index.lookup_batch(chunk, &mut answers).expect("lookup_batch");
+            not_found += answers.iter().filter(|a| a.is_none()).count() as u64;
+        }
+    }
+    let wall_seconds = start.elapsed().as_secs_f64();
+
+    let stats = disk.stats();
+    BatchLookupReport {
+        index: index.name(),
+        ops: keys.len() as u64,
+        batch: batch.max(1),
+        wall_seconds,
+        device_seconds: stats.device_ns() as f64 / 1e9,
+        reads: stats.reads(),
+        buffer_hits: stats.buffer_hits(),
+        reuse_hits: stats.reuse_hits(),
+        bytes_copied: stats.bytes_copied(),
+        frames_pinned: stats.frames_pinned(),
+        not_found,
     }
 }
 
@@ -459,6 +619,43 @@ mod tests {
             assert!(r.blocks_read > 0, "{choice:?} must fetch blocks");
             assert!(r.aggregate_ops_per_sec() > 0.0);
             assert!(r.per_thread_ops_per_sec() <= r.aggregate_ops_per_sec());
+        }
+    }
+
+    #[test]
+    fn batched_par_lookup_covers_every_key() {
+        let keys = Dataset::Ycsb.generate_keys(4_000, 3);
+        let w = Workload::build(&keys, WorkloadSpec::new(WorkloadKind::LookupOnly, 256, 0));
+        for choice in [IndexChoice::BTree, IndexChoice::Pgm, IndexChoice::HybridModelTree] {
+            let r = run_par_lookup_batched(choice, &RunConfig::default(), &w, 3, 16);
+            assert_eq!(r.total_ops, 256, "{choice:?} must execute every lookup");
+            assert_eq!(r.not_found, 0, "{choice:?} lookup keys come from the bulk load");
+            assert_eq!(r.batch, 16);
+            assert!(r.blocks_read > 0);
+        }
+    }
+
+    #[test]
+    fn batch_lookup_phase_is_zero_copy_and_batching_reduces_reads() {
+        let keys = Dataset::Ycsb.generate_keys(8_000, 5);
+        let w = Workload::build(&keys, WorkloadSpec::new(WorkloadKind::LookupOnly, 400, 0));
+        let cfg = RunConfig { buffer_blocks: 64, ..Default::default() };
+        for choice in [IndexChoice::BTree, IndexChoice::Pgm] {
+            let seq = run_batch_lookup(choice, &cfg, &w, 1);
+            let bat = run_batch_lookup(choice, &cfg, &w, 64);
+            assert_eq!(seq.ops, 400);
+            assert_eq!(seq.not_found, 0, "{choice:?}");
+            assert_eq!(bat.not_found, 0, "{choice:?}");
+            assert_eq!(seq.bytes_copied, 0, "{choice:?} lookups must be zero-copy");
+            assert_eq!(bat.bytes_copied, 0, "{choice:?} batched lookups must be zero-copy");
+            assert!(seq.frames_pinned > 0, "{choice:?} must pin frames");
+            assert!(
+                bat.reads <= seq.reads,
+                "{choice:?} batching must not fetch more blocks ({} vs {})",
+                bat.reads,
+                seq.reads
+            );
+            assert!(seq.buffer_hit_rate() > 0.0, "{choice:?} warm pool must produce hits");
         }
     }
 

@@ -140,7 +140,7 @@ impl Directory {
     }
 
     fn read_leaf(&self, block: BlockId) -> IndexResult<DirLeaf> {
-        let buf = self.disk.read_vec(self.file, block, BlockKind::Inner)?;
+        let buf = self.disk.read_ref(self.file, block, BlockKind::Inner)?;
         DirLeaf::decode(&buf)
     }
 
@@ -151,7 +151,7 @@ impl Directory {
     }
 
     fn read_routing(&self, block: BlockId) -> IndexResult<InnerNode> {
-        let buf = self.disk.read_vec(self.file, block, BlockKind::Inner)?;
+        let buf = self.disk.read_ref(self.file, block, BlockKind::Inner)?;
         InnerNode::decode(&buf)
     }
 

@@ -150,7 +150,7 @@ impl FitingTree {
         if self.overflow_count == 0 {
             return Ok(Vec::new());
         }
-        let buf = self.disk.read_vec(self.seg_file, 0, BlockKind::Utility)?;
+        let buf = self.disk.read_ref(self.seg_file, 0, BlockKind::Utility)?;
         Ok((0..self.overflow_count as usize).map(|i| segment::entry_at(&buf, i)).collect())
     }
 

@@ -175,7 +175,7 @@ pub fn search_data(
     let first_block = lo / per_block;
     let last_block = hi / per_block;
     for b in first_block..=last_block {
-        let buf = disk.read_vec(file, meta.start_block + b as u32, BlockKind::Leaf)?;
+        let buf = disk.read_ref(file, meta.start_block + b as u32, BlockKind::Leaf)?;
         let slot_lo = if b == first_block { lo - b * per_block } else { 0 };
         let slot_hi = if b == last_block { hi - b * per_block } else { per_block - 1 };
         // Binary search within the in-block window.
@@ -204,7 +204,7 @@ pub fn read_all_data(disk: &Disk, file: u32, meta: &SegmentMeta) -> IndexResult<
         if remaining == 0 {
             break;
         }
-        let buf = disk.read_vec(file, meta.start_block + b, BlockKind::Leaf)?;
+        let buf = disk.read_ref(file, meta.start_block + b, BlockKind::Leaf)?;
         let take = remaining.min(per_block);
         for slot in 0..take {
             out.push(entry_at(&buf, slot));
@@ -237,7 +237,7 @@ pub fn read_data_from(
     let mut block = from_pos / per_block;
     let last_block = (count - 1) / per_block;
     while block <= last_block && matched < needed {
-        let buf = disk.read_vec(file, meta.start_block + block as u32, BlockKind::Leaf)?;
+        let buf = disk.read_ref(file, meta.start_block + block as u32, BlockKind::Leaf)?;
         let slot_lo = if block == from_pos / per_block { from_pos % per_block } else { 0 };
         let slot_hi = per_block.min(count - block * per_block);
         for slot in slot_lo..slot_hi {
@@ -263,7 +263,7 @@ pub fn read_buffer(disk: &Disk, file: u32, meta: &SegmentMeta) -> IndexResult<Ve
         if remaining == 0 {
             break;
         }
-        let buf = disk.read_vec(file, start + b, BlockKind::Leaf)?;
+        let buf = disk.read_ref(file, start + b, BlockKind::Leaf)?;
         let take = remaining.min(per_block);
         for slot in 0..take {
             out.push(entry_at(&buf, slot));

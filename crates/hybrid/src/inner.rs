@@ -109,7 +109,7 @@ impl PlaInner {
         let per = self.entries_per_block() as u64;
         let block = (pos / per) as u32;
         let slot = (pos % per) as usize;
-        let buf = self.disk.read_vec(self.file, self.base_start() + block, BlockKind::Inner)?;
+        let buf = self.disk.read_ref(self.file, self.base_start() + block, BlockKind::Inner)?;
         let off = slot * PLA_ENTRY;
         Ok((
             Key::from_le_bytes(buf[off..off + 8].try_into().unwrap()),
@@ -125,7 +125,7 @@ impl PlaInner {
         let per = self.records_per_block() as u64;
         let block = level.first_block + (idx / per) as u32;
         let slot = (idx % per) as usize;
-        let buf = self.disk.read_vec(self.file, block, BlockKind::Inner)?;
+        let buf = self.disk.read_ref(self.file, block, BlockKind::Inner)?;
         let off = slot * PLA_RECORD;
         Ok(PlaRecord {
             first_key: Key::from_le_bytes(buf[off..off + 8].try_into().unwrap()),
@@ -318,7 +318,7 @@ impl ModelTreeInner {
     }
 
     fn read_header(&self, start: BlockId) -> IndexResult<MtHeader> {
-        let buf = self.disk.read_vec(self.file, start, BlockKind::Inner)?;
+        let buf = self.disk.read_ref(self.file, start, BlockKind::Inner)?;
         Ok(MtHeader {
             capacity: u32::from_le_bytes(buf[0..4].try_into().unwrap()),
             model: LinearModel::new(
@@ -332,7 +332,7 @@ impl ModelTreeInner {
         let per = self.slots_per_block() as u32;
         let block = start + 1 + slot / per;
         let off = ((slot % per) as usize) * MT_SLOT;
-        let buf = self.disk.read_vec(self.file, block, BlockKind::Inner)?;
+        let buf = self.disk.read_ref(self.file, block, BlockKind::Inner)?;
         Ok((
             u64::from_le_bytes(buf[off..off + 8].try_into().unwrap()),
             Key::from_le_bytes(buf[off + 8..off + 16].try_into().unwrap()),

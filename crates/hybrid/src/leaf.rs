@@ -56,7 +56,7 @@ impl LeafLevel {
     }
 
     fn read(&self, block: BlockId) -> IndexResult<LeafNode> {
-        let buf = self.disk.read_vec(self.file, block, BlockKind::Leaf)?;
+        let buf = self.disk.read_ref(self.file, block, BlockKind::Leaf)?;
         LeafNode::decode(&buf)
     }
 

@@ -139,7 +139,7 @@ pub fn blocks_for(capacity: u32, block_size: usize) -> u32 {
 impl LippNode {
     /// Reads the header of the node at `start` (one block read).
     pub fn load(disk: &Disk, file: u32, start: BlockId) -> IndexResult<Self> {
-        let buf = disk.read_vec(file, start, BlockKind::Leaf)?;
+        let buf = disk.read_ref(file, start, BlockKind::Leaf)?;
         Ok(LippNode { file, start, header: LippHeader::decode(&buf)? })
     }
 
@@ -168,7 +168,7 @@ impl LippNode {
     /// Reads one slot.
     pub fn read_slot(&self, disk: &Disk, slot: u32) -> IndexResult<Slot> {
         let (block, off) = self.slot_location(slot, disk.block_size());
-        let buf = disk.read_vec(self.file, block, BlockKind::Leaf)?;
+        let buf = disk.read_ref(self.file, block, BlockKind::Leaf)?;
         let raw = [
             u64::from_le_bytes(buf[off..off + 8].try_into().unwrap()),
             u64::from_le_bytes(buf[off + 8..off + 16].try_into().unwrap()),

@@ -20,7 +20,7 @@ use std::sync::Arc;
 use lidx_core::{Entry, IndexError, IndexResult, Key, Value};
 use lidx_models::pla::segment_keys;
 use lidx_models::LinearModel;
-use lidx_storage::{BlockKind, Disk};
+use lidx_storage::{BlockKind, BlockRef, Disk};
 
 /// Size of one data entry in bytes.
 const ENTRY_BYTES: usize = 16;
@@ -266,7 +266,7 @@ impl StaticPgm {
         let last_block = (hi / rec_per_block as u64) as u32;
         let mut best: Option<SegRecord> = None;
         for b in first_block..=last_block {
-            let buf = self.disk.read_vec(self.file, level.first_block + b, BlockKind::Inner)?;
+            let buf = self.disk.read_ref(self.file, level.first_block + b, BlockKind::Inner)?;
             let slot_lo = if b == first_block { (lo % rec_per_block as u64) as usize } else { 0 };
             let slot_hi = if b == last_block {
                 (hi % rec_per_block as u64) as usize
@@ -291,7 +291,7 @@ impl StaticPgm {
         match best {
             Some(r) => Ok(r),
             None => {
-                let buf = self.disk.read_vec(self.file, level.first_block, BlockKind::Inner)?;
+                let buf = self.disk.read_ref(self.file, level.first_block, BlockKind::Inner)?;
                 Ok(record_at(&buf, 0))
             }
         }
@@ -321,7 +321,7 @@ impl StaticPgm {
         // the window; otherwise it is lo or hi+1.
         let mut result = hi + 1;
         'outer: for b in first_block..=last_block {
-            let buf = self.disk.read_vec(self.file, b, BlockKind::Leaf)?;
+            let buf = self.disk.read_ref(self.file, b, BlockKind::Leaf)?;
             let slot_lo = if b == first_block { (lo % per_block as u64) as usize } else { 0 };
             let slot_hi =
                 if b == last_block { (hi % per_block as u64) as usize } else { per_block - 1 };
@@ -348,9 +348,87 @@ impl StaticPgm {
         let per_block = entries_per_block(self.disk.block_size());
         let block = (pos / per_block as u64) as u32;
         let slot = (pos % per_block as u64) as usize;
-        let buf = self.disk.read_vec(self.file, block, BlockKind::Leaf)?;
+        let buf = self.disk.read_ref(self.file, block, BlockKind::Leaf)?;
         let (k, v) = entry_at(&buf, slot);
         Ok((k == key).then_some(v))
+    }
+
+    /// Batched point lookups over probe keys sorted ascending.
+    ///
+    /// `pending` holds indexes into `keys` / `out` not yet resolved by a
+    /// newer component, in ascending key order; every index whose key this
+    /// component stores is answered into `out` and removed from `pending`.
+    ///
+    /// The data level is one globally sorted array, so consecutive probe
+    /// keys usually land in the same data block: the last fetched block is
+    /// pinned ([`BlockRef`]) and any following key inside its key range is
+    /// answered by an in-memory binary search — one block fetch and one
+    /// model descent per *run* of co-located keys instead of per key.
+    pub fn lookup_batch_sorted(
+        &self,
+        keys: &[Key],
+        pending: &mut Vec<u32>,
+        out: &mut [Option<Value>],
+    ) -> IndexResult<()> {
+        if self.len == 0 {
+            return Ok(());
+        }
+        let per_block = entries_per_block(self.disk.block_size());
+        // The pinned last data block: (first key, last key, valid slots, frame).
+        let mut cached: Option<(Key, Key, usize, BlockRef)> = None;
+        let mut still = Vec::with_capacity(pending.len());
+        for &i in pending.iter() {
+            let key = keys[i as usize];
+            if key < self.min_key || key > self.max_key {
+                still.push(i);
+                continue;
+            }
+            let served = match &cached {
+                Some((first, last, valid, buf)) if key >= *first && key <= *last => {
+                    Self::search_block(buf, *valid, key)
+                }
+                _ => {
+                    let pos = self.locate(key)?;
+                    if pos >= self.len {
+                        None
+                    } else {
+                        let block = (pos / per_block as u64) as u32;
+                        let buf = self.disk.read_ref(self.file, block, BlockKind::Leaf)?;
+                        let valid = ((self.len - u64::from(block) * per_block as u64) as usize)
+                            .min(per_block);
+                        let slot = (pos % per_block as u64) as usize;
+                        let (k, v) = entry_at(&buf, slot);
+                        let hit = (k == key).then_some(v);
+                        let first = entry_at(&buf, 0).0;
+                        let last = entry_at(&buf, valid - 1).0;
+                        cached = Some((first, last, valid, buf));
+                        hit
+                    }
+                }
+            };
+            match served {
+                Some(v) => out[i as usize] = Some(v),
+                None => still.push(i),
+            }
+        }
+        *pending = still;
+        Ok(())
+    }
+
+    /// Binary search for `key` among the first `valid` slots of a pinned
+    /// data block.
+    fn search_block(buf: &[u8], valid: usize, key: Key) -> Option<Value> {
+        let (mut lo, mut hi) = (0usize, valid);
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            let (k, v) = entry_at(buf, mid);
+            match k.cmp(&key) {
+                std::cmp::Ordering::Equal => return Some(v),
+                std::cmp::Ordering::Less => lo = mid + 1,
+                std::cmp::Ordering::Greater => hi = mid,
+            }
+        }
+        None
     }
 
     /// Collects up to `count` entries with keys `>= start` into `out`.
@@ -363,7 +441,7 @@ impl StaticPgm {
         let mut taken = 0usize;
         while pos < self.len && taken < count {
             let block = (pos / per_block as u64) as u32;
-            let buf = self.disk.read_vec(self.file, block, BlockKind::Leaf)?;
+            let buf = self.disk.read_ref(self.file, block, BlockKind::Leaf)?;
             let mut slot = (pos % per_block as u64) as usize;
             while slot < per_block && pos < self.len && taken < count {
                 let e = entry_at(&buf, slot);

@@ -13,10 +13,60 @@
 //!   strict LRU; consecutive blocks of one file stripe round-robin across
 //!   shards, so the common "small pool, hot working set" configurations of
 //!   Fig. 13 keep their hit behaviour.
+//!
+//! Cached block contents are stored as [`BlockRef`] frames — cheaply
+//! clonable, `Arc`-backed, read-only views. A pool hit hands the caller a
+//! clone of the frame instead of copying the bytes out, and eviction merely
+//! drops the pool's reference: any caller still holding the frame keeps a
+//! consistent snapshot of the block (lazy free, see `DESIGN.md`).
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use parking_lot::Mutex;
+
+/// A pinned, read-only view of one block's contents.
+///
+/// `BlockRef` is the unit of the zero-copy read path: the buffer pool, the
+/// last-block-reuse slot and every index hot path share the same `Arc`-backed
+/// frame, so a buffer-hit lookup performs no allocation and no byte copy —
+/// cloning a `BlockRef` is one atomic increment. Frames are immutable once
+/// published; a write to the same `(file, block)` installs a *new* frame,
+/// leaving outstanding references with the snapshot they pinned.
+#[derive(Clone, Debug)]
+pub struct BlockRef(Arc<Vec<u8>>);
+
+impl BlockRef {
+    /// Wraps an owned buffer into a frame without copying it.
+    pub fn from_vec(data: Vec<u8>) -> Self {
+        BlockRef(Arc::new(data))
+    }
+
+    /// The block contents.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.0
+    }
+
+    /// Number of live references to this frame (the pool's copy counts as
+    /// one). Exposed for pin-accounting tests.
+    pub fn ref_count(&self) -> usize {
+        Arc::strong_count(&self.0)
+    }
+}
+
+impl std::ops::Deref for BlockRef {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl AsRef<[u8]> for BlockRef {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
 
 /// A strict-LRU cache of block contents keyed by `(file, block)`.
 ///
@@ -38,7 +88,7 @@ pub struct BufferPool {
 #[derive(Debug)]
 struct Entry {
     key: (u32, u32),
-    data: Vec<u8>,
+    data: BlockRef,
     prev: usize,
     next: usize,
 }
@@ -113,34 +163,47 @@ impl BufferPool {
         }
     }
 
-    /// Looks up a block; on a hit, copies its contents into `out` and marks it
-    /// most-recently used. Returns `true` on a hit.
-    pub fn get(&mut self, file: u32, block: u32, out: &mut [u8]) -> bool {
+    /// Looks up a block; on a hit, returns a clone of its pinned frame (no
+    /// byte copy) and marks it most-recently used.
+    pub fn get_ref(&mut self, file: u32, block: u32) -> Option<BlockRef> {
         if self.capacity == 0 {
             self.misses += 1;
-            return false;
+            return None;
         }
         if let Some(&idx) = self.map.get(&(file, block)) {
-            out.copy_from_slice(&self.entries[idx].data);
+            let frame = self.entries[idx].data.clone();
             self.detach(idx);
             self.push_front(idx);
             self.hits += 1;
-            true
+            Some(frame)
         } else {
             self.misses += 1;
-            false
+            None
         }
     }
 
-    /// Inserts or refreshes a block's contents, evicting the least-recently
-    /// used block if the pool is full.
-    pub fn put(&mut self, file: u32, block: u32, data: &[u8]) {
+    /// Looks up a block; on a hit, copies its contents into `out` and marks it
+    /// most-recently used. Returns `true` on a hit.
+    pub fn get(&mut self, file: u32, block: u32, out: &mut [u8]) -> bool {
+        match self.get_ref(file, block) {
+            Some(frame) => {
+                out.copy_from_slice(&frame);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Inserts or refreshes a block's pinned frame without copying the bytes,
+    /// evicting the least-recently used block if the pool is full. Evicted
+    /// frames are dropped, not overwritten: outstanding [`BlockRef`] clones
+    /// keep their snapshot alive until released.
+    pub fn put_ref(&mut self, file: u32, block: u32, frame: BlockRef) {
         if self.capacity == 0 {
             return;
         }
         if let Some(&idx) = self.map.get(&(file, block)) {
-            self.entries[idx].data.clear();
-            self.entries[idx].data.extend_from_slice(data);
+            self.entries[idx].data = frame;
             self.detach(idx);
             self.push_front(idx);
             return;
@@ -156,20 +219,24 @@ impl BufferPool {
         }
         let idx = if let Some(idx) = self.free.pop() {
             self.entries[idx].key = (file, block);
-            self.entries[idx].data.clear();
-            self.entries[idx].data.extend_from_slice(data);
+            self.entries[idx].data = frame;
             idx
         } else {
-            self.entries.push(Entry {
-                key: (file, block),
-                data: data.to_vec(),
-                prev: NIL,
-                next: NIL,
-            });
+            self.entries.push(Entry { key: (file, block), data: frame, prev: NIL, next: NIL });
             self.entries.len() - 1
         };
         self.map.insert((file, block), idx);
         self.push_front(idx);
+    }
+
+    /// Inserts or refreshes a block's contents from a borrowed buffer (one
+    /// copy to build the frame). Write paths use this; the zero-copy read
+    /// path inserts its already-owned frame via [`BufferPool::put_ref`].
+    pub fn put(&mut self, file: u32, block: u32, data: &[u8]) {
+        if self.capacity == 0 {
+            return;
+        }
+        self.put_ref(file, block, BlockRef::from_vec(data.to_vec()));
     }
 
     /// Removes a cached block if present (used when blocks are invalidated by
@@ -177,6 +244,10 @@ impl BufferPool {
     pub fn invalidate(&mut self, file: u32, block: u32) {
         if let Some(idx) = self.map.remove(&(file, block)) {
             self.detach(idx);
+            // Drop the frame now rather than when the free-listed slot is
+            // reused: lazy free means outstanding caller pins alone decide
+            // the snapshot's lifetime, not a dead pool slot.
+            self.entries[idx].data = BlockRef::from_vec(Vec::new());
             self.free.push(idx);
         }
     }
@@ -293,14 +364,27 @@ impl ShardedBufferPool {
         self.shards.iter().map(|s| s.lock().misses()).sum()
     }
 
+    /// Looks up a block; on a hit, returns a clone of its pinned frame (no
+    /// byte copy) and marks it most-recently used within its shard.
+    pub fn get_ref(&self, file: u32, block: u32) -> Option<BlockRef> {
+        self.shard(file, block).lock().get_ref(file, block)
+    }
+
     /// Looks up a block; on a hit, copies its contents into `out` and marks
     /// it most-recently used within its shard. Returns `true` on a hit.
     pub fn get(&self, file: u32, block: u32, out: &mut [u8]) -> bool {
         self.shard(file, block).lock().get(file, block, out)
     }
 
-    /// Inserts or refreshes a block's contents, evicting the least-recently
-    /// used block of its shard if that shard is full.
+    /// Inserts or refreshes a block's pinned frame without copying the bytes,
+    /// evicting the least-recently used block of its shard if that shard is
+    /// full.
+    pub fn put_ref(&self, file: u32, block: u32, frame: BlockRef) {
+        self.shard(file, block).lock().put_ref(file, block, frame);
+    }
+
+    /// Inserts or refreshes a block's contents from a borrowed buffer (one
+    /// copy to build the frame).
     pub fn put(&self, file: u32, block: u32, data: &[u8]) {
         self.shard(file, block).lock().put(file, block, data);
     }
@@ -362,6 +446,17 @@ mod tests {
         assert!(!p.get(0, 2, &mut out), "LRU block must have been evicted");
         assert!(p.get(0, 3, &mut out));
         assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    fn invalidate_releases_the_pool_reference() {
+        let mut p = BufferPool::new(4);
+        p.put_ref(0, 1, BlockRef::from_vec(vec![9u8; 8]));
+        let pinned = p.get_ref(0, 1).unwrap();
+        assert_eq!(pinned.ref_count(), 2, "pool + caller");
+        p.invalidate(0, 1);
+        assert_eq!(pinned.ref_count(), 1, "invalidate must drop the pool's reference");
+        assert_eq!(&pinned[..], &[9u8; 8]);
     }
 
     #[test]

@@ -29,7 +29,7 @@ use std::time::Duration;
 use parking_lot::Mutex;
 
 use crate::backend::{MemoryBackend, StorageBackend};
-use crate::buffer::ShardedBufferPool;
+use crate::buffer::{BlockRef, ShardedBufferPool};
 use crate::device::DeviceModel;
 use crate::error::{StorageError, StorageResult};
 use crate::pager::Pager;
@@ -148,10 +148,12 @@ impl DiskConfig {
     }
 }
 
-/// The single-slot §6.5 reuse cache: the last block read and its contents.
+/// The single-slot §6.5 reuse cache: the last block read and its pinned
+/// frame. Refreshing the slot is one `Arc` clone, and a reuse hit hands the
+/// frame back without copying a byte.
 struct ReuseState {
     last_read: Option<(FileId, BlockId)>,
-    data: Vec<u8>,
+    frame: BlockRef,
 }
 
 /// Sentinel for [`Disk::last_device_access`] meaning "no access yet".
@@ -212,7 +214,10 @@ impl Disk {
             backend,
             pool: ShardedBufferPool::new(config.buffer_blocks),
             pager: Mutex::new(pager),
-            reuse: Mutex::new(ReuseState { last_read: None, data: vec![0; config.block_size] }),
+            reuse: Mutex::new(ReuseState {
+                last_read: None,
+                frame: BlockRef::from_vec(vec![0; config.block_size]),
+            }),
             last_device_access: AtomicU64::new(NO_ACCESS),
             stats: IoStats::new(),
             device: config.device,
@@ -317,17 +322,91 @@ impl Disk {
         self.pager.lock().freed_blocks(file)
     }
 
-    /// Refreshes the reuse slot with the block just obtained. Best-effort:
-    /// skipped when another thread holds the slot.
-    fn note_last_read(&self, file: FileId, block: BlockId, data: &[u8]) {
+    /// Refreshes the reuse slot with the frame just obtained (one `Arc`
+    /// clone). Best-effort: skipped when another thread holds the slot.
+    fn note_last_read(&self, file: FileId, block: BlockId, frame: &BlockRef) {
         if let Some(mut reuse) = self.reuse.try_lock() {
             reuse.last_read = Some((file, block));
-            reuse.data.copy_from_slice(data);
+            reuse.frame = frame.clone();
         }
+    }
+
+    /// Loads one block from the backend into a freshly pinned frame.
+    fn load_frame(&self, file: FileId, block: BlockId) -> StorageResult<BlockRef> {
+        let mut buf = vec![0u8; self.block_size];
+        self.backend.read_block(file, block, &mut buf)?;
+        Ok(BlockRef::from_vec(buf))
+    }
+
+    /// Reads one block as a pinned, zero-copy [`BlockRef`], charging the
+    /// device unless the block is served by last-block reuse or the buffer
+    /// pool.
+    ///
+    /// This is the hot-path read API: a reuse or pool hit is one `Arc` clone
+    /// — no allocation, no byte copy — and a miss loads the block into a new
+    /// frame exactly once, which the pool then shares (the pool insert is
+    /// another clone, not a second copy). The returned frame stays valid —
+    /// with the bytes it was pinned with — across pool eviction, block frees
+    /// and subsequent writes to the same block.
+    pub fn read_ref(
+        &self,
+        file: FileId,
+        block: BlockId,
+        kind: BlockKind,
+    ) -> StorageResult<BlockRef> {
+        // Memory-resident kinds (§6.2): serve the read without touching the
+        // *device* accounting. The copy-behaviour counters still apply — a
+        // fresh frame is allocated and handed out, so it counts as pinned.
+        if self.is_memory_resident(kind) {
+            let frame = self.load_frame(file, block)?;
+            self.stats.record_frame_pinned();
+            return Ok(frame);
+        }
+
+        // Last-block reuse (§6.5): re-reading the block we just fetched does
+        // not touch the device again.
+        if self.reuse_last_block {
+            if let Some(reuse) = self.reuse.try_lock() {
+                if reuse.last_read == Some((file, block)) {
+                    self.stats.record_reuse_hit();
+                    self.stats.record_frame_pinned();
+                    return Ok(reuse.frame.clone());
+                }
+            }
+        }
+
+        // Buffer pool.
+        if self.pool.capacity() > 0 {
+            if let Some(frame) = self.pool.get_ref(file, block) {
+                self.stats.record_buffer_hit();
+                self.stats.record_frame_pinned();
+                self.note_last_read(file, block, &frame);
+                return Ok(frame);
+            }
+        }
+
+        // Device access: load into a fresh frame once; the pool and the
+        // reuse slot share it from there.
+        let frame = self.load_frame(file, block)?;
+        let prev = self.last_device_access.swap(pack_access(file, block), Ordering::Relaxed);
+        let sequential = prev != NO_ACCESS && prev == pack_access(file, block.wrapping_sub(1));
+        self.stats.record_read(kind);
+        self.charge(self.device.read_cost(sequential));
+
+        if self.pool.capacity() > 0 {
+            self.pool.put_ref(file, block, frame.clone());
+        }
+        self.note_last_read(file, block, &frame);
+        self.stats.record_frame_pinned();
+        Ok(frame)
     }
 
     /// Reads one block into `buf`, charging the device unless the block is
     /// served by last-block reuse or the buffer pool.
+    ///
+    /// This is the legacy copying path (kept for write-side read-modify-write
+    /// and external buffers); every call pays one block copy, recorded in
+    /// [`IoStats::bytes_copied`]. Hot read paths use [`Disk::read_ref`].
     pub fn read(
         &self,
         file: FileId,
@@ -338,47 +417,22 @@ impl Disk {
         if buf.len() != self.block_size {
             return Err(StorageError::BadBufferSize { got: buf.len(), expected: self.block_size });
         }
-
-        // Memory-resident kinds (§6.2): serve the read without touching the
-        // device accounting at all.
         if self.is_memory_resident(kind) {
-            return self.backend.read_block(file, block, buf);
-        }
-
-        // Last-block reuse (§6.5): re-reading the block we just fetched does
-        // not touch the device again.
-        if self.reuse_last_block {
-            if let Some(reuse) = self.reuse.try_lock() {
-                if reuse.last_read == Some((file, block)) {
-                    buf.copy_from_slice(&reuse.data);
-                    self.stats.record_reuse_hit();
-                    return Ok(());
-                }
-            }
-        }
-
-        // Buffer pool.
-        if self.pool.capacity() > 0 && self.pool.get(file, block, buf) {
-            self.stats.record_buffer_hit();
-            self.note_last_read(file, block, buf);
+            // Avoid the frame allocation entirely: memory-resident reads can
+            // fill the caller's buffer straight from the backend. It is
+            // still a copy into a caller buffer, so it is still recorded.
+            self.backend.read_block(file, block, buf)?;
+            self.stats.record_bytes_copied(self.block_size as u64);
             return Ok(());
         }
-
-        // Device access.
-        self.backend.read_block(file, block, buf)?;
-        let prev = self.last_device_access.swap(pack_access(file, block), Ordering::Relaxed);
-        let sequential = prev != NO_ACCESS && prev == pack_access(file, block.wrapping_sub(1));
-        self.stats.record_read(kind);
-        self.charge(self.device.read_cost(sequential));
-
-        if self.pool.capacity() > 0 {
-            self.pool.put(file, block, buf);
-        }
-        self.note_last_read(file, block, buf);
+        let frame = self.read_ref(file, block, kind)?;
+        buf.copy_from_slice(&frame);
+        self.stats.record_bytes_copied(self.block_size as u64);
         Ok(())
     }
 
-    /// Reads one block into a freshly allocated vector.
+    /// Reads one block into a freshly allocated vector (legacy copying path;
+    /// see [`Disk::read`]).
     pub fn read_vec(
         &self,
         file: FileId,
@@ -407,12 +461,17 @@ impl Disk {
             self.stats.record_write(kind);
             self.charge(self.device.write_cost());
         }
+        // Publish at most one new frame for the cached copies; readers that
+        // pinned the previous frame keep their snapshot (immutable frames).
+        let mut frame: Option<BlockRef> = None;
         if self.pool.capacity() > 0 {
-            self.pool.put(file, block, data);
+            let f = BlockRef::from_vec(data.to_vec());
+            self.pool.put_ref(file, block, f.clone());
+            frame = Some(f);
         }
         let mut reuse = self.reuse.lock();
         if reuse.last_read == Some((file, block)) {
-            reuse.data.copy_from_slice(data);
+            reuse.frame = frame.unwrap_or_else(|| BlockRef::from_vec(data.to_vec()));
         }
         Ok(())
     }
@@ -670,6 +729,53 @@ mod tests {
             d.stats().reads(),
             "flat 1ns-per-read model: device time must equal the device read count"
         );
+    }
+
+    #[test]
+    fn read_ref_is_zero_copy_on_pool_hits() {
+        let d = Disk::in_memory(DiskConfig::with_block_size(128).buffer_blocks(8));
+        let f = d.create_file().unwrap();
+        d.allocate(f, 2).unwrap();
+        d.write(f, 0, BlockKind::Leaf, &[9u8; 128]).unwrap();
+        d.stats().reset();
+        let first = d.read_ref(f, 0, BlockKind::Leaf).unwrap();
+        let second = d.read_ref(f, 0, BlockKind::Leaf).unwrap();
+        assert_eq!(&first[..], &[9u8; 128]);
+        assert_eq!(&second[..], &[9u8; 128]);
+        assert_eq!(d.stats().bytes_copied(), 0, "read_ref must never copy into caller buffers");
+        assert_eq!(d.stats().frames_pinned(), 2, "every served read pins exactly one frame");
+        // The write-through populated the pool, so both reads are hits.
+        assert_eq!(d.stats().reuse_hits() + d.stats().buffer_hits(), 2);
+        assert_eq!(d.stats().reads(), 0);
+        // The legacy copying path is the one that pays (and records) copies.
+        let mut buf = vec![0u8; 128];
+        d.read(f, 0, BlockKind::Leaf, &mut buf).unwrap();
+        assert_eq!(d.stats().bytes_copied(), 128);
+    }
+
+    #[test]
+    fn pinned_frame_survives_eviction_free_and_overwrite() {
+        // Pool of 4 blocks: read block 0, pin its frame, then evict it by
+        // churning through many other blocks, free it and overwrite it. The
+        // pinned frame must keep the original bytes throughout.
+        let d = Disk::in_memory(DiskConfig::with_block_size(128).buffer_blocks(4));
+        let f = d.create_file().unwrap();
+        d.allocate(f, 16).unwrap();
+        d.write(f, 0, BlockKind::Leaf, &[42u8; 128]).unwrap();
+        let pinned = d.read_ref(f, 0, BlockKind::Leaf).unwrap();
+        assert_eq!(&pinned[..], &[42u8; 128]);
+        for b in 1..16u32 {
+            d.read_ref(f, b, BlockKind::Leaf).unwrap();
+        }
+        d.free(f, 0, 1);
+        d.write(f, 0, BlockKind::Leaf, &[7u8; 128]).unwrap();
+        assert_eq!(&pinned[..], &[42u8; 128], "pinned snapshot must be immutable");
+        // New readers observe the new contents.
+        let fresh = d.read_ref(f, 0, BlockKind::Leaf).unwrap();
+        assert_eq!(&fresh[..], &[7u8; 128]);
+        // The pin is the only remaining owner of the old frame (clone-count
+        // visibility for the lazy-free contract).
+        assert_eq!(pinned.ref_count(), 1);
     }
 
     #[test]

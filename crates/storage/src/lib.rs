@@ -20,8 +20,11 @@
 //! * [`Disk`] — the façade combining all of the above, which is what index
 //!   crates actually talk to.
 //!
-//! Relative to a production buffer manager the pool still has no pinning
-//! protocol (blocks are copied out rather than referenced in place), but the
+//! The read path is zero-copy: [`Disk::read_ref`] hands out pinned
+//! [`buffer::BlockRef`] frames (`Arc`-backed, read-only) instead of copying
+//! into caller buffers, so a buffer-pool or reuse hit costs one atomic
+//! increment — no allocation, no memcpy. Eviction drops the pool's reference
+//! only; a caller holding a frame keeps its snapshot alive (lazy free). The
 //! whole layer is safe for N concurrent reader threads over a frozen index:
 //! statistics are atomic counters, the pool is lock-striped, backends
 //! synchronise internally behind a reader/writer lock, and the single-slot
@@ -41,7 +44,7 @@ pub mod pager;
 pub mod stats;
 
 pub use backend::{FileBackend, MemoryBackend, StorageBackend};
-pub use buffer::{BufferPool, ShardedBufferPool};
+pub use buffer::{BlockRef, BufferPool, ShardedBufferPool};
 pub use codec::{BlockReader, BlockWriter};
 pub use device::DeviceModel;
 pub use disk::{Disk, DiskConfig, FileId};

@@ -68,6 +68,17 @@ pub struct IoStats {
     freed_blocks: AtomicU64,
     /// Simulated device time in nanoseconds.
     device_ns: AtomicU64,
+    /// Bytes memcpy'd into caller-provided buffers by the legacy copying
+    /// read path ([`crate::Disk::read`] / `read_vec`). The zero-copy
+    /// [`crate::Disk::read_ref`] path never increments this, which is how
+    /// the "no per-hit copy" claim is observable rather than asserted.
+    bytes_copied: AtomicU64,
+    /// Pinned block frames ([`crate::buffer::BlockRef`]) handed out by
+    /// [`crate::Disk::read_ref`] — every read served through it (including
+    /// memory-resident reads) pins exactly one frame. The legacy copying
+    /// `read` only pins when it delegates to `read_ref`; its
+    /// memory-resident branch fills the caller buffer directly.
+    frames_pinned: AtomicU64,
 }
 
 impl IoStats {
@@ -118,6 +129,18 @@ impl IoStats {
         self.device_ns.fetch_add(ns, Ordering::Relaxed);
     }
 
+    /// Records one event; normally called by [`crate::Disk`], public so
+    /// harnesses and tests can account synthetic I/O.
+    pub fn record_bytes_copied(&self, bytes: u64) {
+        self.bytes_copied.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Records one event; normally called by [`crate::Disk`], public so
+    /// harnesses and tests can account synthetic I/O.
+    pub fn record_frame_pinned(&self) {
+        self.frames_pinned.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Total device reads (all kinds), excluding buffer / reuse hits.
     pub fn reads(&self) -> u64 {
         self.reads.iter().map(|c| c.load(Ordering::Relaxed)).sum()
@@ -164,6 +187,16 @@ impl IoStats {
         self.device_ns.load(Ordering::Relaxed)
     }
 
+    /// Bytes copied into caller buffers by the legacy copying read path.
+    pub fn bytes_copied(&self) -> u64 {
+        self.bytes_copied.load(Ordering::Relaxed)
+    }
+
+    /// Pinned frames handed out by the read path.
+    pub fn frames_pinned(&self) -> u64 {
+        self.frames_pinned.load(Ordering::Relaxed)
+    }
+
     /// A point-in-time copy of every counter, used to compute per-operation
     /// deltas.
     pub fn snapshot(&self) -> OpStats {
@@ -175,6 +208,8 @@ impl IoStats {
             allocated_blocks: self.allocated_blocks.load(Ordering::Relaxed),
             freed_blocks: self.freed_blocks.load(Ordering::Relaxed),
             device_ns: self.device_ns.load(Ordering::Relaxed),
+            bytes_copied: self.bytes_copied.load(Ordering::Relaxed),
+            frames_pinned: self.frames_pinned.load(Ordering::Relaxed),
         }
     }
 
@@ -191,6 +226,8 @@ impl IoStats {
         self.allocated_blocks.store(0, Ordering::Relaxed);
         self.freed_blocks.store(0, Ordering::Relaxed);
         self.device_ns.store(0, Ordering::Relaxed);
+        self.bytes_copied.store(0, Ordering::Relaxed);
+        self.frames_pinned.store(0, Ordering::Relaxed);
     }
 }
 
@@ -210,6 +247,11 @@ pub struct OpStats {
     pub freed_blocks: u64,
     /// Simulated device nanoseconds spent during the window.
     pub device_ns: u64,
+    /// Bytes copied into caller buffers by the legacy read path during the
+    /// window (zero on the `read_ref` fast path).
+    pub bytes_copied: u64,
+    /// Pinned frames handed out during the window.
+    pub frames_pinned: u64,
 }
 
 impl OpStats {
@@ -224,6 +266,8 @@ impl OpStats {
             allocated_blocks: self.allocated_blocks.saturating_sub(earlier.allocated_blocks),
             freed_blocks: self.freed_blocks.saturating_sub(earlier.freed_blocks),
             device_ns: self.device_ns.saturating_sub(earlier.device_ns),
+            bytes_copied: self.bytes_copied.saturating_sub(earlier.bytes_copied),
+            frames_pinned: self.frames_pinned.saturating_sub(earlier.frames_pinned),
         }
     }
 

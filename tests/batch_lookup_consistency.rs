@@ -1,0 +1,153 @@
+//! `lookup_batch` ≡ sequential `lookup`, for every index design.
+//!
+//! The batched lookup API promises bit-for-bit the answers of a per-key
+//! loop, for any probe set — hits, misses, duplicates, unsorted input —
+//! regardless of whether the index uses the default loop implementation or
+//! a specialised override (B+-tree leaf-run sharing, PGM single-pass run +
+//! cached data blocks). These tests pin that contract for all seven
+//! `IndexChoice` designs, deterministically and under proptest-generated
+//! workloads, and additionally assert the zero-copy invariant: lookups and
+//! batched lookups never copy a block into a caller buffer.
+
+use std::collections::BTreeMap;
+
+use lidx_core::{DiskIndex, Entry, Key, Value};
+use lidx_experiments::runner::{IndexChoice, RunConfig};
+use proptest::prelude::*;
+
+fn build_loaded(choice: IndexChoice, entries: &[Entry]) -> Box<dyn DiskIndex> {
+    let disk = RunConfig::default().make_disk();
+    let mut index = choice.build(disk);
+    index.bulk_load(entries).expect("bulk load");
+    index
+}
+
+/// Asserts batch == sequential on `probes` and returns the batched answers.
+fn check_equivalence(
+    index: &dyn DiskIndex,
+    choice: IndexChoice,
+    probes: &[Key],
+) -> Vec<Option<Value>> {
+    let mut batched = Vec::new();
+    index.lookup_batch(probes, &mut batched).expect("lookup_batch");
+    assert_eq!(batched.len(), probes.len(), "{choice:?} answer count");
+    for (i, &p) in probes.iter().enumerate() {
+        assert_eq!(batched[i], index.lookup(p).expect("lookup"), "{choice:?} probe {p}");
+    }
+    batched
+}
+
+#[test]
+fn batch_matches_sequential_for_every_design() {
+    let entries: Vec<Entry> = (0..20_000u64)
+        .map(|i| i * 13 + (i % 19) * 5)
+        .collect::<std::collections::BTreeSet<_>>()
+        .into_iter()
+        .map(|k| (k, k + 1))
+        .collect();
+    let oracle: BTreeMap<Key, Value> = entries.iter().copied().collect();
+
+    // Unsorted probes: interleaved hits, near-misses, extremes, duplicates.
+    let mut probes: Vec<Key> = Vec::new();
+    for &(k, _) in entries.iter().step_by(61) {
+        probes.push(k);
+        probes.push(k + 1);
+    }
+    probes.extend([0, u64::MAX, entries[40].0, entries[40].0, entries[40].0]);
+    probes.reverse();
+
+    for choice in IndexChoice::ALL_DESIGNS {
+        let index = build_loaded(choice, &entries);
+        let before = index.disk().snapshot();
+        let batched = check_equivalence(&*index, choice, &probes);
+        let delta = index.disk().snapshot().since(&before);
+        assert_eq!(
+            delta.bytes_copied, 0,
+            "{choice:?} lookup/batch hot paths must never copy blocks"
+        );
+        assert!(delta.frames_pinned > 0, "{choice:?} reads must pin frames");
+        for (i, &p) in probes.iter().enumerate() {
+            assert_eq!(batched[i], oracle.get(&p).copied(), "{choice:?} oracle probe {p}");
+        }
+    }
+}
+
+#[test]
+fn batch_matches_sequential_after_inserts() {
+    // Inserts push keys through delta buffers / insert runs / gapped nodes,
+    // so the batched path must agree with sequential reads against every
+    // auxiliary structure, not just bulk-loaded data.
+    let bulk: Vec<Entry> = (0..4_000u64).map(|i| (i * 10, i)).collect();
+    let inserts: Vec<Entry> = (0..900u64).map(|i| (i * 40 + 7, 1_000_000 + i)).collect();
+    let mut oracle: BTreeMap<Key, Value> = bulk.iter().copied().collect();
+    for &(k, v) in &inserts {
+        oracle.insert(k, v);
+    }
+    let probes: Vec<Key> =
+        oracle.keys().step_by(17).copied().chain((0..50).map(|i| i * 123 + 1)).collect();
+
+    for choice in IndexChoice::ALL_DESIGNS {
+        let mut index = build_loaded(choice, &bulk);
+        for &(k, v) in &inserts {
+            index.insert(k, v).unwrap();
+        }
+        let batched = check_equivalence(&*index, choice, &probes);
+        for (i, &p) in probes.iter().enumerate() {
+            assert_eq!(batched[i], oracle.get(&p).copied(), "{choice:?} oracle probe {p}");
+        }
+    }
+}
+
+#[test]
+fn empty_and_degenerate_batches() {
+    for choice in IndexChoice::ALL_DESIGNS {
+        let index = build_loaded(choice, &[(5, 6), (9, 10)]);
+        let mut out = vec![Some(1), Some(2)];
+        index.lookup_batch(&[], &mut out).unwrap();
+        assert!(out.is_empty(), "{choice:?} empty batch must clear out");
+        index.lookup_batch(&[9, 9, 9, 9], &mut out).unwrap();
+        assert_eq!(out, vec![Some(10); 4], "{choice:?} all-duplicate batch");
+        index.lookup_batch(&[u64::MAX], &mut out).unwrap();
+        assert_eq!(out, vec![None], "{choice:?} single miss");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 8, .. ProptestConfig::default() })]
+
+    /// Property: for random bulk loads, random insert batches and random
+    /// unsorted probe sets (with duplicates), `lookup_batch` returns exactly
+    /// what per-key `lookup` returns, for every one of the seven designs.
+    #[test]
+    fn random_batches_match_sequential_lookups(
+        bulk_keys in proptest::collection::btree_set(0u64..500_000, 30..300),
+        insert_keys in proptest::collection::btree_set(0u64..500_000, 0..120),
+        probes in proptest::collection::vec(0u64..600_000, 1..120),
+    ) {
+        let bulk: Vec<Entry> = bulk_keys.iter().map(|&k| (k, k + 1)).collect();
+        let mut oracle: BTreeMap<Key, Value> = bulk.iter().copied().collect();
+        let inserts: Vec<Entry> = insert_keys.iter().map(|&k| (k, k + 2)).collect();
+        for &(k, v) in &inserts {
+            oracle.insert(k, v);
+        }
+        // Probe both random keys and guaranteed hits (hits, misses,
+        // duplicates, unsorted order all arise from the generator).
+        let mut probes = probes;
+        probes.extend(bulk_keys.iter().step_by(7));
+
+        for choice in IndexChoice::ALL_DESIGNS {
+            let mut index = build_loaded(choice, &bulk);
+            for &(k, v) in &inserts {
+                index.insert(k, v).unwrap();
+            }
+            let mut batched = Vec::new();
+            index.lookup_batch(&probes, &mut batched).expect("lookup_batch");
+            prop_assert_eq!(batched.len(), probes.len());
+            for (i, &p) in probes.iter().enumerate() {
+                let sequential = index.lookup(p).expect("lookup");
+                prop_assert_eq!(batched[i], sequential, "{:?} probe {}", choice, p);
+                prop_assert_eq!(batched[i], oracle.get(&p).copied(), "{:?} oracle {}", choice, p);
+            }
+        }
+    }
+}
