@@ -453,7 +453,7 @@ impl IndexRead for AlexIndex {
             if out.len() >= count || node.header.next == INVALID_BLOCK {
                 return Ok(out.len());
             }
-            node = DataNode::load(&self.disk, self.data_file, node.header.next)?;
+            node = DataNode::load_scan(&self.disk, self.data_file, node.header.next)?;
             slot = 0;
         }
     }

@@ -65,9 +65,9 @@ pub struct DataHeader {
     pub count: u32,
     /// Linear model mapping keys to slot positions.
     pub model: LinearModel,
-    /// Start block of the previous data node, or [`INVALID_BLOCK`].
+    /// Start block of the previous data node, or [`lidx_storage::INVALID_BLOCK`].
     pub prev: BlockId,
-    /// Start block of the next data node, or [`INVALID_BLOCK`].
+    /// Start block of the next data node, or [`lidx_storage::INVALID_BLOCK`].
     pub next: BlockId,
     /// Statistics maintained for the cost model (updated on every insert —
     /// the maintenance overhead of Fig. 6).
@@ -164,6 +164,13 @@ impl DataNode {
     /// Reads the header of the data node at `start` (one block read).
     pub fn load(disk: &Disk, file: u32, start: BlockId) -> IndexResult<Self> {
         let buf = disk.read_ref(file, start, BlockKind::Leaf)?;
+        Ok(DataNode { file, start, header: DataHeader::decode(&buf)? })
+    }
+
+    /// [`DataNode::load`] tagged as part of a scan stream: used when a range
+    /// scan follows the sibling chain into the next data node.
+    pub fn load_scan(disk: &Disk, file: u32, start: BlockId) -> IndexResult<Self> {
+        let buf = disk.read_ref_scan(file, start, BlockKind::Leaf)?;
         Ok(DataNode { file, start, header: DataHeader::decode(&buf)? })
     }
 
@@ -351,7 +358,8 @@ impl DataNode {
     /// holds `limit` entries. Bitmap blocks and slot blocks are each fetched
     /// once and decoded in memory, so the I/O cost is `slots/B` slot blocks
     /// plus the covering bitmap blocks — the scan cost the paper attributes
-    /// to ALEX (Table 2 / S3).
+    /// to ALEX (Table 2 / S3). Every fetch is tagged scan-class so a
+    /// scan-resistant buffer pool admits the stream into probation only.
     pub fn scan_slots(
         &self,
         disk: &Disk,
@@ -372,7 +380,7 @@ impl DataNode {
             // hold it (charged as a utility block).
             let needed_bitmap = slot / bits_per_block;
             if needed_bitmap != bitmap_block_idx {
-                bitmap_frame = Some(disk.read_ref(
+                bitmap_frame = Some(disk.read_ref_scan(
                     self.file,
                     self.start + 1 + needed_bitmap,
                     BlockKind::Utility,
@@ -382,7 +390,7 @@ impl DataNode {
             let bitmap = bitmap_frame.as_deref().expect("bitmap block pinned");
             // Fetch the slot block and walk every slot it contains.
             let slot_block = slot / per_block;
-            let buf = disk.read_ref(
+            let buf = disk.read_ref_scan(
                 self.file,
                 self.start + 1 + geo.bitmap_blocks + slot_block,
                 BlockKind::Leaf,

@@ -1,11 +1,14 @@
-//! Fig. 13 — impact of an LRU buffer pool on lookup cost, plus a
-//! micro-benchmark of the pool itself.
+//! Fig. 13 — impact of a buffer pool on lookup cost — plus micro-benchmarks
+//! of the pool itself and of the scan-resistant replacement policies
+//! (`DESIGN.md` §3.3).
 
 use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use lidx_experiments::runner::IndexChoice;
-use lidx_storage::{BufferPool, DeviceModel, Disk, DiskConfig};
+use lidx_storage::{
+    BufferPool, DeviceModel, Disk, DiskConfig, PoolConfig, PoolPartitions, ReplacementPolicy,
+};
 use lidx_workloads::{Dataset, Workload, WorkloadKind, WorkloadSpec};
 
 fn bench_buffered_lookups(c: &mut Criterion) {
@@ -47,29 +50,79 @@ fn bench_pool_micro(c: &mut Criterion) {
     group.warm_up_time(Duration::from_millis(300));
     group.measurement_time(Duration::from_millis(900));
     let block = vec![0u8; 4096];
-    group.bench_function("put_get_hit", |b| {
-        let mut pool = BufferPool::new(128);
-        for i in 0..128u32 {
-            pool.put(0, i, &block);
-        }
-        let mut out = vec![0u8; 4096];
-        let mut i = 0u32;
-        b.iter(|| {
-            let hit = pool.get(0, i % 128, &mut out);
-            i += 1;
-            hit
-        })
-    });
-    group.bench_function("put_evicting", |b| {
-        let mut pool = BufferPool::new(64);
-        let mut i = 0u32;
-        b.iter(|| {
-            pool.put(0, i, &block);
-            i += 1;
-        })
-    });
+    // The hit and (evicting) insert paths of every replacement policy, so a
+    // policy's bookkeeping cost is visible next to the others'.
+    for policy in ReplacementPolicy::ALL {
+        group.bench_function(BenchmarkId::new("put_get_hit", policy.name()), |b| {
+            let mut pool = BufferPool::with_config(PoolConfig::new(128).policy(policy));
+            for i in 0..128u32 {
+                pool.put(0, i, &block);
+            }
+            let mut out = vec![0u8; 4096];
+            let mut i = 0u32;
+            b.iter(|| {
+                let hit = pool.get(0, i % 128, &mut out);
+                i += 1;
+                hit
+            })
+        });
+        group.bench_function(BenchmarkId::new("put_evicting", policy.name()), |b| {
+            let mut pool = BufferPool::with_config(PoolConfig::new(64).policy(policy));
+            let mut i = 0u32;
+            b.iter(|| {
+                pool.put(0, i, &block);
+                i += 1;
+            })
+        });
+    }
     group.finish();
 }
 
-criterion_group!(benches, bench_buffered_lookups, bench_pool_micro);
+/// The §3.3 scenario as a wall-clock benchmark: hot lookups interleaved with
+/// full-table scan passes over a pool far smaller than the table. The
+/// interesting output is the per-policy gap (2Q serves the hot set from the
+/// pool; strict LRU re-fetches it after every pass).
+fn bench_scan_interference(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scan_resistance");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_millis(1200));
+    let keys = Dataset::Ycsb.generate_keys(40_000, 0x5CA7);
+    let workload = Workload::build(&keys, WorkloadSpec::new(WorkloadKind::LookupOnly, 1, 0));
+    let hot: Vec<u64> = keys.iter().step_by(keys.len() / 32).copied().collect();
+    for (label, policy, partitions) in [
+        ("lru", ReplacementPolicy::Lru, PoolPartitions::Unified),
+        ("clock", ReplacementPolicy::Clock, PoolPartitions::Unified),
+        ("2q", ReplacementPolicy::TwoQ, PoolPartitions::Unified),
+        ("lru+inner25", ReplacementPolicy::Lru, PoolPartitions::InnerReserved { percent: 25 }),
+    ] {
+        let disk = Disk::in_memory(
+            DiskConfig::with_block_size(4096)
+                .device(DeviceModel::none())
+                .buffer_pool(PoolConfig::new(128).policy(policy).partitions(partitions)),
+        );
+        let mut index = IndexChoice::BTree.build(disk);
+        index.bulk_load(&workload.bulk).unwrap();
+        // Promote the hot set (two passes: admit, then re-reference).
+        for _ in 0..2 {
+            for &k in &hot {
+                index.lookup(k).unwrap();
+            }
+        }
+        let mut rows = Vec::new();
+        group.bench_function(BenchmarkId::new("hot_lookups_vs_scan", label), |b| {
+            b.iter(|| {
+                index.scan_batch(&[(keys[0], keys.len())], &mut rows).unwrap();
+                let mut found = 0u32;
+                for &k in &hot {
+                    found += u32::from(index.lookup(k).unwrap().is_some());
+                }
+                found
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_buffered_lookups, bench_pool_micro, bench_scan_interference);
 criterion_main!(benches);

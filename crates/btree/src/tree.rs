@@ -99,6 +99,14 @@ impl BTreeIndex {
         LeafNode::decode(&buf)
     }
 
+    /// [`Self::read_leaf`] tagged as part of a scan stream, so the buffer
+    /// pool's admission policy can keep the leaf-chain walk from flushing
+    /// the point-lookup working set.
+    fn read_leaf_scan(&self, block: BlockId) -> IndexResult<LeafNode> {
+        let buf = self.disk.read_ref_scan(self.file, block, BlockKind::Leaf)?;
+        LeafNode::decode(&buf)
+    }
+
     fn write_leaf(&self, block: BlockId, leaf: &LeafNode) -> IndexResult<()> {
         let buf = leaf.encode(self.disk.block_size())?;
         self.disk.write(self.file, block, BlockKind::Leaf, &buf)?;
@@ -329,7 +337,7 @@ impl IndexRead for BTreeIndex {
         let (_, leaf_block) = self.descend(start)?;
         let mut block = leaf_block;
         loop {
-            let leaf = self.read_leaf(block)?;
+            let leaf = self.read_leaf_scan(block)?;
             let from = leaf.entries.partition_point(|&(k, _)| k < start);
             for &e in &leaf.entries[from..] {
                 out.push(e);
@@ -342,6 +350,23 @@ impl IndexRead for BTreeIndex {
             }
             block = leaf.next;
         }
+    }
+
+    /// Batched scans execute the ranges in ascending start-key order (the
+    /// results stay positional): adjacent ranges then walk the leaf chain as
+    /// one mostly-forward block stream, which the device cost model prices
+    /// as sequential reads and the reuse slot / buffer pool serve without
+    /// re-fetching a shared boundary leaf.
+    fn scan_batch(&self, ranges: &[(Key, usize)], out: &mut Vec<Vec<Entry>>) -> IndexResult<()> {
+        out.clear();
+        out.resize_with(ranges.len(), Vec::new);
+        let mut order: Vec<u32> = (0..ranges.len() as u32).collect();
+        order.sort_unstable_by_key(|&i| ranges[i as usize].0);
+        for &i in &order {
+            let (start, count) = ranges[i as usize];
+            self.scan(start, count, &mut out[i as usize])?;
+        }
+        Ok(())
     }
 
     fn len(&self) -> u64 {

@@ -91,6 +91,53 @@ pub struct IndexStats {
 /// versioning or latching beyond the storage layer — per-index concurrency
 /// control (latch crabbing, epochs) is future work tracked in ROADMAP.md.
 ///
+/// # Example
+///
+/// The batched entry points are plain contracts over [`lookup`] / [`scan`],
+/// shown here with a minimal in-memory implementation:
+///
+/// ```
+/// use std::sync::Arc;
+/// use lidx_core::index::{IndexKind, IndexRead, IndexStats};
+/// use lidx_core::{Entry, IndexResult, Key, Value};
+/// use lidx_storage::{Disk, DiskConfig};
+///
+/// struct VecIndex {
+///     disk: Arc<Disk>,
+///     entries: Vec<Entry>, // sorted by key
+/// }
+///
+/// impl IndexRead for VecIndex {
+///     fn kind(&self) -> IndexKind { IndexKind::BTree }
+///     fn disk(&self) -> &Arc<Disk> { &self.disk }
+///     fn lookup(&self, key: Key) -> IndexResult<Option<Value>> {
+///         Ok(self.entries.binary_search_by_key(&key, |e| e.0).ok().map(|i| self.entries[i].1))
+///     }
+///     fn scan(&self, start: Key, count: usize, out: &mut Vec<Entry>) -> IndexResult<usize> {
+///         out.clear();
+///         let from = self.entries.partition_point(|e| e.0 < start);
+///         out.extend(self.entries[from..].iter().take(count));
+///         Ok(out.len())
+///     }
+///     fn len(&self) -> u64 { self.entries.len() as u64 }
+///     fn stats(&self) -> IndexStats { IndexStats::default() }
+/// }
+///
+/// let index = VecIndex {
+///     disk: Disk::in_memory(DiskConfig::default()),
+///     entries: vec![(10, 1), (20, 2), (30, 3)],
+/// };
+/// // lookup_batch answers positionally; duplicates and misses are fine.
+/// let mut answers = Vec::new();
+/// index.lookup_batch(&[20, 99, 20], &mut answers)?;
+/// assert_eq!(answers, vec![Some(2), None, Some(2)]);
+/// // scan_batch runs one scan per (start, count) range.
+/// let mut rows = Vec::new();
+/// index.scan_batch(&[(15, 2), (0, 1)], &mut rows)?;
+/// assert_eq!(rows, vec![vec![(20, 2), (30, 3)], vec![(10, 1)]]);
+/// # Ok::<(), lidx_core::IndexError>(())
+/// ```
+///
 /// [`lookup`]: IndexRead::lookup
 /// [`scan`]: IndexRead::scan
 pub trait IndexRead: Send + Sync {
@@ -110,14 +157,22 @@ pub trait IndexRead: Send + Sync {
     fn lookup(&self, key: Key) -> IndexResult<Option<Value>>;
 
     /// Looks up every key of `keys`, writing the answer for `keys[i]` to
-    /// `out[i]` (`out` is cleared and resized first).
+    /// `out[i]`.
     ///
-    /// Semantically identical to calling [`lookup`] once per key, in any
-    /// order — duplicates, misses and unsorted input are all fine. The
-    /// default implementation is exactly that loop; indexes whose structure
-    /// lets a sorted probe share work (the B+-tree descends once per leaf
-    /// run, PGM reads its insert run once per batch and reuses data blocks
-    /// across keys that land together) override it to amortise block
+    /// # Contract
+    ///
+    /// * `out` is **cleared and resized** to `keys.len()` first — previous
+    ///   contents are discarded, never appended to.
+    /// * Answers are positional: `out[i]` is exactly what
+    ///   [`lookup`]`(keys[i])` would return. Input order is preserved even
+    ///   when an implementation internally reorders the probe.
+    /// * Duplicate keys, absent keys (`None` answers) and unsorted input are
+    ///   all fine; a batch is semantically identical to a per-key loop.
+    ///
+    /// The default implementation is exactly that loop; indexes whose
+    /// structure lets a sorted probe share work (the B+-tree descends once
+    /// per leaf run, PGM reads its insert run once per batch and reuses data
+    /// blocks across keys that land together) override it to amortise block
     /// fetches and decoding across the batch.
     ///
     /// [`lookup`]: IndexRead::lookup
@@ -130,10 +185,50 @@ pub trait IndexRead: Send + Sync {
         Ok(())
     }
 
-    /// Collects up to `count` entries with keys `>= start` in ascending key
-    /// order into `out` (which is cleared first), returning how many were
-    /// produced.
+    /// Collects up to `count` entries with keys `>= start` into `out`,
+    /// returning how many were produced.
+    ///
+    /// # Contract
+    ///
+    /// * `out` is **cleared first**; on return it holds the result entries
+    ///   in strictly ascending key order (no duplicates — an overwritten key
+    ///   appears once, with its newest payload).
+    /// * Fewer than `count` entries are returned only when the index stores
+    ///   fewer than `count` keys `>= start`; `count == 0` returns 0 without
+    ///   performing I/O beyond locating the start.
+    /// * Implementations stream their data blocks with scan-class reads
+    ///   (`Disk::read_ref_scan`), so a buffer pool configured with a
+    ///   scan-resistant policy can keep the point-lookup working set
+    ///   resident while the scan passes through (`DESIGN.md` §3.3).
     fn scan(&self, start: Key, count: usize, out: &mut Vec<Entry>) -> IndexResult<usize>;
+
+    /// Runs one [`scan`] per `(start, count)` range of `ranges`, writing the
+    /// result rows for `ranges[i]` to `out[i]`.
+    ///
+    /// # Contract
+    ///
+    /// * `out` is **cleared and resized** to `ranges.len()` first; each
+    ///   inner vector then follows the [`scan`] contract for its range.
+    /// * Results are positional: overlapping, duplicate and unsorted ranges
+    ///   are all fine, and each produces exactly what a standalone [`scan`]
+    ///   would.
+    ///
+    /// The default implementation is the per-range loop. Indexes whose scan
+    /// is a leaf-chain walk (the B+-tree) override it to execute the ranges
+    /// in sorted start-key order, which turns the block accesses of adjacent
+    /// ranges into one mostly-sequential, prefetch-friendly stream — the
+    /// scan-side mirror of [`lookup_batch`]'s sorted probe.
+    ///
+    /// [`scan`]: IndexRead::scan
+    /// [`lookup_batch`]: IndexRead::lookup_batch
+    fn scan_batch(&self, ranges: &[(Key, usize)], out: &mut Vec<Vec<Entry>>) -> IndexResult<()> {
+        out.clear();
+        out.resize_with(ranges.len(), Vec::new);
+        for (i, &(start, count)) in ranges.iter().enumerate() {
+            self.scan(start, count, &mut out[i])?;
+        }
+        Ok(())
+    }
 
     /// Number of keys stored.
     fn len(&self) -> u64;

@@ -8,13 +8,13 @@
 //! paper-vs-measured comparison for each one.
 
 use lidx_core::InsertStep;
-use lidx_storage::DeviceModel;
+use lidx_storage::{DeviceModel, PoolPartitions, ReplacementPolicy};
 use lidx_workloads::{profile_dataset, Dataset, Workload, WorkloadKind, WorkloadSpec};
 
 use crate::report::{f2, ms, ops, Table};
 use crate::runner::{
-    run_batch_lookup, run_par_lookup, run_par_lookup_batched, run_workload, IndexChoice, RunConfig,
-    WorkloadReport,
+    run_batch_lookup, run_par_lookup, run_par_lookup_batched, run_scan_interference, run_workload,
+    IndexChoice, RunConfig, WorkloadReport,
 };
 
 /// Scale knobs shared by every experiment.
@@ -673,6 +673,107 @@ pub fn bench_snapshot_to(scale: &Scale, path: &std::path::Path) {
     println!("wrote {path}");
 }
 
+/// Beyond the paper: scan-resistant buffer management. For three structural
+/// families, a strided hot-lookup working set is promoted into a 128-block
+/// pool and its pool hit rate is measured with no scan running, then again
+/// while full-table Scan-Only passes stream through the pool — once per
+/// replacement policy (LRU / CLOCK / 2Q) plus an LRU + reserved-inner-
+/// partition row showing the partitioning knob is orthogonal to the policy.
+/// Strict LRU loses the hot set to every pass; 2Q confines the stream to its
+/// probation queue and holds the hit rate within a few points of baseline.
+/// `BENCH_scan.json` freezes the numbers (cited in DESIGN.md §3.3).
+pub fn scan_resistance(scale: &Scale) {
+    scan_resistance_to(scale, std::path::Path::new("BENCH_scan.json"));
+}
+
+/// [`scan_resistance`] with an explicit output path (tests write to a temp
+/// file; the `exp` binary always writes `BENCH_scan.json` in the cwd).
+pub fn scan_resistance_to(scale: &Scale, path: &std::path::Path) {
+    let path = path.display();
+    println!("== Scan resistance: hot-lookup pool hit rate vs a streaming full-table scan ==");
+    println!("(128-block pool, 32 hot keys; writing {path})");
+    let w = scale.search_workload(Dataset::Ycsb, WorkloadKind::LookupOnly);
+    let variants: [(ReplacementPolicy, PoolPartitions); 4] = [
+        (ReplacementPolicy::Lru, PoolPartitions::Unified),
+        (ReplacementPolicy::Clock, PoolPartitions::Unified),
+        (ReplacementPolicy::TwoQ, PoolPartitions::Unified),
+        (ReplacementPolicy::Lru, PoolPartitions::InnerReserved { percent: 25 }),
+    ];
+    let mut t = Table::new([
+        "index",
+        "policy",
+        "partitions",
+        "baseline hit",
+        "under-scan hit",
+        "lost (pts)",
+        "inner misses",
+    ]);
+    let mut entries = Vec::new();
+    for choice in [IndexChoice::BTree, IndexChoice::Pgm, IndexChoice::HybridPla] {
+        for (policy, partitions) in variants {
+            let cfg = RunConfig {
+                buffer_blocks: 128,
+                buffer_policy: policy,
+                buffer_partitions: partitions,
+                ..hdd()
+            };
+            let r = run_scan_interference(choice, &cfg, &w, 32);
+            t.row([
+                r.index.clone(),
+                policy.name().to_string(),
+                partitions.name().to_string(),
+                f2(r.baseline_hit_rate),
+                f2(r.under_scan_hit_rate),
+                f2(r.degradation_points()),
+                r.under_scan_inner_reads.to_string(),
+            ]);
+            entries.push(format!(
+                concat!(
+                    "    {{\n",
+                    "      \"index\": \"{}\",\n",
+                    "      \"policy\": \"{}\",\n",
+                    "      \"partitions\": \"{}\",\n",
+                    "      \"baseline_hit_rate\": {:.4},\n",
+                    "      \"under_scan_hit_rate\": {:.4},\n",
+                    "      \"degradation_points\": {:.2},\n",
+                    "      \"under_scan_inner_reads\": {},\n",
+                    "      \"scanned_entries\": {},\n",
+                    "      \"scan_tagged_reads\": {}\n",
+                    "    }}"
+                ),
+                r.index,
+                policy.name(),
+                partitions.name(),
+                r.baseline_hit_rate,
+                r.under_scan_hit_rate,
+                r.degradation_points(),
+                r.under_scan_inner_reads,
+                r.scanned_entries,
+                r.scan_reads,
+            ));
+        }
+    }
+    t.print();
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"schema\": \"lidx-bench-scan-v1\",\n",
+            "  \"workload\": \"hot-lookups-vs-full-table-scan/ycsb\",\n",
+            "  \"buffer_blocks\": 128,\n",
+            "  \"hot_keys\": 32,\n",
+            "  \"keys\": {},\n",
+            "  \"seed\": {},\n",
+            "  \"runs\": [\n{}\n  ]\n",
+            "}}\n"
+        ),
+        scale.keys,
+        scale.seed,
+        entries.join(",\n"),
+    );
+    std::fs::write(path.to_string(), json).expect("write scan snapshot");
+    println!("wrote {path}");
+}
+
 /// An experiment entry: a stable name and the function that prints it.
 pub type ExperimentFn = fn(&Scale);
 
@@ -700,6 +801,7 @@ pub fn all_experiments() -> Vec<(&'static str, ExperimentFn)> {
         ("par_lookup", par_lookup),
         ("batch_lookup", batch_lookup),
         ("bench_snapshot", bench_snapshot),
+        ("scan_resistance", scan_resistance),
         ("space_reuse_ablation", space_reuse_ablation),
     ]
 }
@@ -763,6 +865,33 @@ mod tests {
     #[test]
     fn batch_lookup_comparison_runs_at_tiny_scale() {
         batch_lookup(&tiny());
+    }
+
+    #[test]
+    fn scan_resistance_writes_machine_readable_json() {
+        // Tiny scale only checks the mechanics (the policy *contrast* needs
+        // a table much larger than the pool and is pinned at a realistic
+        // scale by `runner::tests::scan_interference_pins_the_policy_contrast`).
+        let path = std::env::temp_dir().join("lidx_scan_snapshot_test.json");
+        scan_resistance_to(&tiny(), &path);
+        let s = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        for field in [
+            "\"schema\": \"lidx-bench-scan-v1\"",
+            "\"policy\": \"lru\"",
+            "\"policy\": \"clock\"",
+            "\"policy\": \"2q\"",
+            "\"partitions\": \"inner-reserved\"",
+            "baseline_hit_rate",
+            "under_scan_hit_rate",
+            "degradation_points",
+            "under_scan_inner_reads",
+            "scan_tagged_reads",
+        ] {
+            assert!(s.contains(field), "scan snapshot misses {field}: {s}");
+        }
+        // 3 indexes x 4 (policy, partition) variants.
+        assert_eq!(s.matches("\"index\":").count(), 12);
     }
 
     #[test]

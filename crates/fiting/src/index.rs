@@ -7,7 +7,7 @@ use lidx_core::{
     IndexStats, InsertBreakdown, InsertStep, Key, Value,
 };
 use lidx_models::pla::ShrinkingCone;
-use lidx_storage::{BlockKind, Disk};
+use lidx_storage::{AccessClass, BlockKind, Disk};
 
 use crate::directory::Directory;
 use crate::segment::{
@@ -146,11 +146,11 @@ impl FitingTree {
         Ok(metas)
     }
 
-    fn read_overflow(&self) -> IndexResult<Vec<Entry>> {
+    fn read_overflow(&self, class: AccessClass) -> IndexResult<Vec<Entry>> {
         if self.overflow_count == 0 {
             return Ok(Vec::new());
         }
-        let buf = self.disk.read_ref(self.seg_file, 0, BlockKind::Utility)?;
+        let buf = self.disk.read_ref_class(self.seg_file, 0, BlockKind::Utility, class)?;
         Ok((0..self.overflow_count as usize).map(|i| segment::entry_at(&buf, i)).collect())
     }
 
@@ -175,7 +175,7 @@ impl FitingTree {
     fn resegment(&mut self, old: SegmentMeta, extra: &[Entry]) -> IndexResult<()> {
         self.smo_count += 1;
         let mut merged = read_all_data(&self.disk, self.seg_file, &old)?;
-        merged.extend_from_slice(&read_buffer(&self.disk, self.seg_file, &old)?);
+        merged.extend_from_slice(&read_buffer(&self.disk, self.seg_file, &old, AccessClass::Scan)?);
         merged.extend_from_slice(extra);
         merged.sort_unstable_by_key(|&(k, _)| k);
         merged.dedup_by_key(|&mut (k, _)| k);
@@ -205,14 +205,18 @@ impl IndexRead for FitingTree {
             return Err(IndexError::NotInitialized);
         }
         if key < self.global_min_key {
-            return Ok(self.read_overflow()?.iter().find(|&&(k, _)| k == key).map(|&(_, v)| v));
+            return Ok(self
+                .read_overflow(AccessClass::Point)?
+                .iter()
+                .find(|&&(k, _)| k == key)
+                .map(|&(_, v)| v));
         }
         let (meta, _) = self.directory.find(key)?;
         if let Some(v) = search_data(&self.disk, self.seg_file, &meta, key, self.config.epsilon)? {
             return Ok(Some(v));
         }
         if meta.buffer_count > 0 {
-            let buffer = read_buffer(&self.disk, self.seg_file, &meta)?;
+            let buffer = read_buffer(&self.disk, self.seg_file, &meta, AccessClass::Point)?;
             if let Ok(pos) = buffer.binary_search_by_key(&key, |&(k, _)| k) {
                 return Ok(Some(buffer[pos].1));
             }
@@ -232,7 +236,7 @@ impl IndexRead for FitingTree {
         // Entries in the overflow buffer are all below the global minimum, so
         // they come first in key order.
         if start < self.global_min_key && self.overflow_count > 0 {
-            let overflow = self.read_overflow()?;
+            let overflow = self.read_overflow(AccessClass::Scan)?;
             for &(k, v) in overflow.iter().filter(|&&(k, _)| k >= start) {
                 out.push((k, v));
                 if out.len() == count {
@@ -258,7 +262,7 @@ impl IndexRead for FitingTree {
             let data =
                 segment::read_data_from(&self.disk, self.seg_file, &meta, from_pos, start, needed)?;
             let buffer = if meta.buffer_count > 0 {
-                read_buffer(&self.disk, self.seg_file, &meta)?
+                read_buffer(&self.disk, self.seg_file, &meta, AccessClass::Scan)?
             } else {
                 Vec::new()
             };
@@ -339,7 +343,7 @@ impl DiskIndex for FitingTree {
 
         // Keys below the global minimum go to the overflow buffer (§4.2).
         if key < self.global_min_key {
-            let mut overflow = self.read_overflow()?;
+            let mut overflow = self.read_overflow(AccessClass::Point)?;
             let after_search = self.disk.snapshot();
             self.breakdown.add(InsertStep::Search, &after_search.since(&before));
             match overflow.binary_search_by_key(&key, |&(k, _)| k) {
@@ -372,7 +376,7 @@ impl DiskIndex for FitingTree {
         // Search the data region and the buffer to honour upsert semantics.
         let existing = search_data(&self.disk, self.seg_file, &meta, key, self.config.epsilon)?;
         let buffer = if meta.buffer_count > 0 {
-            read_buffer(&self.disk, self.seg_file, &meta)?
+            read_buffer(&self.disk, self.seg_file, &meta, AccessClass::Point)?
         } else {
             Vec::new()
         };

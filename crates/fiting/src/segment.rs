@@ -19,7 +19,7 @@
 //! without knowing the exact count.
 
 use lidx_core::{Entry, IndexError, IndexResult, Key, Value};
-use lidx_storage::{BlockId, BlockKind, Disk};
+use lidx_storage::{AccessClass, BlockId, BlockKind, Disk};
 
 use lidx_models::LinearModel;
 
@@ -195,7 +195,8 @@ pub fn search_data(
 }
 
 /// Reads the valid entries of the data region (`count` entries), charging one
-/// read per data block. Used by scans and resegmentation.
+/// read per data block. Used by resegmentation; the whole-segment stream is
+/// tagged scan-class so maintenance passes do not flush the hot pool set.
 pub fn read_all_data(disk: &Disk, file: u32, meta: &SegmentMeta) -> IndexResult<Vec<Entry>> {
     let per_block = entries_per_block(disk.block_size());
     let mut out = Vec::with_capacity(meta.count as usize);
@@ -204,7 +205,7 @@ pub fn read_all_data(disk: &Disk, file: u32, meta: &SegmentMeta) -> IndexResult<
         if remaining == 0 {
             break;
         }
-        let buf = disk.read_ref(file, meta.start_block + b, BlockKind::Leaf)?;
+        let buf = disk.read_ref_scan(file, meta.start_block + b, BlockKind::Leaf)?;
         let take = remaining.min(per_block);
         for slot in 0..take {
             out.push(entry_at(&buf, slot));
@@ -215,10 +216,10 @@ pub fn read_all_data(disk: &Disk, file: u32, meta: &SegmentMeta) -> IndexResult<
 }
 
 /// Reads data-region entries for a range scan: starting from position
-/// `from_pos`, blocks are fetched in order and decoded until `needed`
-/// entries with keys `>= min_key` have been seen (or the data is exhausted).
-/// All decoded entries from `from_pos` onwards are returned so the caller can
-/// merge them with the delta buffer.
+/// `from_pos`, blocks are fetched in order (tagged scan-class) and decoded
+/// until `needed` entries with keys `>= min_key` have been seen (or the data
+/// is exhausted). All decoded entries from `from_pos` onwards are returned so
+/// the caller can merge them with the delta buffer.
 pub fn read_data_from(
     disk: &Disk,
     file: u32,
@@ -237,7 +238,7 @@ pub fn read_data_from(
     let mut block = from_pos / per_block;
     let last_block = (count - 1) / per_block;
     while block <= last_block && matched < needed {
-        let buf = disk.read_ref(file, meta.start_block + block as u32, BlockKind::Leaf)?;
+        let buf = disk.read_ref_scan(file, meta.start_block + block as u32, BlockKind::Leaf)?;
         let slot_lo = if block == from_pos / per_block { from_pos % per_block } else { 0 };
         let slot_hi = per_block.min(count - block * per_block);
         for slot in slot_lo..slot_hi {
@@ -253,8 +254,14 @@ pub fn read_data_from(
 }
 
 /// Reads the valid entries of the delta buffer (sorted), charging one read
-/// per buffer block actually holding data.
-pub fn read_buffer(disk: &Disk, file: u32, meta: &SegmentMeta) -> IndexResult<Vec<Entry>> {
+/// per buffer block actually holding data. `class` distinguishes a point
+/// lookup's buffer probe from a scan / maintenance stream.
+pub fn read_buffer(
+    disk: &Disk,
+    file: u32,
+    meta: &SegmentMeta,
+    class: AccessClass,
+) -> IndexResult<Vec<Entry>> {
     let per_block = entries_per_block(disk.block_size());
     let mut out = Vec::with_capacity(meta.buffer_count as usize);
     let mut remaining = meta.buffer_count as usize;
@@ -263,7 +270,7 @@ pub fn read_buffer(disk: &Disk, file: u32, meta: &SegmentMeta) -> IndexResult<Ve
         if remaining == 0 {
             break;
         }
-        let buf = disk.read_ref(file, start + b, BlockKind::Leaf)?;
+        let buf = disk.read_ref_class(file, start + b, BlockKind::Leaf, class)?;
         let take = remaining.min(per_block);
         for slot in 0..take {
             out.push(entry_at(&buf, slot));
@@ -327,12 +334,12 @@ mod tests {
     fn read_all_data_and_buffer_roundtrip() {
         let (disk, file, mut meta, entries) = setup(50);
         assert_eq!(read_all_data(&disk, file, &meta).unwrap(), entries);
-        assert!(read_buffer(&disk, file, &meta).unwrap().is_empty());
+        assert!(read_buffer(&disk, file, &meta, AccessClass::Point).unwrap().is_empty());
 
         let buffered: Vec<Entry> = vec![(3, 4), (7, 8)];
         meta.buffer_count = buffered.len() as u32;
         write_buffer_region(&disk, file, &meta, &buffered).unwrap();
-        assert_eq!(read_buffer(&disk, file, &meta).unwrap(), buffered);
+        assert_eq!(read_buffer(&disk, file, &meta, AccessClass::Point).unwrap(), buffered);
     }
 
     #[test]

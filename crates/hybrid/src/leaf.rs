@@ -60,6 +60,13 @@ impl LeafLevel {
         LeafNode::decode(&buf)
     }
 
+    /// [`Self::read`] tagged as part of a scan stream (the leaf-chain walk
+    /// of [`LeafLevel::scan_from`]).
+    fn read_scan(&self, block: BlockId) -> IndexResult<LeafNode> {
+        let buf = self.disk.read_ref_scan(self.file, block, BlockKind::Leaf)?;
+        LeafNode::decode(&buf)
+    }
+
     fn write(&self, block: BlockId, leaf: &LeafNode) -> IndexResult<()> {
         let buf = leaf.encode(self.disk.block_size())?;
         self.disk.write(self.file, block, BlockKind::Leaf, &buf)?;
@@ -126,7 +133,7 @@ impl LeafLevel {
     ) -> IndexResult<usize> {
         let mut current = block;
         loop {
-            let leaf = self.read(current)?;
+            let leaf = self.read_scan(current)?;
             let from = leaf.entries.partition_point(|&(k, _)| k < start);
             for &e in &leaf.entries[from..] {
                 out.push(e);

@@ -227,7 +227,7 @@ impl IndexRead for LippIndex {
                 if out.len() >= count {
                     break 'outer;
                 }
-                match node.read_slot(&self.disk, idx)? {
+                match node.read_slot_scan(&self.disk, idx)? {
                     Slot::Null => {}
                     Slot::Data(k, v) => {
                         if k >= start {
@@ -236,7 +236,7 @@ impl IndexRead for LippIndex {
                     }
                     Slot::Child(b) => {
                         stack.push((node, idx + 1));
-                        stack.push((LippNode::load(&self.disk, self.file, b)?, 0));
+                        stack.push((LippNode::load_scan(&self.disk, self.file, b)?, 0));
                         continue 'outer;
                     }
                 }

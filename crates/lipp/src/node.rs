@@ -12,7 +12,7 @@
 
 use lidx_core::{Entry, IndexError, IndexResult, Key, Value};
 use lidx_models::LinearModel;
-use lidx_storage::{BlockId, BlockKind, BlockReader, BlockWriter, Disk};
+use lidx_storage::{AccessClass, BlockId, BlockKind, BlockReader, BlockWriter, Disk};
 
 /// Size of one slot in bytes.
 pub const SLOT_BYTES: usize = 24;
@@ -143,6 +143,13 @@ impl LippNode {
         Ok(LippNode { file, start, header: LippHeader::decode(&buf)? })
     }
 
+    /// [`LippNode::load`] tagged as part of a scan stream: used by the
+    /// in-order scan traversal when it descends into a child subtree.
+    pub fn load_scan(disk: &Disk, file: u32, start: BlockId) -> IndexResult<Self> {
+        let buf = disk.read_ref_scan(file, start, BlockKind::Leaf)?;
+        Ok(LippNode { file, start, header: LippHeader::decode(&buf)? })
+    }
+
     /// Total blocks of the node's extent.
     pub fn total_blocks(&self, block_size: usize) -> u32 {
         blocks_for(self.header.capacity, block_size)
@@ -167,8 +174,17 @@ impl LippNode {
 
     /// Reads one slot.
     pub fn read_slot(&self, disk: &Disk, slot: u32) -> IndexResult<Slot> {
+        self.read_slot_class(disk, slot, AccessClass::Point)
+    }
+
+    /// [`LippNode::read_slot`] tagged as part of a scan stream.
+    pub fn read_slot_scan(&self, disk: &Disk, slot: u32) -> IndexResult<Slot> {
+        self.read_slot_class(disk, slot, AccessClass::Scan)
+    }
+
+    fn read_slot_class(&self, disk: &Disk, slot: u32, class: AccessClass) -> IndexResult<Slot> {
         let (block, off) = self.slot_location(slot, disk.block_size());
-        let buf = disk.read_ref(self.file, block, BlockKind::Leaf)?;
+        let buf = disk.read_ref_class(self.file, block, BlockKind::Leaf, class)?;
         let raw = [
             u64::from_le_bytes(buf[off..off + 8].try_into().unwrap()),
             u64::from_le_bytes(buf[off + 8..off + 16].try_into().unwrap()),

@@ -19,7 +19,7 @@ use lidx_core::{
     index::validate_bulk_load, DiskIndex, Entry, IndexError, IndexKind, IndexRead, IndexResult,
     IndexStats, InsertBreakdown, InsertStep, Key, Value,
 };
-use lidx_storage::{BlockKind, Disk};
+use lidx_storage::{AccessClass, BlockKind, Disk};
 
 use crate::static_pgm::StaticPgm;
 
@@ -94,7 +94,7 @@ impl PgmIndex {
         (self.config.insert_run_entries as u64) << (i + 1)
     }
 
-    fn read_run(&self) -> IndexResult<Vec<Entry>> {
+    fn read_run(&self, class: AccessClass) -> IndexResult<Vec<Entry>> {
         if self.run == 0 {
             return Ok(Vec::new());
         }
@@ -103,7 +103,7 @@ impl PgmIndex {
         let blocks = (self.run as usize).div_ceil(per_block) as u32;
         let mut out = Vec::with_capacity(self.run as usize);
         for b in 0..blocks {
-            let buf = self.disk.read_ref(self.run_file, b, BlockKind::Utility)?;
+            let buf = self.disk.read_ref_class(self.run_file, b, BlockKind::Utility, class)?;
             let start = b as usize * per_block;
             let take = (self.run as usize - start).min(per_block);
             for slot in 0..take {
@@ -226,7 +226,7 @@ impl IndexRead for PgmIndex {
         }
         // Newest data first: the insert run, then components small to large.
         if self.run > 0 {
-            let run = self.read_run()?;
+            let run = self.read_run(AccessClass::Point)?;
             if let Ok(pos) = run.binary_search_by_key(&key, |&(k, _)| k) {
                 return Ok(Some(run[pos].1));
             }
@@ -256,7 +256,7 @@ impl IndexRead for PgmIndex {
         let mut pending: Vec<u32> = (0..keys.len() as u32).collect();
         pending.sort_unstable_by_key(|&i| keys[i as usize]);
         if self.run > 0 {
-            let run = self.read_run()?;
+            let run = self.read_run(AccessClass::Point)?;
             pending.retain(|&i| match run.binary_search_by_key(&keys[i as usize], |&(k, _)| k) {
                 Ok(pos) => {
                     out[i as usize] = Some(run[pos].1);
@@ -284,7 +284,7 @@ impl IndexRead for PgmIndex {
         }
         // Collect `count` candidates from every component, then merge,
         // preferring newer components on duplicate keys.
-        let run = self.read_run()?;
+        let run = self.read_run(AccessClass::Scan)?;
         let mut merged: Vec<Entry> =
             run.into_iter().filter(|&(k, _)| k >= start).take(count).collect();
         for level in self.levels.iter().flatten() {
@@ -349,7 +349,7 @@ impl DiskIndex for PgmIndex {
         let before = self.disk.snapshot();
         // PGM only searches the insert run on insert (the paper highlights
         // this as the reason for its write-only dominance, O6).
-        let mut run = self.read_run()?;
+        let mut run = self.read_run(AccessClass::Point)?;
         let after_search = self.disk.snapshot();
         self.breakdown.add(InsertStep::Search, &after_search.since(&before));
 

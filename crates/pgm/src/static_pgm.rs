@@ -431,7 +431,9 @@ impl StaticPgm {
         None
     }
 
-    /// Collects up to `count` entries with keys `>= start` into `out`.
+    /// Collects up to `count` entries with keys `>= start` into `out`. The
+    /// data blocks are streamed with scan-class reads, so a scan-resistant
+    /// buffer pool admits them into probation only.
     pub fn scan_into(&self, start: Key, count: usize, out: &mut Vec<Entry>) -> IndexResult<()> {
         if self.len == 0 || count == 0 || start > self.max_key {
             return Ok(());
@@ -441,7 +443,7 @@ impl StaticPgm {
         let mut taken = 0usize;
         while pos < self.len && taken < count {
             let block = (pos / per_block as u64) as u32;
-            let buf = self.disk.read_ref(self.file, block, BlockKind::Leaf)?;
+            let buf = self.disk.read_ref_scan(self.file, block, BlockKind::Leaf)?;
             let mut slot = (pos % per_block as u64) as usize;
             while slot < per_block && pos < self.len && taken < count {
                 let e = entry_at(&buf, slot);

@@ -29,7 +29,9 @@ use std::time::Duration;
 use parking_lot::Mutex;
 
 use crate::backend::{MemoryBackend, StorageBackend};
-use crate::buffer::{BlockRef, ShardedBufferPool};
+use crate::buffer::{
+    AccessClass, BlockRef, PoolConfig, PoolPartitions, ReplacementPolicy, ShardedBufferPool,
+};
 use crate::device::DeviceModel;
 use crate::error::{StorageError, StorageResult};
 use crate::pager::Pager;
@@ -46,9 +48,17 @@ pub struct DiskConfig {
     pub block_size: usize,
     /// Device cost model used to accumulate simulated latency.
     pub device: DeviceModel,
-    /// LRU buffer pool capacity in blocks; 0 disables the pool (the paper's
+    /// Buffer pool capacity in blocks; 0 disables the pool (the paper's
     /// default setting).
     pub buffer_blocks: usize,
+    /// Buffer pool replacement policy (strict LRU by default, matching the
+    /// paper's Fig. 13 study; see [`ReplacementPolicy`] for the
+    /// scan-resistant alternatives).
+    pub buffer_policy: ReplacementPolicy,
+    /// How buffer frames are divided between block kinds (unified by
+    /// default; [`PoolPartitions::InnerReserved`] shields inner/meta frames
+    /// from data scans).
+    pub buffer_partitions: PoolPartitions,
     /// Whether a read of the block fetched by the immediately preceding read
     /// is served without charging an I/O (§6.5).
     pub reuse_last_block: bool,
@@ -76,6 +86,8 @@ impl Default for DiskConfig {
             block_size: DEFAULT_BLOCK_SIZE,
             device: DeviceModel::none(),
             buffer_blocks: 0,
+            buffer_policy: ReplacementPolicy::default(),
+            buffer_partitions: PoolPartitions::default(),
             reuse_last_block: true,
             reuse_freed_space: false,
             simulate_latency: false,
@@ -102,6 +114,38 @@ impl DiskConfig {
     pub fn buffer_blocks(mut self, blocks: usize) -> Self {
         self.buffer_blocks = blocks;
         self
+    }
+
+    /// Sets the buffer pool replacement policy.
+    #[must_use]
+    pub fn buffer_policy(mut self, policy: ReplacementPolicy) -> Self {
+        self.buffer_policy = policy;
+        self
+    }
+
+    /// Sets the buffer pool partitioning scheme.
+    #[must_use]
+    pub fn buffer_partitions(mut self, partitions: PoolPartitions) -> Self {
+        self.buffer_partitions = partitions;
+        self
+    }
+
+    /// Sets capacity, policy and partitions from one [`PoolConfig`].
+    #[must_use]
+    pub fn buffer_pool(mut self, pool: PoolConfig) -> Self {
+        self.buffer_blocks = pool.capacity;
+        self.buffer_policy = pool.policy;
+        self.buffer_partitions = pool.partitions;
+        self
+    }
+
+    /// The [`PoolConfig`] this configuration resolves to.
+    pub fn pool_config(&self) -> PoolConfig {
+        PoolConfig {
+            capacity: self.buffer_blocks,
+            policy: self.buffer_policy,
+            partitions: self.buffer_partitions,
+        }
     }
 
     /// Enables or disables last-block reuse.
@@ -212,7 +256,7 @@ impl Disk {
         pager.set_reuse_freed(config.reuse_freed_space);
         Arc::new(Disk {
             backend,
-            pool: ShardedBufferPool::new(config.buffer_blocks),
+            pool: ShardedBufferPool::with_config(config.pool_config()),
             pager: Mutex::new(pager),
             reuse: Mutex::new(ReuseState {
                 last_read: None,
@@ -340,7 +384,7 @@ impl Disk {
 
     /// Reads one block as a pinned, zero-copy [`BlockRef`], charging the
     /// device unless the block is served by last-block reuse or the buffer
-    /// pool.
+    /// pool. Point-access class; see [`Disk::read_ref_class`].
     ///
     /// This is the hot-path read API: a reuse or pool hit is one `Arc` clone
     /// — no allocation, no byte copy — and a miss loads the block into a new
@@ -354,6 +398,36 @@ impl Disk {
         block: BlockId,
         kind: BlockKind,
     ) -> StorageResult<BlockRef> {
+        self.read_ref_class(file, block, kind, AccessClass::Point)
+    }
+
+    /// [`Disk::read_ref`] tagged as part of a scan stream: the buffer pool
+    /// admits the block under scan class (2Q: probation only, no promotion;
+    /// CLOCK: no reference bit), so a streaming pass cannot flush the
+    /// point-lookup working set. Index scan paths use this for the blocks
+    /// they stream over; their descent to the first block stays point-class.
+    pub fn read_ref_scan(
+        &self,
+        file: FileId,
+        block: BlockId,
+        kind: BlockKind,
+    ) -> StorageResult<BlockRef> {
+        self.read_ref_class(file, block, kind, AccessClass::Scan)
+    }
+
+    /// Reads one block as a pinned, zero-copy [`BlockRef`] under an explicit
+    /// [`AccessClass`] (see [`Disk::read_ref`] for the pinning guarantees
+    /// and [`Disk::read_ref_scan`] for what the class changes).
+    pub fn read_ref_class(
+        &self,
+        file: FileId,
+        block: BlockId,
+        kind: BlockKind,
+        class: AccessClass,
+    ) -> StorageResult<BlockRef> {
+        if class == AccessClass::Scan {
+            self.stats.record_scan_read();
+        }
         // Memory-resident kinds (§6.2): serve the read without touching the
         // *device* accounting. The copy-behaviour counters still apply — a
         // fresh frame is allocated and handed out, so it counts as pinned.
@@ -377,7 +451,7 @@ impl Disk {
 
         // Buffer pool.
         if self.pool.capacity() > 0 {
-            if let Some(frame) = self.pool.get_ref(file, block) {
+            if let Some(frame) = self.pool.get_ref(file, block, class) {
                 self.stats.record_buffer_hit();
                 self.stats.record_frame_pinned();
                 self.note_last_read(file, block, &frame);
@@ -394,7 +468,7 @@ impl Disk {
         self.charge(self.device.read_cost(sequential));
 
         if self.pool.capacity() > 0 {
-            self.pool.put_ref(file, block, frame.clone());
+            self.pool.put_ref(file, block, kind, class, frame.clone());
         }
         self.note_last_read(file, block, &frame);
         self.stats.record_frame_pinned();
@@ -466,7 +540,7 @@ impl Disk {
         let mut frame: Option<BlockRef> = None;
         if self.pool.capacity() > 0 {
             let f = BlockRef::from_vec(data.to_vec());
-            self.pool.put_ref(file, block, f.clone());
+            self.pool.put_ref(file, block, kind, AccessClass::Point, f.clone());
             frame = Some(f);
         }
         let mut reuse = self.reuse.lock();
@@ -542,6 +616,11 @@ impl Disk {
     /// Buffer pool capacity in blocks.
     pub fn buffer_capacity(&self) -> usize {
         self.pool.capacity()
+    }
+
+    /// The buffer pool configuration in use (capacity, policy, partitions).
+    pub fn buffer_config(&self) -> &PoolConfig {
+        self.pool.config()
     }
 }
 
@@ -798,6 +877,88 @@ mod tests {
             "5 reads at 2ms each must block for at least 10ms"
         );
         assert_eq!(d.stats().device_ns(), 5 * 2_000_000);
+    }
+}
+
+#[cfg(test)]
+mod scan_resistance_tests {
+    use super::*;
+    use crate::buffer::{PoolPartitions, ReplacementPolicy};
+
+    /// The ISSUE's regression case: a full-table scan must not be able to
+    /// evict an inner block living in the reserved partition, under *any*
+    /// replacement policy.
+    #[test]
+    fn full_table_scan_cannot_evict_reserved_inner_blocks() {
+        for policy in ReplacementPolicy::ALL {
+            let d = Disk::in_memory(
+                DiskConfig::with_block_size(128)
+                    .buffer_blocks(16)
+                    .buffer_policy(policy)
+                    .buffer_partitions(PoolPartitions::InnerReserved { percent: 25 })
+                    .reuse_last_block(false),
+            );
+            let f = d.create_file().unwrap();
+            d.allocate(f, 512).unwrap();
+            // Blocks 0..4 are the hot inner path; the rest is table data.
+            for b in 0..4u32 {
+                d.read_ref(f, b, BlockKind::Inner).unwrap();
+            }
+            let warm_reads = d.stats().reads();
+            // A full-table scan streams every data block, tagged scan-class.
+            for b in 4..512u32 {
+                d.read_ref_scan(f, b, BlockKind::Leaf).unwrap();
+            }
+            assert_eq!(d.stats().scan_reads(), 508, "{policy}: scans must announce themselves");
+            // Re-reading the inner path must be pure pool hits: the scan was
+            // confined to the general partition.
+            let before = d.stats().reads();
+            for b in 0..4u32 {
+                d.read_ref(f, b, BlockKind::Inner).unwrap();
+            }
+            assert_eq!(
+                d.stats().reads(),
+                before,
+                "{policy}: a data scan must not evict reserved inner frames"
+            );
+            assert_eq!(warm_reads, 4, "{policy}: warm-up should have read each inner block once");
+        }
+    }
+
+    /// Without partitions, the 2Q policy alone keeps a *promoted* hot set
+    /// resident across a scan, while strict LRU loses it — the behavioural
+    /// contrast the `scan_resistance` experiment quantifies.
+    #[test]
+    fn twoq_holds_hot_blocks_across_a_scan_where_lru_does_not() {
+        let run = |policy: ReplacementPolicy| -> u64 {
+            let d = Disk::in_memory(
+                DiskConfig::with_block_size(128)
+                    .buffer_blocks(8)
+                    .buffer_policy(policy)
+                    .reuse_last_block(false),
+            );
+            let f = d.create_file().unwrap();
+            d.allocate(f, 256).unwrap();
+            // Hot blocks 0..4, referenced twice (second touch promotes
+            // under 2Q).
+            for _ in 0..2 {
+                for b in 0..4u32 {
+                    d.read_ref(f, b, BlockKind::Leaf).unwrap();
+                }
+            }
+            // Scan the table.
+            for b in 4..256u32 {
+                d.read_ref_scan(f, b, BlockKind::Leaf).unwrap();
+            }
+            // Count device reads needed to serve the hot set again.
+            let before = d.stats().reads();
+            for b in 0..4u32 {
+                d.read_ref(f, b, BlockKind::Leaf).unwrap();
+            }
+            d.stats().reads() - before
+        };
+        assert_eq!(run(ReplacementPolicy::TwoQ), 0, "2Q must hold the promoted hot set");
+        assert_eq!(run(ReplacementPolicy::Lru), 4, "strict LRU must have lost the hot set");
     }
 }
 

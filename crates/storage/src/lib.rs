@@ -11,10 +11,13 @@
 //!   accesses into simulated latency, replacing the paper's physical disks.
 //! * [`stats::IoStats`] — per-index I/O accounting (reads / writes, split by
 //!   [`BlockKind`]) that drives every fetched-block table in the paper.
-//! * [`buffer::BufferPool`] / [`buffer::ShardedBufferPool`] — an LRU block
-//!   cache used for the buffer-size study (Fig. 13 of the paper), and its
-//!   lock-striped variant embedded in [`Disk`] so concurrent readers do not
-//!   serialise on a single pool mutex.
+//! * [`buffer::BufferPool`] / [`buffer::ShardedBufferPool`] — a block cache
+//!   with pluggable replacement ([`buffer::ReplacementPolicy`]: strict LRU
+//!   for the paper's buffer-size study, Fig. 13, plus CLOCK and a
+//!   scan-resistant 2Q variant), optional per-kind frame partitions
+//!   ([`buffer::PoolPartitions`]) and scan-aware admission
+//!   ([`buffer::AccessClass`]); the lock-striped variant is embedded in
+//!   [`Disk`] so concurrent readers do not serialise on a single pool mutex.
 //! * [`pager::Pager`] — extent allocation on top of a file, required by ALEX
 //!   and LIPP whose variable-sized nodes may span several contiguous blocks.
 //! * [`Disk`] — the façade combining all of the above, which is what index
@@ -44,7 +47,10 @@ pub mod pager;
 pub mod stats;
 
 pub use backend::{FileBackend, MemoryBackend, StorageBackend};
-pub use buffer::{BlockRef, BufferPool, ShardedBufferPool};
+pub use buffer::{
+    AccessClass, BlockRef, BufferPool, PoolConfig, PoolPartitions, ReplacementPolicy,
+    ShardedBufferPool,
+};
 pub use codec::{BlockReader, BlockWriter};
 pub use device::DeviceModel;
 pub use disk::{Disk, DiskConfig, FileId};

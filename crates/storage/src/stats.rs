@@ -79,6 +79,12 @@ pub struct IoStats {
     /// `read` only pins when it delegates to `read_ref`; its
     /// memory-resident branch fills the caller buffer directly.
     frames_pinned: AtomicU64,
+    /// Read requests tagged [`crate::buffer::AccessClass::Scan`] (whether
+    /// they were served by the device, the pool or the reuse slot). Index
+    /// scan paths tag their block streaming so the buffer pool can admit it
+    /// into probation only; this counter makes the tagging observable, so
+    /// "scans announce themselves" is a tested invariant.
+    scan_reads: AtomicU64,
 }
 
 impl IoStats {
@@ -141,6 +147,12 @@ impl IoStats {
         self.frames_pinned.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records one event; normally called by [`crate::Disk`], public so
+    /// harnesses and tests can account synthetic I/O.
+    pub fn record_scan_read(&self) {
+        self.scan_reads.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Total device reads (all kinds), excluding buffer / reuse hits.
     pub fn reads(&self) -> u64 {
         self.reads.iter().map(|c| c.load(Ordering::Relaxed)).sum()
@@ -197,6 +209,11 @@ impl IoStats {
         self.frames_pinned.load(Ordering::Relaxed)
     }
 
+    /// Read requests tagged as part of a scan stream.
+    pub fn scan_reads(&self) -> u64 {
+        self.scan_reads.load(Ordering::Relaxed)
+    }
+
     /// A point-in-time copy of every counter, used to compute per-operation
     /// deltas.
     pub fn snapshot(&self) -> OpStats {
@@ -210,6 +227,7 @@ impl IoStats {
             device_ns: self.device_ns.load(Ordering::Relaxed),
             bytes_copied: self.bytes_copied.load(Ordering::Relaxed),
             frames_pinned: self.frames_pinned.load(Ordering::Relaxed),
+            scan_reads: self.scan_reads.load(Ordering::Relaxed),
         }
     }
 
@@ -228,6 +246,7 @@ impl IoStats {
         self.device_ns.store(0, Ordering::Relaxed);
         self.bytes_copied.store(0, Ordering::Relaxed);
         self.frames_pinned.store(0, Ordering::Relaxed);
+        self.scan_reads.store(0, Ordering::Relaxed);
     }
 }
 
@@ -252,6 +271,8 @@ pub struct OpStats {
     pub bytes_copied: u64,
     /// Pinned frames handed out during the window.
     pub frames_pinned: u64,
+    /// Read requests tagged as part of a scan stream during the window.
+    pub scan_reads: u64,
 }
 
 impl OpStats {
@@ -268,6 +289,7 @@ impl OpStats {
             device_ns: self.device_ns.saturating_sub(earlier.device_ns),
             bytes_copied: self.bytes_copied.saturating_sub(earlier.bytes_copied),
             frames_pinned: self.frames_pinned.saturating_sub(earlier.frames_pinned),
+            scan_reads: self.scan_reads.saturating_sub(earlier.scan_reads),
         }
     }
 

@@ -1,13 +1,17 @@
-//! `lookup_batch` ≡ sequential `lookup`, for every index design.
+//! `lookup_batch` ≡ sequential `lookup` and `scan_batch` ≡ sequential
+//! `scan`, for every index design.
 //!
-//! The batched lookup API promises bit-for-bit the answers of a per-key
-//! loop, for any probe set — hits, misses, duplicates, unsorted input —
-//! regardless of whether the index uses the default loop implementation or
-//! a specialised override (B+-tree leaf-run sharing, PGM single-pass run +
-//! cached data blocks). These tests pin that contract for all seven
-//! `IndexChoice` designs, deterministically and under proptest-generated
-//! workloads, and additionally assert the zero-copy invariant: lookups and
-//! batched lookups never copy a block into a caller buffer.
+//! The batched APIs promise bit-for-bit the answers of a per-item loop, for
+//! any input — hits, misses, duplicates, unsorted probes, overlapping
+//! ranges — regardless of whether the index uses the default loop
+//! implementation or a specialised override (B+-tree leaf-run sharing and
+//! sorted-range scans, PGM single-pass run + cached data blocks). These
+//! tests pin that contract for all seven `IndexChoice` designs,
+//! deterministically and under proptest-generated workloads, and
+//! additionally assert two storage invariants: lookups and batched lookups
+//! never copy a block into a caller buffer (zero-copy), and every design's
+//! scan path announces itself with scan-class reads (scan tagging, the
+//! admission signal of the scan-resistant buffer policies).
 
 use std::collections::BTreeMap;
 
@@ -112,6 +116,30 @@ fn empty_and_degenerate_batches() {
     }
 }
 
+#[test]
+fn every_design_tags_its_scan_reads() {
+    let entries: Vec<Entry> = (0..6_000u64).map(|i| (i * 7, i)).collect();
+    for choice in IndexChoice::ALL_DESIGNS {
+        let index = build_loaded(choice, &entries);
+        let mut out = Vec::new();
+        let before = index.disk().stats().scan_reads();
+        index.scan(entries[100].0, 500, &mut out).expect("scan");
+        assert_eq!(out.len(), 500, "{choice:?}");
+        assert!(
+            index.disk().stats().scan_reads() > before,
+            "{choice:?} scan paths must issue scan-class reads"
+        );
+        // Point lookups must NOT be tagged as scans.
+        let tagged = index.disk().stats().scan_reads();
+        index.lookup(entries[3_000].0).expect("lookup");
+        assert_eq!(
+            index.disk().stats().scan_reads(),
+            tagged,
+            "{choice:?} lookups must stay point-class"
+        );
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig { cases: 8, .. ProptestConfig::default() })]
 
@@ -147,6 +175,44 @@ proptest! {
                 let sequential = index.lookup(p).expect("lookup");
                 prop_assert_eq!(batched[i], sequential, "{:?} probe {}", choice, p);
                 prop_assert_eq!(batched[i], oracle.get(&p).copied(), "{:?} oracle {}", choice, p);
+            }
+        }
+    }
+
+    /// Property: for random bulk loads and random (possibly overlapping,
+    /// unsorted, duplicate, empty or past-the-end) ranges, `scan_batch`
+    /// returns exactly what a standalone `scan` returns for each range, and
+    /// both match the oracle — for every design, including under a
+    /// scan-resistant partitioned pool so the scan-class read path is the
+    /// one being exercised.
+    #[test]
+    fn random_range_batches_match_sequential_scans(
+        bulk_keys in proptest::collection::btree_set(0u64..200_000, 30..250),
+        ranges in proptest::collection::vec((0u64..250_000, 0usize..80), 1..12),
+    ) {
+        let bulk: Vec<Entry> = bulk_keys.iter().map(|&k| (k, k + 1)).collect();
+        let oracle: Vec<Entry> = bulk.clone();
+        let cfg = RunConfig {
+            buffer_blocks: 16,
+            buffer_policy: lidx_storage::ReplacementPolicy::TwoQ,
+            buffer_partitions: lidx_storage::PoolPartitions::InnerReserved { percent: 25 },
+            ..Default::default()
+        };
+        for choice in IndexChoice::ALL_DESIGNS {
+            let disk = cfg.make_disk();
+            let mut index = choice.build(disk);
+            index.bulk_load(&bulk).expect("bulk load");
+            let mut batched: Vec<Vec<Entry>> = Vec::new();
+            index.scan_batch(&ranges, &mut batched).expect("scan_batch");
+            prop_assert_eq!(batched.len(), ranges.len());
+            let mut single = Vec::new();
+            for (i, &(start, count)) in ranges.iter().enumerate() {
+                index.scan(start, count, &mut single).expect("scan");
+                prop_assert_eq!(&batched[i], &single, "{:?} range {} diverges", choice, i);
+                let from = oracle.partition_point(|&(k, _)| k < start);
+                let expected: Vec<Entry> =
+                    oracle[from..].iter().take(count).copied().collect();
+                prop_assert_eq!(&batched[i], &expected, "{:?} oracle range {}", choice, i);
             }
         }
     }

@@ -188,6 +188,20 @@ pub fn any<T: Arbitrary>() -> Any<T> {
     Any { _marker: std::marker::PhantomData }
 }
 
+/// A strategy that always produces a clone of one specific value (API
+/// subset of proptest's `Just`); the building block for enum strategies via
+/// [`prop_oneof!`].
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
 /// A uniform choice between type-erased strategies; built by
 /// [`prop_oneof!`].
 pub struct Union<V> {
@@ -308,7 +322,7 @@ pub mod collection {
 pub mod prelude {
     pub use crate::{
         any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Arbitrary,
-        BoxedStrategy, ProptestConfig, Strategy, TestCaseError, TestCaseResult,
+        BoxedStrategy, Just, ProptestConfig, Strategy, TestCaseError, TestCaseResult,
     };
 }
 
