@@ -1,10 +1,11 @@
-//! The on-disk ALEX tree and its [`DiskIndex`] implementation.
+//! The on-disk ALEX tree and its [`DiskIndex`](lidx_core::DiskIndex)
+//! implementation.
 
 use std::sync::Arc;
 
 use lidx_core::{
-    index::validate_bulk_load, DiskIndex, Entry, IndexError, IndexKind, IndexRead, IndexResult,
-    IndexStats, InsertBreakdown, InsertStep, Key, Value,
+    index::validate_bulk_load, Entry, IndexError, IndexKind, IndexRead, IndexResult, IndexStats,
+    IndexWrite, InsertBreakdown, InsertStep, Key, Value,
 };
 use lidx_models::LinearModel;
 use lidx_storage::{BlockId, Disk, INVALID_BLOCK};
@@ -305,21 +306,28 @@ impl AlexIndex {
         self.disk.free(self.data_file, node.start, old_blocks);
         self.data_nodes -= 1;
 
+        // A split partitions the entries with the 2-way routing model's own
+        // (floating-point) prediction, never by key comparison: descents
+        // route through `predict_clamped`, and a model whose prediction at
+        // the boundary key rounds to 0.999… would send that key to the left
+        // child forever while a comparison-based split stored it right — a
+        // lost key. Evaluating the same expression at split time makes the
+        // placement and every future descent agree bit for bit. The split
+        // plan degenerates (one side empty) only when rounding collapses
+        // the routing entirely; expansion handles that case.
         let grown_capacity = (node.header.capacity as usize * 2).max(32);
-        if grown_capacity <= self.config.max_leaf_entries || entries.len() < 2 {
-            // Expansion: rebuild with double capacity and a retrained model.
-            let capacity = grown_capacity.max(self.capacity_for(entries.len()) as usize) as u32;
-            let geo = DataGeometry::for_capacity(capacity, self.disk.block_size());
-            let start = self.disk.allocate(self.data_file, geo.total_blocks())?;
-            let new =
-                DataNode::build(&self.disk, self.data_file, start, capacity, &entries, prev, next)?;
-            self.data_nodes += 1;
-            self.relink_neighbours(prev, next, new.start, new.start)?;
-            self.repoint_parent(path, node.start, ChildPtr { is_data: true, block: new.start })?;
-        } else {
-            // Split downward: two data nodes under a fresh 2-way inner node.
+        let mut split_plan = None;
+        if grown_capacity > self.config.max_leaf_entries && entries.len() >= 2 {
             let mid = entries.len() / 2;
-            let (left_entries, right_entries) = entries.split_at(mid);
+            let model = LinearModel::from_points(entries[0].0, 0.0, entries[mid].0, 1.0);
+            let split_at = entries.partition_point(|&(k, _)| model.predict_clamped(k, 2) == 0);
+            if split_at > 0 && split_at < entries.len() {
+                split_plan = Some((model, split_at));
+            }
+        }
+        if let Some((model, split_at)) = split_plan {
+            // Split downward: two data nodes under a fresh 2-way inner node.
+            let (left_entries, right_entries) = entries.split_at(split_at);
             let left = self.make_data_node(left_entries, prev, INVALID_BLOCK)?;
             let right = self.make_data_node(right_entries, left.start, next)?;
             let mut left = left;
@@ -327,10 +335,6 @@ impl AlexIndex {
             left.write_header(&self.disk)?;
             self.relink_neighbours(prev, next, left.start, right.start)?;
 
-            let boundary = right_entries[0].0;
-            let first = left_entries[0].0;
-            // A 2-child model: keys below the boundary map to child 0.
-            let model = LinearModel::from_points(first, 0.0, boundary, 1.0);
             let blocks = InnerNode::blocks_for(2, self.disk.block_size());
             let start = self.disk.allocate(self.inner_file, blocks)?;
             InnerNode::build(
@@ -346,6 +350,16 @@ impl AlexIndex {
             self.inner_nodes += 1;
             self.height += 1;
             self.repoint_parent(path, node.start, ChildPtr { is_data: false, block: start })?;
+        } else {
+            // Expansion: rebuild with double capacity and a retrained model.
+            let capacity = grown_capacity.max(self.capacity_for(entries.len()) as usize) as u32;
+            let geo = DataGeometry::for_capacity(capacity, self.disk.block_size());
+            let start = self.disk.allocate(self.data_file, geo.total_blocks())?;
+            let new =
+                DataNode::build(&self.disk, self.data_file, start, capacity, &entries, prev, next)?;
+            self.data_nodes += 1;
+            self.relink_neighbours(prev, next, new.start, new.start)?;
+            self.repoint_parent(path, node.start, ChildPtr { is_data: true, block: new.start })?;
         }
         Ok(())
     }
@@ -434,6 +448,57 @@ impl IndexRead for AlexIndex {
         data.lookup(&self.disk, key)
     }
 
+    /// Batched lookups sort the probe keys and descend once per *run* of
+    /// keys landing in the same data node: the inner-node routing blocks and
+    /// the node's header block are fetched once per run instead of once per
+    /// key. Model routing is monotone in the key, so any probe between two
+    /// keys stored in the pinned node provably descends to that same node;
+    /// probes beyond its largest key re-descend, exactly like a sequential
+    /// lookup. The node's key bound (one slot read) is fetched lazily, only
+    /// once a second probe lands in the same node — a batch of scattered
+    /// probes (one per node) therefore costs exactly what the sequential
+    /// loop costs, never more.
+    fn lookup_batch(&self, keys: &[Key], out: &mut Vec<Option<Value>>) -> IndexResult<()> {
+        out.clear();
+        if keys.is_empty() {
+            return Ok(());
+        }
+        if !self.loaded {
+            return Err(IndexError::NotInitialized);
+        }
+        out.resize(keys.len(), None);
+        let mut order: Vec<u32> = (0..keys.len() as u32).collect();
+        order.sort_unstable_by_key(|&i| keys[i as usize]);
+        // The pinned node and its largest stored key (fetched on the second
+        // consecutive landing; empty nodes are never pinned).
+        let mut current: Option<(DataNode, Option<Key>)> = None;
+        for &i in &order {
+            let key = keys[i as usize];
+            if let Some((node, Some(max))) = &current {
+                if key <= *max {
+                    out[i as usize] = node.lookup(&self.disk, key)?;
+                    continue;
+                }
+            }
+            let (_, node) = self.descend(key)?;
+            if node.header.count == 0 {
+                // An empty node answers every probe with a miss.
+                current = None;
+                continue;
+            }
+            out[i as usize] = node.lookup(&self.disk, key)?;
+            match &mut current {
+                Some((cached, max)) if cached.start == node.start => {
+                    if max.is_none() {
+                        *max = Some(node.max_key(&self.disk)?);
+                    }
+                }
+                _ => current = Some((node, None)),
+            }
+        }
+        Ok(())
+    }
+
     fn scan(&self, start: Key, count: usize, out: &mut Vec<Entry>) -> IndexResult<usize> {
         out.clear();
         if count == 0 {
@@ -473,7 +538,7 @@ impl IndexRead for AlexIndex {
     }
 }
 
-impl DiskIndex for AlexIndex {
+impl IndexWrite for AlexIndex {
     fn bulk_load(&mut self, entries: &[Entry]) -> IndexResult<()> {
         if self.loaded {
             return Err(IndexError::AlreadyLoaded);
@@ -554,6 +619,52 @@ mod tests {
         keys.sort_unstable();
         keys.dedup();
         keys.into_iter().map(|k| (k, k + 1)).collect()
+    }
+
+    #[test]
+    fn split_partition_agrees_with_the_routing_model() {
+        // Regression: the 2-way split used to partition entries by key
+        // comparison at the midpoint while descents route through the
+        // model's floating-point prediction. For this insert sequence the
+        // split boundary key 238703 predicts 0.999...9 (one ulp below 1.0),
+        // so the comparison-stored right half and the model-routed left
+        // child disagreed and lookups lost the key. The split now
+        // partitions with the model itself, so placement and routing agree
+        // bit for bit.
+        let mut x = 12345u64;
+        let mut rnd = move || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        };
+        let n_bulk = 20 + (rnd() % 180) as usize;
+        let bulk_set: std::collections::BTreeSet<u64> =
+            (0..n_bulk).map(|_| rnd() % 400_000).collect();
+        let bulk: Vec<Entry> = bulk_set.iter().map(|&k| (k, k + 1)).collect();
+        assert!(bulk_set.contains(&238703), "the regression key must be bulk loaded");
+        let disk = Disk::in_memory(DiskConfig::with_block_size(4096));
+        let mut a = AlexIndex::new(disk).unwrap();
+        a.bulk_load(&bulk).unwrap();
+        let inserts = [
+            (443584u64, 0u64),
+            (230089, 1),
+            (235439, 2),
+            (414753, 3),
+            (255476, 4),
+            (381092, 5),
+            (449409, 6),
+        ];
+        let mut oracle: std::collections::BTreeMap<Key, Value> = bulk.iter().copied().collect();
+        for &(k, v) in &inserts {
+            a.insert(k, v).unwrap();
+            oracle.insert(k, v);
+            // Every key must stay reachable through every SMO.
+            for (&ok, &ov) in &oracle {
+                assert_eq!(a.lookup(ok).unwrap(), Some(ov), "key {ok} lost after insert {k}");
+            }
+        }
+        assert_eq!(a.lookup(238703).unwrap(), Some(238704));
     }
 
     #[test]
@@ -692,6 +803,60 @@ mod tests {
         assert_eq!(out[0].0, 1);
         assert_eq!(out[1].0, 3);
         assert_eq!(out[2].0, 5);
+    }
+
+    #[test]
+    fn lookup_batch_matches_sequential_and_amortises_descents() {
+        let mut a = index(512);
+        let data = skewed(20_000);
+        a.bulk_load(&data).unwrap();
+        // Unsorted probes mixing hits, near-misses, extremes and duplicates.
+        let probes: Vec<Key> = data
+            .iter()
+            .step_by(67)
+            .map(|&(k, _)| k)
+            .chain([0, u64::MAX, data[500].0, data[500].0, data[500].0 + 1])
+            .rev()
+            .collect();
+        let mut batched = Vec::new();
+        a.lookup_batch(&probes, &mut batched).unwrap();
+        assert_eq!(batched.len(), probes.len());
+        for (i, &p) in probes.iter().enumerate() {
+            assert_eq!(batched[i], a.lookup(p).unwrap(), "probe {p}");
+        }
+
+        // A batch also agrees after inserts push keys through gaps and SMOs.
+        for i in 0..800u64 {
+            a.insert(i * 11 + 6, i).unwrap();
+        }
+        let probes2: Vec<Key> = (0..800u64).map(|i| i * 11 + 6).rev().collect();
+        a.lookup_batch(&probes2, &mut batched).unwrap();
+        for (i, &p) in probes2.iter().enumerate() {
+            assert_eq!(batched[i], a.lookup(p).unwrap(), "post-insert probe {p}");
+        }
+
+        // Co-located keys share the descent and the node's header block.
+        let run: Vec<Key> = data[..256].iter().map(|&(k, _)| k).collect();
+        a.disk().stats().reset();
+        a.disk().reset_access_state();
+        a.lookup_batch(&run, &mut batched).unwrap();
+        let batch_reads = a.disk().stats().reads();
+        a.disk().stats().reset();
+        a.disk().reset_access_state();
+        for &k in &run {
+            a.lookup(k).unwrap();
+        }
+        let seq_reads = a.disk().stats().reads();
+        assert!(
+            batch_reads < seq_reads,
+            "batched reads ({batch_reads}) must amortise sequential reads ({seq_reads})"
+        );
+
+        // Degenerate batches.
+        a.lookup_batch(&[], &mut batched).unwrap();
+        assert!(batched.is_empty());
+        let empty = index(512);
+        assert!(empty.lookup_batch(&[1], &mut batched).is_err());
     }
 
     #[test]

@@ -313,6 +313,17 @@ impl DataNode {
         Ok(lo)
     }
 
+    /// The largest stored key, read from the last slot (one block read).
+    ///
+    /// The slot array is non-decreasing in key and every gap slot duplicates
+    /// its nearest left real entry (trailing gaps duplicate the last real
+    /// entry), so the final slot always carries the maximum real key —
+    /// whether it is the real occurrence or a gap copy. Meaningless when the
+    /// node is empty (`header.count == 0`).
+    pub fn max_key(&self, disk: &Disk) -> IndexResult<Key> {
+        Ok(self.read_slot(disk, self.header.capacity.saturating_sub(1))?.0)
+    }
+
     /// Point lookup. Gap slots duplicate the payload of the real entry they
     /// copy, so no bitmap access is required.
     pub fn lookup(&self, disk: &Disk, key: Key) -> IndexResult<Option<Value>> {

@@ -1,0 +1,124 @@
+//! The batched write path: `insert_batch` and the `WriteBuffer` group
+//! commit versus per-key inserts.
+//!
+//! Two claims of the write-side API redesign are measured in wall-clock
+//! time (no device latency, so index CPU work and block (de)serialisation
+//! are all that remain; the simulated-device contrast lives in
+//! `exp batch_insert` / `BENCH_write.json`):
+//!
+//! 1. **`insert_batch` beats N sequential inserts** — a sorted batch
+//!    descends once per leaf run, fills each delta buffer with one
+//!    read-modify-write and rewrites PGM's insert run once, so the per-key
+//!    structural work collapses. The `batched_inserts` group compares the
+//!    two on the B+-tree, FITing-tree and PGM overrides plus the hybrid's
+//!    deferred-rebuild append.
+//! 2. **The `WriteBuffer` makes group commit free for callers** — per-key
+//!    inserts through the staging buffer (overlay upsert + periodic sorted
+//!    drain) cost less than per-key inserts applied directly, because every
+//!    drain rides `insert_batch`. The `write_buffer` group measures the
+//!    staging front end to end, final flush included.
+//!
+//! Each measured iteration builds a fresh bulk-loaded index and applies the
+//! same insert stream; build cost is identical across configurations, so
+//! the delta between rows is the insert strategy. CI runs this bench as a
+//! smoke gate alongside `batched_reads`.
+
+use std::time::Duration;
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use lidx_bench::bench_disk;
+use lidx_core::{DiskIndex, IndexWrite, WriteBuffer, WriteBufferConfig};
+use lidx_experiments::runner::IndexChoice;
+use lidx_workloads::Dataset;
+
+/// Bulk-loaded keys per measured index build.
+const BULK: usize = 20_000;
+/// Inserts applied per measured iteration.
+const INSERTS: usize = 512;
+/// Entries per `insert_batch` call in the batched configuration.
+const BATCH: usize = 64;
+/// Indexes covered: the three specialised `insert_batch` overrides plus the
+/// hybrid's deferred-rebuild append.
+const CHOICES: [IndexChoice; 4] =
+    [IndexChoice::BTree, IndexChoice::Fiting, IndexChoice::Pgm, IndexChoice::HybridPla];
+
+type Entries = Vec<(u64, u64)>;
+
+fn workload() -> (Entries, Entries) {
+    let keys = Dataset::Ycsb.generate_keys(BULK, 0xB17E);
+    let bulk: Entries = keys.iter().map(|&k| (k, k + 1)).collect();
+    // Insert keys interleave with the bulk keys (fresh, never duplicates).
+    let inserts: Entries =
+        keys.iter().step_by(BULK / INSERTS).take(INSERTS).map(|&k| (k + 1, k)).collect();
+    (bulk, inserts)
+}
+
+fn loaded(choice: IndexChoice, bulk: &[(u64, u64)]) -> Box<dyn DiskIndex> {
+    let mut index = choice.build(bench_disk(4096));
+    index.bulk_load(bulk).expect("bulk load");
+    index
+}
+
+/// Claim 1: the same insert stream, per key vs `insert_batch` chunks.
+fn bench_batched_inserts(c: &mut Criterion) {
+    let mut group = c.benchmark_group("batched_inserts");
+    group.warm_up_time(Duration::from_millis(200));
+    group.measurement_time(Duration::from_millis(900));
+    let (bulk, inserts) = workload();
+    for choice in CHOICES {
+        group.bench_function(BenchmarkId::new(choice.name(), "per_key"), |b| {
+            b.iter(|| {
+                let mut index = loaded(choice, &bulk);
+                for &(k, v) in &inserts {
+                    index.insert(k, v).expect("insert");
+                }
+                black_box(index.len())
+            })
+        });
+        group.bench_function(BenchmarkId::new(choice.name(), format!("batch{BATCH}")), |b| {
+            b.iter(|| {
+                let mut index = loaded(choice, &bulk);
+                for chunk in inserts.chunks(BATCH) {
+                    index.insert_batch(chunk).expect("insert_batch");
+                }
+                black_box(index.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Claim 2: per-key inserts, direct vs staged behind a `WriteBuffer`
+/// (drains included — `into_inner` flushes before the iteration ends).
+fn bench_write_buffer(c: &mut Criterion) {
+    let mut group = c.benchmark_group("write_buffer");
+    group.warm_up_time(Duration::from_millis(200));
+    group.measurement_time(Duration::from_millis(900));
+    let (bulk, inserts) = workload();
+    let cfg = WriteBufferConfig { capacity: 128, drain: 64 };
+    for choice in [IndexChoice::BTree, IndexChoice::Pgm] {
+        group.bench_function(BenchmarkId::new(choice.name(), "direct"), |b| {
+            b.iter(|| {
+                let mut index = loaded(choice, &bulk);
+                for &(k, v) in &inserts {
+                    index.insert(k, v).expect("insert");
+                }
+                black_box(index.len())
+            })
+        });
+        group.bench_function(BenchmarkId::new(choice.name(), "buffered"), |b| {
+            b.iter(|| {
+                let mut buffered = WriteBuffer::new(loaded(choice, &bulk), cfg);
+                for &(k, v) in &inserts {
+                    buffered.insert(k, v).expect("buffered insert");
+                }
+                let index = buffered.into_inner().expect("drain");
+                black_box(index.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_batched_inserts, bench_write_buffer);
+criterion_main!(benches);

@@ -3,8 +3,8 @@
 use std::sync::Arc;
 
 use lidx_core::{
-    index::validate_bulk_load, DiskIndex, Entry, IndexError, IndexKind, IndexRead, IndexResult,
-    IndexStats, InsertBreakdown, InsertStep, Key, Value,
+    index::validate_bulk_load, Entry, IndexError, IndexKind, IndexRead, IndexResult, IndexStats,
+    IndexWrite, InsertBreakdown, InsertStep, Key, Value,
 };
 use lidx_storage::{BlockId, BlockKind, BlockWriter, Disk, INVALID_BLOCK};
 
@@ -384,7 +384,7 @@ impl IndexRead for BTreeIndex {
     }
 }
 
-impl DiskIndex for BTreeIndex {
+impl IndexWrite for BTreeIndex {
     fn bulk_load(&mut self, entries: &[Entry]) -> IndexResult<()> {
         if self.loaded {
             return Err(IndexError::AlreadyLoaded);
@@ -424,6 +424,70 @@ impl DiskIndex for BTreeIndex {
             self.breakdown.add(InsertStep::Smo, &after_smo.since(&after_search));
         }
         self.breakdown.finish_insert();
+        Ok(())
+    }
+
+    /// Batched inserts sort the entries and descend the tree once per *run*
+    /// of keys landing in the same leaf: the shared root-to-leaf path, the
+    /// leaf decode and the leaf write-back are paid once per run instead of
+    /// once per key, and a run that overfills its leaf triggers one split
+    /// before the remainder re-descends against the updated tree.
+    fn insert_batch(&mut self, entries: &[Entry]) -> IndexResult<()> {
+        if entries.is_empty() {
+            return Ok(());
+        }
+        if self.root == INVALID_BLOCK {
+            return Err(IndexError::NotInitialized);
+        }
+        // A stable sort keeps duplicate keys in slice order, so the last
+        // occurrence wins — exactly like the sequential loop.
+        let mut order: Vec<u32> = (0..entries.len() as u32).collect();
+        order.sort_by_key(|&i| entries[i as usize].0);
+        let mut next = 0usize;
+        while next < order.len() {
+            let before = self.disk.snapshot();
+            let (path, leaf_block) = self.descend(entries[order[next] as usize].0)?;
+            let mut leaf = self.read_leaf(leaf_block)?;
+            let after_search = self.disk.snapshot();
+            self.breakdown.add(InsertStep::Search, &after_search.since(&before));
+
+            // Apply the run: the first key always lands here (the descent is
+            // authoritative); every following sorted key stays in this leaf
+            // as long as it does not exceed the leaf's current last key
+            // (leaves cover contiguous disjoint ranges, so such a key cannot
+            // belong anywhere else). Stop once the leaf holds one entry too
+            // many — that overflow needs a split before the rest continue.
+            let mut consumed = 0usize;
+            while next + consumed < order.len() {
+                if leaf.entries.len() > self.capacity.leaf_entries {
+                    break;
+                }
+                let (key, value) = entries[order[next + consumed] as usize];
+                // The rightmost leaf covers every key from its separator to
+                // infinity, so a sorted append run stays pinned to it.
+                let in_leaf = consumed == 0
+                    || leaf.entries.last().is_some_and(|&(last, _)| key <= last)
+                    || leaf.next == INVALID_BLOCK;
+                if !in_leaf {
+                    break;
+                }
+                if leaf.upsert(key, value) {
+                    self.key_count += 1;
+                }
+                self.breakdown.finish_insert();
+                consumed += 1;
+            }
+            if leaf.entries.len() <= self.capacity.leaf_entries {
+                self.write_leaf(leaf_block, &leaf)?;
+                let after_insert = self.disk.snapshot();
+                self.breakdown.add(InsertStep::Insert, &after_insert.since(&after_search));
+            } else {
+                self.split_leaf_and_propagate(&path, leaf_block, leaf)?;
+                let after_smo = self.disk.snapshot();
+                self.breakdown.add(InsertStep::Smo, &after_smo.since(&after_search));
+            }
+            next += consumed;
+        }
         Ok(())
     }
 
@@ -669,6 +733,65 @@ mod tests {
         // Empty batches are a no-op.
         t.lookup_batch(&[], &mut batched).unwrap();
         assert!(batched.is_empty());
+    }
+
+    #[test]
+    fn insert_batch_matches_sequential_and_amortises_writes() {
+        let data = entries(2_000, 4);
+        // Unsorted batch mixing fresh keys, overwrites of bulk keys and
+        // in-batch duplicates (the later duplicate must win).
+        // After the reverse, slice order is (39, 2) then (39, 1): the later
+        // occurrence (39, 1) must win, exactly as a sequential loop would.
+        let mut batch: Vec<Entry> = (0..900u64).map(|i| (i * 9 + 2, i)).collect();
+        batch.push((data[100].0, 111));
+        batch.push((39, 1));
+        batch.push((39, 2));
+        batch.reverse();
+
+        let mut batched = make_tree(256);
+        batched.bulk_load(&data).unwrap();
+        batched.insert_batch(&batch).unwrap();
+        let mut sequential = make_tree(256);
+        sequential.bulk_load(&data).unwrap();
+        for &(k, v) in &batch {
+            sequential.insert(k, v).unwrap();
+        }
+        assert_eq!(batched.len(), sequential.len());
+        assert_eq!(batched.lookup(39).unwrap(), Some(1), "later duplicate wins");
+        assert_eq!(batched.lookup(data[100].0).unwrap(), Some(111));
+        let mut b_scan = Vec::new();
+        let mut s_scan = Vec::new();
+        batched.scan(0, usize::MAX / 2, &mut b_scan).unwrap();
+        sequential.scan(0, usize::MAX / 2, &mut s_scan).unwrap();
+        assert_eq!(b_scan, s_scan, "batched and sequential content must be identical");
+        assert_eq!(batched.insert_breakdown().inserts, batch.len() as u64);
+
+        // A dense sorted batch descends and writes once per leaf run, so it
+        // must do strictly less I/O than the per-key loop.
+        let run: Vec<Entry> = (0..512u64).map(|i| (i * 2 + 100_001, i)).collect();
+        let mut a = make_tree(256);
+        a.bulk_load(&data).unwrap();
+        a.disk().stats().reset();
+        a.disk().reset_access_state();
+        a.insert_batch(&run).unwrap();
+        let batch_io = a.disk().stats().reads() + a.disk().stats().writes();
+        let mut b = make_tree(256);
+        b.bulk_load(&data).unwrap();
+        b.disk().stats().reset();
+        b.disk().reset_access_state();
+        for &(k, v) in &run {
+            b.insert(k, v).unwrap();
+        }
+        let seq_io = b.disk().stats().reads() + b.disk().stats().writes();
+        assert!(
+            batch_io * 2 < seq_io,
+            "batched insert I/O ({batch_io}) must amortise sequential I/O ({seq_io})"
+        );
+
+        // Degenerate batches.
+        a.insert_batch(&[]).unwrap();
+        let mut empty = make_tree(256);
+        assert!(matches!(empty.insert_batch(&[(1, 1)]), Err(IndexError::NotInitialized)));
     }
 
     #[test]

@@ -6,7 +6,7 @@ use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use lidx_btree::BTreeIndex;
-use lidx_core::{DiskIndex, IndexRead};
+use lidx_core::{IndexRead, IndexWrite};
 use lidx_storage::{Disk, DiskConfig, FileBackend};
 use proptest::prelude::*;
 

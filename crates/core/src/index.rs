@@ -86,8 +86,8 @@ pub struct IndexStats {
 ///
 /// **Frozen-index contract.** Concurrent reads are only *meaningful* against
 /// an index that is not being mutated. Rust's borrow rules enforce this for
-/// free: [`DiskIndex::insert`] and [`DiskIndex::bulk_load`] take `&mut self`,
-/// so a writer cannot coexist with shared readers. There is no internal
+/// free: [`IndexWrite::insert`] and [`IndexWrite::bulk_load`] take
+/// `&mut self`, so a writer cannot coexist with shared readers. There is no internal
 /// versioning or latching beyond the storage layer — per-index concurrency
 /// control (latch crabbing, epochs) is future work tracked in ROADMAP.md.
 ///
@@ -248,18 +248,55 @@ pub trait IndexRead: Send + Sync {
     }
 }
 
-/// A disk-resident, updatable ordered index over `u64` keys.
+/// The exclusive (write) side of a disk-resident index.
 ///
-/// All five operations the paper's workloads exercise are represented: bulk
-/// load (used to build the index before each workload), point lookup,
-/// insert, and range scan — the read side lives in the [`IndexRead`]
-/// supertrait so a frozen index can be shared across reader threads, while
-/// the write side here takes `&mut self`.
+/// Every method takes `&mut self`: Rust's borrow rules make the writer
+/// mutually exclusive with the shared [`IndexRead`] readers, which *is* the
+/// frozen-index contract of `DESIGN.md` §3.1. The read side and the write
+/// side compose into [`DiskIndex`].
 ///
-/// Implementations route every block access through the [`Disk`] returned by
-/// [`IndexRead::disk`], which is how the harness observes fetched-block
-/// counts and simulated device time.
-pub trait DiskIndex: IndexRead {
+/// # Example
+///
+/// `insert_batch` is a plain contract over [`insert`], shown here with a
+/// minimal in-memory implementation:
+///
+/// ```
+/// use lidx_core::index::IndexWrite;
+/// use lidx_core::{Entry, IndexResult, InsertBreakdown, Key, Value};
+///
+/// #[derive(Default)]
+/// struct VecIndex {
+///     entries: Vec<Entry>, // sorted by key
+/// }
+///
+/// impl IndexWrite for VecIndex {
+///     fn bulk_load(&mut self, entries: &[Entry]) -> IndexResult<()> {
+///         self.entries = entries.to_vec();
+///         Ok(())
+///     }
+///     fn insert(&mut self, key: Key, value: Value) -> IndexResult<()> {
+///         match self.entries.binary_search_by_key(&key, |e| e.0) {
+///             Ok(i) => self.entries[i].1 = value,
+///             Err(i) => self.entries.insert(i, (key, value)),
+///         }
+///         Ok(())
+///     }
+///     fn insert_breakdown(&self) -> InsertBreakdown {
+///         InsertBreakdown::new()
+///     }
+/// }
+///
+/// let mut index = VecIndex::default();
+/// index.bulk_load(&[(10, 1), (30, 3)])?;
+/// // A batch behaves exactly like the per-key loop: later entries win on
+/// // duplicate keys, existing keys are overwritten.
+/// index.insert_batch(&[(20, 2), (10, 9), (20, 4)])?;
+/// assert_eq!(index.entries, vec![(10, 9), (20, 4), (30, 3)]);
+/// # Ok::<(), lidx_core::IndexError>(())
+/// ```
+///
+/// [`insert`]: IndexWrite::insert
+pub trait IndexWrite {
     /// Builds the index from strictly-increasing `(key, payload)` pairs.
     ///
     /// Must be called exactly once, before any other operation, and fails
@@ -267,13 +304,135 @@ pub trait DiskIndex: IndexRead {
     /// strictly increasing.
     fn bulk_load(&mut self, entries: &[Entry]) -> IndexResult<()>;
 
-    /// Inserts a new key-payload pair.
+    /// Inserts a new key-payload pair (upsert: an existing key is
+    /// overwritten and the key count does not grow).
     fn insert(&mut self, key: Key, value: Value) -> IndexResult<()>;
 
+    /// Inserts every entry of `entries`, in order.
+    ///
+    /// # Contract
+    ///
+    /// * A batch is semantically identical to the per-entry [`insert`] loop:
+    ///   after it returns, every lookup, scan and length query answers
+    ///   exactly as if the entries had been inserted one by one, in slice
+    ///   order. In particular, **later entries win** when the batch contains
+    ///   duplicate keys, and entries whose keys already exist overwrite the
+    ///   stored payload without growing the index.
+    /// * The *physical* structure may legally differ from the sequential
+    ///   outcome (e.g. one large SMO instead of several small ones) — only
+    ///   the logical content is pinned.
+    /// * An error leaves previously applied entries of the batch in place
+    ///   (same as stopping a sequential loop at the failing entry).
+    ///
+    /// The default implementation is exactly that loop; indexes whose write
+    /// path can share work across a sorted pass override it to amortise
+    /// block fetches, pin lifetimes and SMO work across the batch: the
+    /// B+-tree descends once per *run* of keys landing in the same leaf and
+    /// writes each touched leaf once, the FITing-tree fills each segment's
+    /// delta buffer with one read-modify-write per segment, PGM merges the
+    /// batch into its insert run in memory (one run read and one rewrite
+    /// per batch, flushing exactly when the sequential loop would), and the
+    /// hybrid appends each run to its dense leaf and defers the
+    /// learned-directory rebuild to one retrain per batch.
+    ///
+    /// [`insert`]: IndexWrite::insert
+    fn insert_batch(&mut self, entries: &[Entry]) -> IndexResult<()> {
+        for &(key, value) in entries {
+            self.insert(key, value)?;
+        }
+        Ok(())
+    }
+
     /// The accumulated insert-step breakdown (search / insert / SMO /
-    /// maintenance) since the index was created. Used for Fig. 6.
+    /// maintenance, plus group-commit drain counters) since the index was
+    /// created. Used for Fig. 6 and `BENCH_write.json`.
+    ///
+    /// Required — a design that tracks nothing must still say so explicitly
+    /// by returning [`InsertBreakdown::new`], so a zeroed breakdown can no
+    /// longer silently shadow real measurements.
+    fn insert_breakdown(&self) -> InsertBreakdown;
+}
+
+/// A disk-resident, updatable ordered index over `u64` keys.
+///
+/// All five operations the paper's workloads exercise are represented: bulk
+/// load (used to build the index before each workload), point lookup,
+/// insert, and range scan — the read side lives in the [`IndexRead`]
+/// supertrait so a frozen index can be shared across reader threads, while
+/// the write side ([`IndexWrite`]) takes `&mut self`.
+///
+/// The trait itself is empty: it is implemented automatically for every
+/// type providing both halves, and exists so harness code can hold one
+/// `Box<dyn DiskIndex>` per index design.
+///
+/// Implementations route every block access through the [`Disk`] returned by
+/// [`IndexRead::disk`], which is how the harness observes fetched-block
+/// counts and simulated device time.
+pub trait DiskIndex: IndexRead + IndexWrite {}
+
+impl<T: IndexRead + IndexWrite> DiskIndex for T {}
+
+impl<T: IndexRead + ?Sized> IndexRead for Box<T> {
+    fn kind(&self) -> IndexKind {
+        (**self).kind()
+    }
+
+    fn name(&self) -> String {
+        (**self).name()
+    }
+
+    fn disk(&self) -> &Arc<Disk> {
+        (**self).disk()
+    }
+
+    fn lookup(&self, key: Key) -> IndexResult<Option<Value>> {
+        (**self).lookup(key)
+    }
+
+    fn lookup_batch(&self, keys: &[Key], out: &mut Vec<Option<Value>>) -> IndexResult<()> {
+        (**self).lookup_batch(keys, out)
+    }
+
+    fn scan(&self, start: Key, count: usize, out: &mut Vec<Entry>) -> IndexResult<usize> {
+        (**self).scan(start, count, out)
+    }
+
+    fn scan_batch(&self, ranges: &[(Key, usize)], out: &mut Vec<Vec<Entry>>) -> IndexResult<()> {
+        (**self).scan_batch(ranges, out)
+    }
+
+    fn len(&self) -> u64 {
+        (**self).len()
+    }
+
+    fn is_empty(&self) -> bool {
+        (**self).is_empty()
+    }
+
+    fn stats(&self) -> IndexStats {
+        (**self).stats()
+    }
+
+    fn storage_blocks(&self) -> u64 {
+        (**self).storage_blocks()
+    }
+}
+
+impl<T: IndexWrite + ?Sized> IndexWrite for Box<T> {
+    fn bulk_load(&mut self, entries: &[Entry]) -> IndexResult<()> {
+        (**self).bulk_load(entries)
+    }
+
+    fn insert(&mut self, key: Key, value: Value) -> IndexResult<()> {
+        (**self).insert(key, value)
+    }
+
+    fn insert_batch(&mut self, entries: &[Entry]) -> IndexResult<()> {
+        (**self).insert_batch(entries)
+    }
+
     fn insert_breakdown(&self) -> InsertBreakdown {
-        InsertBreakdown::default()
+        (**self).insert_breakdown()
     }
 }
 

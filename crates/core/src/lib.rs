@@ -5,12 +5,18 @@
 //!
 //! * [`Key`] / [`Value`] — the paper indexes 64-bit unsigned keys and uses
 //!   `key + 1` as the payload.
-//! * [`index::IndexRead`] / [`index::DiskIndex`] — the operations every
+//! * [`index::IndexRead`] / [`index::IndexWrite`] — the operations every
 //!   evaluated index must support, split into a shared (`&self`) read side —
-//!   lookup, range scan, statistics — that N threads may call concurrently
-//!   against a bulk-loaded index, and an exclusive (`&mut self`) write side:
-//!   bulk load and insert, plus introspection hooks (storage footprint,
-//!   per-operation I/O, insert-step breakdown).
+//!   lookup, range scan (each with a batched contract), statistics — that N
+//!   threads may call concurrently against a bulk-loaded index, and an
+//!   exclusive (`&mut self`) write side: bulk load, insert and the batched
+//!   [`index::IndexWrite::insert_batch`], plus introspection hooks (storage
+//!   footprint, per-operation I/O, insert-step breakdown). The two halves
+//!   compose into [`index::DiskIndex`].
+//! * [`write_buffer::WriteBuffer`] — a group-commit staging front that gives
+//!   any `DiskIndex` PGM-style batched writes: sorted in-memory staging,
+//!   newest-wins overlay reads, threshold-driven drains through
+//!   `insert_batch`.
 //! * [`metrics`] — latency recording (mean / p50 / p99 / standard deviation),
 //!   throughput derivation from the simulated device time, and the
 //!   search / insert / SMO / maintenance breakdown of Fig. 6.
@@ -22,10 +28,12 @@
 pub mod error;
 pub mod index;
 pub mod metrics;
+pub mod write_buffer;
 
 pub use error::{IndexError, IndexResult};
-pub use index::{DiskIndex, IndexKind, IndexRead, IndexStats};
+pub use index::{DiskIndex, IndexKind, IndexRead, IndexStats, IndexWrite};
 pub use metrics::{InsertBreakdown, InsertStep, LatencyRecorder, LatencySummary, Throughput};
+pub use write_buffer::{WriteBuffer, WriteBufferConfig};
 
 /// The key type indexed throughout the evaluation (the paper uses `uint64`).
 pub type Key = u64;
@@ -41,3 +49,51 @@ pub fn payload_for(key: Key) -> Value {
 
 /// A key-payload pair as stored in leaf nodes.
 pub type Entry = (Key, Value);
+
+/// Merges two ascending-key entry streams into `out` (appended), with
+/// `newer` shadowing `stored` on equal keys, stopping once `limit` entries
+/// have been produced. This is the newest-wins merge every layered read
+/// path needs — the [`WriteBuffer`] overlay scan and the FITing-tree's
+/// resegmentation both route through it.
+///
+/// Both inputs must be strictly ascending in key; the output then is too.
+///
+/// ```
+/// let mut out = Vec::new();
+/// lidx_core::merge_newest_wins(
+///     [(2, 20), (3, 30)],            // newer
+///     [(1, 1), (2, 2), (4, 4)],      // stored
+///     3,
+///     &mut out,
+/// );
+/// assert_eq!(out, vec![(1, 1), (2, 20), (3, 30)], "newer shadows key 2; limit stops at 3");
+/// ```
+pub fn merge_newest_wins(
+    newer: impl IntoIterator<Item = Entry>,
+    stored: impl IntoIterator<Item = Entry>,
+    limit: usize,
+    out: &mut Vec<Entry>,
+) {
+    let mut newer = newer.into_iter().peekable();
+    let mut stored = stored.into_iter().peekable();
+    let mut produced = 0usize;
+    while produced < limit {
+        match (newer.peek(), stored.peek()) {
+            (Some(&(nk, nv)), Some(&(sk, _))) => {
+                if nk <= sk {
+                    if nk == sk {
+                        stored.next(); // the newer entry shadows the stored one
+                    }
+                    out.push((nk, nv));
+                    newer.next();
+                } else {
+                    out.push(stored.next().expect("peeked"));
+                }
+            }
+            (Some(_), None) => out.push(newer.next().expect("peeked")),
+            (None, Some(_)) => out.push(stored.next().expect("peeked")),
+            (None, None) => break,
+        }
+        produced += 1;
+    }
+}

@@ -168,7 +168,10 @@ impl InsertStep {
 }
 
 /// Accumulated per-step cost of insert operations (device time and block
-/// counts), reproducing the write-performance breakdown of Fig. 6.
+/// counts), reproducing the write-performance breakdown of Fig. 6, plus the
+/// group-commit drain counters a [`WriteBuffer`] front contributes.
+///
+/// [`WriteBuffer`]: crate::write_buffer::WriteBuffer
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct InsertBreakdown {
     device_ns: [u64; 4],
@@ -176,6 +179,14 @@ pub struct InsertBreakdown {
     writes: [u64; 4],
     /// Number of insert operations folded into this breakdown.
     pub inserts: u64,
+    /// Number of group-commit drains (buffered batches handed to
+    /// `insert_batch`) folded into this breakdown. Zero for a bare index;
+    /// a `WriteBuffer` front adds its flush count so `BENCH_write.json` can
+    /// attribute drain cost.
+    pub drains: u64,
+    /// Total entries those drains carried (so `drained_entries / drains` is
+    /// the realised group-commit batch size).
+    pub drained_entries: u64,
 }
 
 impl InsertBreakdown {
@@ -197,6 +208,22 @@ impl InsertBreakdown {
         self.inserts += 1;
     }
 
+    /// The per-field difference `self - before` (saturating), for isolating
+    /// the cost of one measured phase from an accumulated breakdown.
+    #[must_use]
+    pub fn since(&self, before: &InsertBreakdown) -> InsertBreakdown {
+        let mut delta = InsertBreakdown::new();
+        for i in 0..4 {
+            delta.device_ns[i] = self.device_ns[i].saturating_sub(before.device_ns[i]);
+            delta.reads[i] = self.reads[i].saturating_sub(before.reads[i]);
+            delta.writes[i] = self.writes[i].saturating_sub(before.writes[i]);
+        }
+        delta.inserts = self.inserts.saturating_sub(before.inserts);
+        delta.drains = self.drains.saturating_sub(before.drains);
+        delta.drained_entries = self.drained_entries.saturating_sub(before.drained_entries);
+        delta
+    }
+
     /// Merges another breakdown into this one.
     pub fn merge(&mut self, other: &InsertBreakdown) {
         for i in 0..4 {
@@ -205,6 +232,8 @@ impl InsertBreakdown {
             self.writes[i] += other.writes[i];
         }
         self.inserts += other.inserts;
+        self.drains += other.drains;
+        self.drained_entries += other.drained_entries;
     }
 
     /// Total simulated device time spent in `step`, nanoseconds.

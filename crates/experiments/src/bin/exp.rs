@@ -10,6 +10,8 @@
 //!           --bulk N        bulk-loaded keys for mixed workloads (default 50000)
 //!           --seed N        RNG seed                             (default 42)
 //!           --threads N     max reader threads for par_lookup    (default 4)
+//!           --dataset-path F  SOSD binary key file (u64 LE count + keys)
+//!                             replacing the synthetic datasets
 //!           --quick         tiny scale for smoke testing
 //! ```
 
@@ -30,14 +32,13 @@ fn parse_args() -> (Vec<String>, Scale) {
             "--threads" => {
                 scale.threads = args.next().and_then(|v| v.parse().ok()).expect("--threads N")
             }
+            "--dataset-path" => {
+                scale.dataset_path = Some(args.next().expect("--dataset-path FILE").into());
+            }
             "--quick" => {
-                scale = Scale {
-                    keys: 20_000,
-                    ops: 500,
-                    bulk_keys: 5_000,
-                    seed: scale.seed,
-                    threads: scale.threads,
-                }
+                scale.keys = 20_000;
+                scale.ops = 500;
+                scale.bulk_keys = 5_000;
             }
             other => targets.push(other.to_string()),
         }
@@ -51,7 +52,8 @@ fn main() {
 
     if targets.is_empty() || targets.iter().any(|t| t == "list") {
         eprintln!(
-            "usage: exp <target>... [--keys N] [--ops N] [--bulk N] [--seed N] [--threads N] [--quick]"
+            "usage: exp <target>... [--keys N] [--ops N] [--bulk N] [--seed N] [--threads N] \
+             [--dataset-path FILE] [--quick]"
         );
         eprintln!("targets:");
         for (name, _) in &registry {

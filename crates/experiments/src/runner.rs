@@ -5,7 +5,10 @@ use std::time::Instant;
 
 use lidx_alex::{AlexConfig, AlexIndex, AlexLayout};
 use lidx_btree::BTreeIndex;
-use lidx_core::{DiskIndex, InsertBreakdown, Key, LatencyRecorder, LatencySummary};
+use lidx_core::{
+    DiskIndex, Entry, IndexRead, IndexWrite, InsertBreakdown, Key, LatencyRecorder, LatencySummary,
+    WriteBuffer, WriteBufferConfig,
+};
 use lidx_fiting::{FitingConfig, FitingTree};
 use lidx_hybrid::{HybridConfig, HybridIndex, HybridInnerKind};
 use lidx_lipp::LippIndex;
@@ -578,6 +581,210 @@ pub fn run_batch_lookup(
     }
 }
 
+/// How [`run_batch_insert`] feeds the workload's inserts to the index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InsertMode {
+    /// One [`IndexWrite::insert`] call per entry, in workload order — the
+    /// paper's write path and the baseline the batched modes are measured
+    /// against.
+    PerKey,
+    /// [`IndexWrite::insert_batch`] over workload-order chunks of the given
+    /// size (the caller batches; no staging, no reordering across chunks).
+    Batch(usize),
+    /// A [`WriteBuffer`] front with the given configuration: entries are
+    /// staged, overlaid on reads, and drained sorted through `insert_batch`
+    /// (flushed at the end so the measurement covers every insert).
+    Buffered(WriteBufferConfig),
+}
+
+impl InsertMode {
+    /// Short name used in report rows.
+    pub fn name(&self) -> String {
+        match self {
+            InsertMode::PerKey => "per-key".to_string(),
+            InsertMode::Batch(n) => format!("batch{n}"),
+            InsertMode::Buffered(cfg) => format!("buffered{}", cfg.capacity),
+        }
+    }
+}
+
+/// Everything measured by one [`run_batch_insert`] phase: a Write-Only
+/// workload executed per key, through `insert_batch`, or behind a
+/// group-commit [`WriteBuffer`].
+#[derive(Debug, Clone)]
+pub struct BatchInsertReport {
+    /// Index name (with a `+wb` suffix when buffered).
+    pub index: String,
+    /// How the inserts were issued.
+    pub mode: String,
+    /// Inserts executed.
+    pub inserts: u64,
+    /// Wall-clock seconds for the measured pass.
+    pub wall_seconds: f64,
+    /// Simulated device seconds for the measured pass.
+    pub device_seconds: f64,
+    /// Device block reads during the measured pass.
+    pub reads: u64,
+    /// Device block writes during the measured pass.
+    pub writes: u64,
+    /// Structural modification operations performed during the pass.
+    pub smos: u64,
+    /// Insert-step breakdown accumulated during the pass (drain counters
+    /// included for the buffered mode).
+    pub breakdown: InsertBreakdown,
+    /// Inserted keys that a post-pass lookup failed to find (sanity signal;
+    /// must be zero).
+    pub lost: u64,
+}
+
+impl BatchInsertReport {
+    /// Simulated device nanoseconds per insert — the deterministic metric
+    /// `BENCH_write.json` tracks across PRs.
+    pub fn device_ns_per_insert(&self) -> f64 {
+        self.device_seconds * 1e9 / self.inserts.max(1) as f64
+    }
+
+    /// Device blocks (reads + writes) per insert.
+    pub fn io_per_insert(&self) -> f64 {
+        (self.reads + self.writes) as f64 / self.inserts.max(1) as f64
+    }
+}
+
+/// Bulk loads `choice` over `workload.bulk`, then feeds the workload's
+/// insert operations to the index in the given [`InsertMode`], measuring
+/// simulated device time, I/O and SMO counts — the write-side mirror of
+/// [`run_batch_lookup`].
+///
+/// All modes run under the same storage configuration and consume the same
+/// insert stream, so the contrast isolates the insert *strategy*: per-key
+/// cold inserts versus caller-batched `insert_batch` versus the staged,
+/// sorted group commit of a [`WriteBuffer`] (which is flushed before the
+/// measurement ends, so no cost hides in the buffer). After the measured
+/// pass every inserted key is looked up once (unmeasured) and the misses
+/// are reported as `lost` — the phase checks itself.
+pub fn run_batch_insert(
+    choice: IndexChoice,
+    config: &RunConfig,
+    workload: &Workload,
+    mode: InsertMode,
+) -> BatchInsertReport {
+    let disk = config.make_disk();
+    let mut index = choice.build(Arc::clone(&disk));
+    index.bulk_load(&workload.bulk).expect("bulk load");
+
+    let inserts: Vec<Entry> = workload
+        .ops
+        .iter()
+        .filter_map(|op| match *op {
+            Op::Insert(k, v) => Some((k, v)),
+            _ => None,
+        })
+        .collect();
+    assert!(!inserts.is_empty(), "batch_insert requires a workload with insert operations");
+
+    disk.stats().reset();
+    disk.clear_buffer();
+    disk.reset_access_state();
+    let breakdown_before = index.insert_breakdown();
+    let smos_before = index.stats().smo_count;
+
+    let start = Instant::now();
+    let (index, name) = match mode {
+        InsertMode::PerKey => {
+            for &(k, v) in &inserts {
+                index.insert(k, v).expect("insert");
+            }
+            let name = index.name();
+            (index, name)
+        }
+        InsertMode::Batch(batch) => {
+            for chunk in inserts.chunks(batch.max(1)) {
+                index.insert_batch(chunk).expect("insert_batch");
+            }
+            let name = index.name();
+            (index, name)
+        }
+        InsertMode::Buffered(cfg) => {
+            let mut buffered = WriteBuffer::new(index, cfg);
+            for &(k, v) in &inserts {
+                buffered.insert(k, v).expect("buffered insert");
+            }
+            // Flush inside the measured window so no cost hides in the
+            // buffer, then capture the exact drain counters before
+            // unwrapping (`insert_breakdown` merges them in).
+            buffered.flush().expect("final drain");
+            let name = buffered.name();
+            let breakdown = buffered.insert_breakdown();
+            let index = buffered.into_inner().expect("already flushed");
+            let wall_seconds = start.elapsed().as_secs_f64();
+            return finish_batch_insert_report(
+                &disk,
+                index,
+                name,
+                mode.name(),
+                &inserts,
+                wall_seconds,
+                breakdown,
+                breakdown_before,
+                smos_before,
+            );
+        }
+    };
+    let wall_seconds = start.elapsed().as_secs_f64();
+    let breakdown = index.insert_breakdown();
+    finish_batch_insert_report(
+        &disk,
+        index,
+        name,
+        mode.name(),
+        &inserts,
+        wall_seconds,
+        breakdown,
+        breakdown_before,
+        smos_before,
+    )
+}
+
+/// Shared tail of [`run_batch_insert`]: collect the disk counters, diff the
+/// breakdown, run the unmeasured self-check lookups and assemble the report.
+#[allow(clippy::too_many_arguments)]
+fn finish_batch_insert_report(
+    disk: &Arc<Disk>,
+    index: Box<dyn DiskIndex>,
+    name: String,
+    mode_name: String,
+    inserts: &[Entry],
+    wall_seconds: f64,
+    breakdown: InsertBreakdown,
+    breakdown_before: InsertBreakdown,
+    smos_before: u64,
+) -> BatchInsertReport {
+    let stats = disk.stats();
+    let device_seconds = stats.device_ns() as f64 / 1e9;
+    let (reads, writes) = (stats.reads(), stats.writes());
+    let delta = breakdown.since(&breakdown_before);
+    let smos = index.stats().smo_count - smos_before;
+
+    // Unmeasured sanity pass: every inserted key must now be findable.
+    let mut answers = Vec::new();
+    let keys: Vec<Key> = inserts.iter().map(|&(k, _)| k).collect();
+    index.lookup_batch(&keys, &mut answers).expect("verify lookups");
+    let lost = answers.iter().filter(|a| a.is_none()).count() as u64;
+
+    BatchInsertReport {
+        index: name,
+        mode: mode_name,
+        inserts: inserts.len() as u64,
+        wall_seconds,
+        device_seconds,
+        reads,
+        writes,
+        smos,
+        breakdown: delta,
+        lost,
+    }
+}
+
 /// Everything measured by one [`run_scan_interference`] phase: the
 /// hot-lookup pool hit rate before and while a full-table scan streams.
 #[derive(Debug, Clone)]
@@ -806,6 +1013,32 @@ mod tests {
                 seq.reads
             );
             assert!(seq.buffer_hit_rate() > 0.0, "{choice:?} warm pool must produce hits");
+        }
+    }
+
+    #[test]
+    fn batch_insert_phase_runs_every_design_in_every_mode() {
+        let keys = Dataset::Ycsb.generate_keys(6_000, 5);
+        let w = Workload::build(&keys, WorkloadSpec::new(WorkloadKind::WriteOnly, 300, 2_000));
+        let cfg = RunConfig { buffer_blocks: 64, ..Default::default() };
+        let wb = lidx_core::WriteBufferConfig { capacity: 128, drain: 64 };
+        for choice in IndexChoice::ALL_DESIGNS {
+            for mode in [InsertMode::PerKey, InsertMode::Batch(32), InsertMode::Buffered(wb)] {
+                let r = run_batch_insert(choice, &cfg, &w, mode);
+                assert_eq!(r.inserts, 300, "{choice:?} {mode:?}");
+                assert_eq!(r.lost, 0, "{choice:?} {mode:?} must find every inserted key");
+                assert_eq!(r.breakdown.inserts, 300, "{choice:?} {mode:?} breakdown coverage");
+                assert!(r.writes > 0, "{choice:?} {mode:?} must write blocks");
+                assert!(r.device_seconds > 0.0);
+                match mode {
+                    InsertMode::Buffered(_) => {
+                        assert!(r.index.ends_with("+wb"), "{choice:?} buffered name: {}", r.index);
+                        assert!(r.breakdown.drains >= 2, "{choice:?} expected multiple drains");
+                        assert_eq!(r.breakdown.drained_entries, 300, "{choice:?}");
+                    }
+                    _ => assert_eq!(r.breakdown.drains, 0, "{choice:?} {mode:?}"),
+                }
+            }
         }
     }
 

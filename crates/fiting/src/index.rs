@@ -1,10 +1,10 @@
-//! The FITing-tree [`DiskIndex`] implementation.
+//! The FITing-tree [`DiskIndex`](lidx_core::DiskIndex) implementation.
 
 use std::sync::Arc;
 
 use lidx_core::{
-    index::validate_bulk_load, DiskIndex, Entry, IndexError, IndexKind, IndexRead, IndexResult,
-    IndexStats, InsertBreakdown, InsertStep, Key, Value,
+    index::validate_bulk_load, Entry, IndexError, IndexKind, IndexRead, IndexResult, IndexStats,
+    IndexWrite, InsertBreakdown, InsertStep, Key, Value,
 };
 use lidx_models::pla::ShrinkingCone;
 use lidx_storage::{AccessClass, BlockKind, Disk};
@@ -171,14 +171,20 @@ impl FitingTree {
     }
 
     /// Resegments `old` (identified by its directory `first_key`) together
-    /// with `extra` entries, replacing it with freshly built segments.
+    /// with `extra` entries (sorted by key, duplicates removed), replacing it
+    /// with freshly built segments. On keys present both on disk and in
+    /// `extra`, the `extra` payload wins — the sequential insert path never
+    /// passes such duplicates, but the batched delta-buffer fill folds its
+    /// pending overwrites through here.
     fn resegment(&mut self, old: SegmentMeta, extra: &[Entry]) -> IndexResult<()> {
         self.smo_count += 1;
-        let mut merged = read_all_data(&self.disk, self.seg_file, &old)?;
-        merged.extend_from_slice(&read_buffer(&self.disk, self.seg_file, &old, AccessClass::Scan)?);
-        merged.extend_from_slice(extra);
-        merged.sort_unstable_by_key(|&(k, _)| k);
-        merged.dedup_by_key(|&mut (k, _)| k);
+        let mut stored = read_all_data(&self.disk, self.seg_file, &old)?;
+        stored.extend_from_slice(&read_buffer(&self.disk, self.seg_file, &old, AccessClass::Scan)?);
+        // Data region and delta buffer are disjoint by construction, so this
+        // sort sees no equal keys.
+        stored.sort_unstable_by_key(|&(k, _)| k);
+        let mut merged = Vec::with_capacity(stored.len() + extra.len());
+        lidx_core::merge_newest_wins(extra.iter().copied(), stored, usize::MAX, &mut merged);
 
         let news = self.build_segments(&merged)?;
         let was_first = old.first_key == self.global_min_key;
@@ -321,7 +327,7 @@ impl IndexRead for FitingTree {
     }
 }
 
-impl DiskIndex for FitingTree {
+impl IndexWrite for FitingTree {
     fn bulk_load(&mut self, entries: &[Entry]) -> IndexResult<()> {
         if self.loaded {
             return Err(IndexError::AlreadyLoaded);
@@ -434,6 +440,154 @@ impl DiskIndex for FitingTree {
             self.breakdown.add(InsertStep::Smo, &after_smo.since(&after_search));
         }
         self.breakdown.finish_insert();
+        Ok(())
+    }
+
+    /// Batched inserts fill each segment's delta buffer in one
+    /// read-modify-write pass: the entries are sorted, grouped by covering
+    /// segment (one directory descent plus one boundary probe per group),
+    /// and each group pays the buffer read, the buffer write, the directory
+    /// meta update and any data-region overwrite rewrite *once* — the
+    /// sequential path pays all four per key. Keys below the global minimum
+    /// are likewise folded into the overflow buffer as one group.
+    fn insert_batch(&mut self, entries: &[Entry]) -> IndexResult<()> {
+        if !self.loaded {
+            return Err(IndexError::NotInitialized);
+        }
+        if entries.is_empty() {
+            return Ok(());
+        }
+        // Stable sort: duplicate keys keep slice order, later entries win.
+        let mut order: Vec<u32> = (0..entries.len() as u32).collect();
+        order.sort_by_key(|&i| entries[i as usize].0);
+
+        // Group 1: keys below the global minimum go to the overflow buffer
+        // (§4.2), merged in one pass; overflowing it folds everything into
+        // the first segment with a single resegmentation SMO.
+        let below = order.partition_point(|&i| entries[i as usize].0 < self.global_min_key);
+        if below > 0 {
+            let before = self.disk.snapshot();
+            let mut overflow = self.read_overflow(AccessClass::Point)?;
+            let after_search = self.disk.snapshot();
+            self.breakdown.add(InsertStep::Search, &after_search.since(&before));
+            for &i in &order[..below] {
+                let (key, value) = entries[i as usize];
+                match overflow.binary_search_by_key(&key, |&(k, _)| k) {
+                    Ok(pos) => overflow[pos].1 = value,
+                    Err(pos) => {
+                        overflow.insert(pos, (key, value));
+                        self.key_count += 1;
+                    }
+                }
+                self.breakdown.finish_insert();
+            }
+            if overflow.len() <= self.overflow_capacity() {
+                self.overflow_count = overflow.len() as u32;
+                self.write_overflow(&overflow)?;
+                let after_insert = self.disk.snapshot();
+                self.breakdown.add(InsertStep::Insert, &after_insert.since(&after_search));
+            } else {
+                let (first, _) = self.directory.find(self.global_min_key)?;
+                self.resegment(first, &overflow)?;
+                self.overflow_count = 0;
+                self.write_overflow(&[])?;
+                let after_smo = self.disk.snapshot();
+                self.breakdown.add(InsertStep::Smo, &after_smo.since(&after_search));
+            }
+        }
+
+        // Group 2: one pass per covering segment.
+        let mut next = below;
+        while next < order.len() {
+            let before = self.disk.snapshot();
+            let (meta, slot) = self.directory.find(entries[order[next] as usize].0)?;
+            // The segment covers keys up to (but excluding) the next
+            // segment's first key; one directory probe bounds the group.
+            let upper = self.directory.next_segment(slot)?.map(|(m, _)| m.first_key);
+            let group_end = match upper {
+                Some(u) => next + order[next..].partition_point(|&i| entries[i as usize].0 < u),
+                None => order.len(),
+            };
+            let mut buffer = if meta.buffer_count > 0 {
+                read_buffer(&self.disk, self.seg_file, &meta, AccessClass::Point)?
+            } else {
+                Vec::new()
+            };
+            // Classify each key: buffer overwrite, data-region overwrite, or
+            // brand new (appended to the in-memory buffer). `search_data`
+            // probes benefit from the sorted order via the reuse slot.
+            let mut data_overwrites: Vec<Entry> = Vec::new();
+            let mut buffer_dirty = false;
+            for &i in &order[next..group_end] {
+                let (key, value) = entries[i as usize];
+                if let Ok(pos) = buffer.binary_search_by_key(&key, |&(k, _)| k) {
+                    buffer[pos].1 = value;
+                    buffer_dirty = true;
+                } else if search_data(&self.disk, self.seg_file, &meta, key, self.config.epsilon)?
+                    .is_some()
+                {
+                    match data_overwrites.binary_search_by_key(&key, |&(k, _)| k) {
+                        Ok(pos) => data_overwrites[pos].1 = value,
+                        Err(pos) => data_overwrites.insert(pos, (key, value)),
+                    }
+                } else {
+                    let pos = buffer.partition_point(|&(k, _)| k < key);
+                    buffer.insert(pos, (key, value));
+                    buffer_dirty = true;
+                    self.key_count += 1;
+                }
+                self.breakdown.finish_insert();
+            }
+            let after_search = self.disk.snapshot();
+            self.breakdown.add(InsertStep::Search, &after_search.since(&before));
+
+            if buffer.len() <= self.config.buffer_entries
+                && buffer.len() <= meta.buffer_capacity(self.disk.block_size()) as usize
+            {
+                // Delta fill: apply data overwrites with one region rewrite,
+                // then persist the merged buffer and its occupancy once.
+                if !data_overwrites.is_empty() {
+                    let mut data = read_all_data(&self.disk, self.seg_file, &meta)?;
+                    for &(key, value) in &data_overwrites {
+                        if let Ok(pos) = data.binary_search_by_key(&key, |&(k, _)| k) {
+                            data[pos].1 = value;
+                        }
+                    }
+                    write_data_region(
+                        &self.disk,
+                        self.seg_file,
+                        meta.start_block,
+                        meta.data_blocks,
+                        &data,
+                    )?;
+                }
+                if buffer_dirty {
+                    write_buffer_region(&self.disk, self.seg_file, &meta, &buffer)?;
+                    if buffer.len() != meta.buffer_count as usize {
+                        let mut updated = meta;
+                        updated.buffer_count = buffer.len() as u32;
+                        self.directory.update_meta(slot, updated)?;
+                    }
+                }
+                let after_insert = self.disk.snapshot();
+                self.breakdown.add(InsertStep::Insert, &after_insert.since(&after_search));
+            } else {
+                // The group overflows the delta buffer: fold every pending
+                // change (overwrites and fresh keys — `resegment` lets the
+                // extras win on duplicates) into fresh segments, once.
+                let mut extras = buffer;
+                for &(key, value) in &data_overwrites {
+                    match extras.binary_search_by_key(&key, |&(k, _)| k) {
+                        Ok(pos) => extras[pos].1 = value,
+                        Err(pos) => extras.insert(pos, (key, value)),
+                    }
+                }
+                self.resegment(meta, &extras)?;
+                let after_smo = self.disk.snapshot();
+                self.breakdown.add(InsertStep::Smo, &after_smo.since(&after_search));
+            }
+            next = group_end;
+        }
         Ok(())
     }
 
@@ -609,6 +763,61 @@ mod tests {
         let queries = data.iter().step_by(911).count() as u64;
         assert!(leaf_reads <= queries * 2, "leaf blocks per lookup must stay within 2ε/B + 1");
         assert!(inner_reads >= queries, "every lookup must traverse the directory");
+    }
+
+    #[test]
+    fn insert_batch_matches_sequential_and_amortises_buffer_writes() {
+        let data: Vec<Entry> = (100..2_100u64).map(|k| (k * 10, k)).collect();
+        // Mix below-minimum keys (overflow buffer), overwrites of stored and
+        // buffered keys, in-batch duplicates and fresh keys spanning several
+        // segments.
+        let mut batch: Vec<Entry> = (0..600u64).map(|i| (i * 33 + 1_005, i)).collect();
+        // After the reverse, (5, 1) is the later occurrence and must win.
+        batch.extend([(5, 1), (7, 2), (5, 3), (1_000, 99), (data[50].0, 123)]);
+        batch.reverse();
+
+        let mut batched = tree(512);
+        batched.bulk_load(&data).unwrap();
+        batched.insert_batch(&batch).unwrap();
+        let mut sequential = tree(512);
+        sequential.bulk_load(&data).unwrap();
+        for &(k, v) in &batch {
+            sequential.insert(k, v).unwrap();
+        }
+        assert_eq!(batched.len(), sequential.len());
+        assert_eq!(batched.lookup(5).unwrap(), Some(1), "later duplicate wins");
+        assert_eq!(batched.lookup(data[50].0).unwrap(), sequential.lookup(data[50].0).unwrap());
+        let mut b_scan = Vec::new();
+        let mut s_scan = Vec::new();
+        batched.scan(0, usize::MAX / 2, &mut b_scan).unwrap();
+        sequential.scan(0, usize::MAX / 2, &mut s_scan).unwrap();
+        assert_eq!(b_scan, s_scan, "batched and sequential content must be identical");
+        assert_eq!(batched.insert_breakdown().inserts, batch.len() as u64);
+
+        // A batch confined to a few segments pays each delta buffer once, so
+        // its write count must be far below the per-key loop's.
+        let run: Vec<Entry> = (0..64u64).map(|i| (5_000 + i * 10 + 3, i)).collect();
+        let mut a = tree(512);
+        a.bulk_load(&data).unwrap();
+        a.disk().stats().reset();
+        a.disk().reset_access_state();
+        a.insert_batch(&run).unwrap();
+        let batch_writes = a.disk().stats().writes();
+        let mut b = tree(512);
+        b.bulk_load(&data).unwrap();
+        b.disk().stats().reset();
+        b.disk().reset_access_state();
+        for &(k, v) in &run {
+            b.insert(k, v).unwrap();
+        }
+        let seq_writes = b.disk().stats().writes();
+        assert!(
+            batch_writes * 2 < seq_writes,
+            "batched writes ({batch_writes}) must amortise sequential writes ({seq_writes})"
+        );
+
+        let mut empty = tree(512);
+        assert!(matches!(empty.insert_batch(&[(1, 1)]), Err(IndexError::NotInitialized)));
     }
 
     #[test]

@@ -3,8 +3,8 @@
 use std::sync::Arc;
 
 use lidx_core::{
-    index::validate_bulk_load, DiskIndex, Entry, IndexError, IndexKind, IndexRead, IndexResult,
-    IndexStats, InsertBreakdown, InsertStep, Key, Value,
+    index::validate_bulk_load, Entry, IndexError, IndexKind, IndexRead, IndexResult, IndexStats,
+    IndexWrite, InsertBreakdown, InsertStep, Key, Value,
 };
 use lidx_storage::{BlockId, Disk};
 
@@ -120,6 +120,42 @@ impl IndexRead for HybridIndex {
         self.leaves.lookup_in(leaf, key)
     }
 
+    /// Batched lookups sort the probe keys and route once per *run* of keys
+    /// landing in the same leaf: the learned-directory descent and the leaf
+    /// block fetch/decode are paid once per run instead of once per key —
+    /// the same sorted-probe sharing as the B+-tree, with the inner
+    /// structure's floor lookup standing in for the root-to-leaf walk.
+    fn lookup_batch(&self, keys: &[Key], out: &mut Vec<Option<Value>>) -> IndexResult<()> {
+        out.clear();
+        if keys.is_empty() {
+            return Ok(());
+        }
+        if !self.loaded {
+            return Err(IndexError::NotInitialized);
+        }
+        out.resize(keys.len(), None);
+        let mut order: Vec<u32> = (0..keys.len() as u32).collect();
+        order.sort_unstable_by_key(|&i| keys[i as usize]);
+        let mut current: Option<lidx_btree::LeafNode> = None;
+        for &i in &order {
+            let key = keys[i as usize];
+            // Leaves cover contiguous, disjoint boundary ranges, so a sorted
+            // probe key still belongs to the pinned leaf as long as it does
+            // not exceed the leaf's last stored key; keys in the gap between
+            // two leaves re-route, which proves their absence exactly as a
+            // sequential lookup would.
+            let in_current = current
+                .as_ref()
+                .is_some_and(|leaf| leaf.entries.last().is_some_and(|&(last, _)| key <= last));
+            if !in_current {
+                let block = self.inner.find_leaf(key)?;
+                current = Some(self.leaves.leaf_node(block)?);
+            }
+            out[i as usize] = current.as_ref().expect("leaf pinned").lookup(key);
+        }
+        Ok(())
+    }
+
     fn scan(&self, start: Key, count: usize, out: &mut Vec<Entry>) -> IndexResult<usize> {
         out.clear();
         if !self.loaded {
@@ -147,7 +183,7 @@ impl IndexRead for HybridIndex {
     }
 }
 
-impl DiskIndex for HybridIndex {
+impl IndexWrite for HybridIndex {
     fn bulk_load(&mut self, entries: &[Entry]) -> IndexResult<()> {
         if self.loaded {
             return Err(IndexError::AlreadyLoaded);
@@ -191,6 +227,76 @@ impl DiskIndex for HybridIndex {
             self.key_count += 1;
         }
         self.breakdown.finish_insert();
+        Ok(())
+    }
+
+    /// Batched inserts append each sorted *run* of co-located entries to its
+    /// dense leaf with one read-modify-write, and — the big win — defer the
+    /// learned-directory retrain to a single [`InnerDirectory::rebuild`] at
+    /// the end of the batch instead of one per split (the P2 cost the
+    /// sequential path pays). While splits are pending, routing switches to
+    /// the in-memory boundary table, which is exactly the state the deferred
+    /// rebuild will be trained on.
+    ///
+    /// [`InnerDirectory::rebuild`]: crate::inner::InnerDirectory::rebuild
+    fn insert_batch(&mut self, entries: &[Entry]) -> IndexResult<()> {
+        if !self.loaded {
+            return Err(IndexError::NotInitialized);
+        }
+        if entries.is_empty() {
+            return Ok(());
+        }
+        // Stable sort: duplicate keys keep slice order, later entries win.
+        let mut order: Vec<u32> = (0..entries.len() as u32).collect();
+        order.sort_by_key(|&i| entries[i as usize].0);
+        let mut directory_stale = false;
+        let mut next = 0usize;
+        while next < order.len() {
+            let key = entries[order[next] as usize].0;
+            let before = self.disk.snapshot();
+            // Route through the learned directory while it is current; once
+            // a split leaves it stale, the in-memory boundary table (always
+            // current) takes over until the end-of-batch rebuild.
+            let upper_pos = self.boundaries.partition_point(|&(b, _)| b <= key);
+            let leaf = if directory_stale {
+                self.boundaries[upper_pos.saturating_sub(1)].1
+            } else {
+                self.inner.find_leaf(key)?
+            };
+            let after_search = self.disk.snapshot();
+            self.breakdown.add(InsertStep::Search, &after_search.since(&before));
+
+            // The leaf covers keys up to (but excluding) the next boundary.
+            let run_end = match self.boundaries.get(upper_pos) {
+                Some(&(upper, _)) => {
+                    next + order[next..].partition_point(|&i| entries[i as usize].0 < upper)
+                }
+                None => order.len(),
+            };
+            let run: Vec<Entry> =
+                order[next..run_end].iter().map(|&i| entries[i as usize]).collect();
+            let (consumed, added, split) = self.leaves.insert_run_in(leaf, &run)?;
+            self.key_count += added;
+            for _ in 0..consumed {
+                self.breakdown.finish_insert();
+            }
+            let after_apply = self.disk.snapshot();
+            let step = if split.is_some() { InsertStep::Smo } else { InsertStep::Insert };
+            self.breakdown.add(step, &after_apply.since(&after_search));
+            if let Some(LeafInsert::Split { boundary, block }) = split {
+                self.smo_count += 1;
+                let pos = self.boundaries.partition_point(|&(b, _)| b <= boundary);
+                self.boundaries.insert(pos, (boundary, block));
+                directory_stale = true;
+            }
+            next += consumed;
+        }
+        if directory_stale {
+            let before_rebuild = self.disk.snapshot();
+            self.inner.rebuild(&self.boundaries)?;
+            let after_rebuild = self.disk.snapshot();
+            self.breakdown.add(InsertStep::Smo, &after_rebuild.since(&before_rebuild));
+        }
         Ok(())
     }
 
@@ -307,6 +413,85 @@ mod tests {
         let n = h.scan(0, usize::MAX / 2, &mut out).unwrap();
         assert_eq!(n as u64, h.len());
         assert!(out.windows(2).all(|w| w[0].0 < w[1].0));
+    }
+
+    #[test]
+    fn lookup_batch_matches_sequential_and_amortises_descents() {
+        for inner in [HybridInnerKind::Pla, HybridInnerKind::ModelTree] {
+            let (h, data) = build(inner, 10_000);
+            let probes: Vec<u64> = data
+                .iter()
+                .step_by(41)
+                .map(|&(k, _)| k)
+                .chain([0, u64::MAX, data[7].0, data[7].0, data[7].0 + 1])
+                .rev()
+                .collect();
+            let mut batched = Vec::new();
+            h.lookup_batch(&probes, &mut batched).unwrap();
+            for (i, &p) in probes.iter().enumerate() {
+                assert_eq!(batched[i], h.lookup(p).unwrap(), "{inner:?} probe {p}");
+            }
+
+            // Co-located keys share one directory descent and one leaf read.
+            let run: Vec<u64> = data[..128].iter().map(|&(k, _)| k).collect();
+            h.disk().stats().reset();
+            h.disk().reset_access_state();
+            h.lookup_batch(&run, &mut batched).unwrap();
+            let batch_reads = h.disk().stats().reads();
+            h.disk().stats().reset();
+            h.disk().reset_access_state();
+            for &k in &run {
+                h.lookup(k).unwrap();
+            }
+            let seq_reads = h.disk().stats().reads();
+            assert!(
+                batch_reads * 2 < seq_reads,
+                "{inner:?} batched reads ({batch_reads}) must amortise sequential ({seq_reads})"
+            );
+        }
+    }
+
+    #[test]
+    fn insert_batch_matches_sequential_with_one_deferred_rebuild() {
+        for inner in [HybridInnerKind::Pla, HybridInnerKind::ModelTree] {
+            let (mut batched, data) = build(inner, 2_000);
+            let (mut sequential, _) = build(inner, 2_000);
+            // After the reverse, (4, 1) is the later occurrence and must win.
+            let mut batch: Vec<Entry> = (0..800u64).map(|i| (i * 23 + 3, i)).collect();
+            batch.extend([(data[9].0, 777), (4, 1), (4, 2)]);
+            batch.reverse();
+
+            batched.insert_batch(&batch).unwrap();
+            for &(k, v) in &batch {
+                sequential.insert(k, v).unwrap();
+            }
+            assert_eq!(batched.len(), sequential.len(), "{inner:?}");
+            assert_eq!(batched.lookup(4).unwrap(), Some(1), "{inner:?} later duplicate wins");
+            assert_eq!(batched.lookup(data[9].0).unwrap(), Some(777), "{inner:?}");
+            let mut b_scan = Vec::new();
+            let mut s_scan = Vec::new();
+            batched.scan(0, usize::MAX / 2, &mut b_scan).unwrap();
+            sequential.scan(0, usize::MAX / 2, &mut s_scan).unwrap();
+            assert_eq!(b_scan, s_scan, "{inner:?} content must be identical");
+            assert!(batched.stats().smo_count > 0, "{inner:?} dense batch must split leaves");
+
+            // The batch retrains the directory once; the sequential loop
+            // retrains per split, so its inner writes must dwarf the batch's.
+            let splitting: Vec<Entry> = (0..400u64).map(|i| (500_000 + i * 2, i)).collect();
+            batched.disk().stats().reset();
+            batched.insert_batch(&splitting).unwrap();
+            let batch_writes = batched.disk().stats().writes();
+            sequential.disk().stats().reset();
+            for &(k, v) in &splitting {
+                sequential.insert(k, v).unwrap();
+            }
+            let seq_writes = sequential.disk().stats().writes();
+            assert!(
+                batch_writes * 2 < seq_writes,
+                "{inner:?} deferred rebuild ({batch_writes} writes) must amortise \
+                 per-split retraining ({seq_writes} writes)"
+            );
+        }
     }
 
     #[test]

@@ -104,13 +104,39 @@ impl LeafLevel {
         Ok(self.read(block)?.lookup(key))
     }
 
-    /// Inserts into the leaf at `block`, splitting it if necessary.
-    pub fn insert_in(&mut self, block: BlockId, key: Key, value: Value) -> IndexResult<LeafInsert> {
+    /// Decodes the leaf at `block` (one block read). Used by the batched
+    /// read path, which pins one decoded leaf per probe run.
+    pub(crate) fn leaf_node(&self, block: BlockId) -> IndexResult<LeafNode> {
+        self.read(block)
+    }
+
+    /// Upserts a sorted run of entries into the leaf at `block` with one
+    /// read and one write, returning `(consumed, added, split)`: how many
+    /// leading entries of `run` were applied, how many of those were new
+    /// keys, and the split descriptor if the leaf overflowed. The caller
+    /// guarantees every run entry is covered by this leaf; consumption stops
+    /// one entry past capacity (that overflow forces the split), so the
+    /// caller re-routes the remainder against the post-split leaf level.
+    pub fn insert_run_in(
+        &mut self,
+        block: BlockId,
+        run: &[Entry],
+    ) -> IndexResult<(usize, u64, Option<LeafInsert>)> {
         let mut leaf = self.read(block)?;
-        leaf.upsert(key, value);
+        let mut consumed = 0usize;
+        let mut added = 0u64;
+        for &(key, value) in run {
+            if leaf.entries.len() > self.capacity {
+                break;
+            }
+            if leaf.upsert(key, value) {
+                added += 1;
+            }
+            consumed += 1;
+        }
         if leaf.entries.len() <= self.capacity {
             self.write(block, &leaf)?;
-            return Ok(LeafInsert::Done);
+            return Ok((consumed, added, None));
         }
         let (boundary, mut right) = leaf.split();
         let right_block = self.disk.allocate(self.file, 1)?;
@@ -119,7 +145,15 @@ impl LeafLevel {
         self.write(block, &leaf)?;
         self.write(right_block, &right)?;
         self.leaf_count += 1;
-        Ok(LeafInsert::Split { boundary, block: right_block })
+        Ok((consumed, added, Some(LeafInsert::Split { boundary, block: right_block })))
+    }
+
+    /// Inserts into the leaf at `block`, splitting it if necessary: the
+    /// single-entry case of [`LeafLevel::insert_run_in`].
+    pub fn insert_in(&mut self, block: BlockId, key: Key, value: Value) -> IndexResult<LeafInsert> {
+        let (consumed, _, split) = self.insert_run_in(block, &[(key, value)])?;
+        debug_assert_eq!(consumed, 1, "a single entry is always consumed");
+        Ok(split.unwrap_or(LeafInsert::Done))
     }
 
     /// Scans forward from `start`, beginning at the leaf at `block`, until

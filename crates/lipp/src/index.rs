@@ -1,10 +1,11 @@
-//! The on-disk LIPP tree and its [`DiskIndex`] implementation.
+//! The on-disk LIPP tree and its [`DiskIndex`](lidx_core::DiskIndex)
+//! implementation.
 
 use std::sync::Arc;
 
 use lidx_core::{
-    index::validate_bulk_load, DiskIndex, Entry, IndexError, IndexKind, IndexRead, IndexResult,
-    IndexStats, InsertBreakdown, InsertStep, Key, Value,
+    index::validate_bulk_load, Entry, IndexError, IndexKind, IndexRead, IndexResult, IndexStats,
+    IndexWrite, InsertBreakdown, InsertStep, Key, Value,
 };
 use lidx_models::fmcd::fit_fmcd;
 use lidx_storage::{BlockId, Disk};
@@ -194,6 +195,49 @@ impl IndexRead for LippIndex {
         }
     }
 
+    /// Batched lookups cache each routing node's decoded header for the
+    /// duration of the batch: a sequential LIPP lookup pays a header read
+    /// plus a slot read *per level*, and the header half is identical for
+    /// every probe that traverses the same node (always true for the root).
+    /// The slot reads — where the answers live — still go to the disk per
+    /// probe, in sorted order so co-located probes hit the same slot blocks
+    /// back to back. The traversal logic is otherwise byte-for-byte the
+    /// sequential descent, so answers are identical.
+    fn lookup_batch(&self, keys: &[Key], out: &mut Vec<Option<Value>>) -> IndexResult<()> {
+        out.clear();
+        if keys.is_empty() {
+            return Ok(());
+        }
+        if !self.loaded {
+            return Err(IndexError::NotInitialized);
+        }
+        out.resize(keys.len(), None);
+        let mut order: Vec<u32> = (0..keys.len() as u32).collect();
+        order.sort_unstable_by_key(|&i| keys[i as usize]);
+        let mut nodes: std::collections::HashMap<BlockId, LippNode> =
+            std::collections::HashMap::new();
+        for &i in &order {
+            let key = keys[i as usize];
+            let mut block = self.root;
+            loop {
+                if let std::collections::hash_map::Entry::Vacant(slot) = nodes.entry(block) {
+                    slot.insert(LippNode::load(&self.disk, self.file, block)?);
+                }
+                let node = &nodes[&block];
+                let slot = node.predict(key);
+                match node.read_slot(&self.disk, slot)? {
+                    Slot::Null => break,
+                    Slot::Data(k, v) => {
+                        out[i as usize] = (k == key).then_some(v);
+                        break;
+                    }
+                    Slot::Child(child) => block = child,
+                }
+            }
+        }
+        Ok(())
+    }
+
     fn scan(&self, start: Key, count: usize, out: &mut Vec<Entry>) -> IndexResult<usize> {
         out.clear();
         if !self.loaded {
@@ -261,7 +305,7 @@ impl IndexRead for LippIndex {
     }
 }
 
-impl DiskIndex for LippIndex {
+impl IndexWrite for LippIndex {
     fn bulk_load(&mut self, entries: &[Entry]) -> IndexResult<()> {
         if self.loaded {
             return Err(IndexError::AlreadyLoaded);
@@ -463,6 +507,59 @@ mod tests {
             assert_eq!(l.lookup(i * 40 + 7).unwrap(), Some(i), "inserted key");
             assert_eq!(l.lookup(i * 40).unwrap(), Some(i), "bulk key");
         }
+    }
+
+    #[test]
+    fn lookup_batch_matches_sequential_and_caches_headers() {
+        let mut l = index();
+        let data = clustered(10_000);
+        l.bulk_load(&data).unwrap();
+        let probes: Vec<Key> = data
+            .iter()
+            .step_by(53)
+            .map(|&(k, _)| k)
+            .chain([0, u64::MAX, data[100].0, data[100].0, data[100].0 + 1])
+            .rev()
+            .collect();
+        let mut batched = Vec::new();
+        l.lookup_batch(&probes, &mut batched).unwrap();
+        assert_eq!(batched.len(), probes.len());
+        for (i, &p) in probes.iter().enumerate() {
+            assert_eq!(batched[i], l.lookup(p).unwrap(), "probe {p}");
+        }
+
+        // Batched probes read each routing node's header once for the whole
+        // batch instead of once per key, so the read count must shrink.
+        let run: Vec<Key> = data.iter().step_by(19).map(|&(k, _)| k).collect();
+        l.disk().stats().reset();
+        l.disk().reset_access_state();
+        l.lookup_batch(&run, &mut batched).unwrap();
+        let batch_reads = l.disk().stats().reads();
+        l.disk().stats().reset();
+        l.disk().reset_access_state();
+        for &k in &run {
+            l.lookup(k).unwrap();
+        }
+        let seq_reads = l.disk().stats().reads();
+        assert!(
+            batch_reads < seq_reads,
+            "batched reads ({batch_reads}) must amortise sequential reads ({seq_reads})"
+        );
+
+        // Inserted keys (including conflict children) stay visible.
+        for i in 0..300u64 {
+            l.insert(data[i as usize * 7].0 + 1, i).unwrap();
+        }
+        let probes2: Vec<Key> = (0..300u64).map(|i| data[i as usize * 7].0 + 1).collect();
+        l.lookup_batch(&probes2, &mut batched).unwrap();
+        for (i, &p) in probes2.iter().enumerate() {
+            assert_eq!(batched[i], l.lookup(p).unwrap(), "post-insert probe {p}");
+        }
+
+        l.lookup_batch(&[], &mut batched).unwrap();
+        assert!(batched.is_empty());
+        let fresh = index();
+        assert!(fresh.lookup_batch(&[1], &mut batched).is_err());
     }
 
     #[test]

@@ -168,6 +168,51 @@ impl Dataset {
     pub fn generate(self, n: usize, seed: u64) -> Vec<Entry> {
         self.generate_keys(n, seed).into_iter().map(|k| (k, payload_for(k))).collect()
     }
+
+    /// Loads a SOSD-style binary key file: a little-endian `u64` count
+    /// followed by that many little-endian `u64` keys (the format the SOSD
+    /// benchmark distributes its `fb`/`osm`/`wiki`/`books` datasets in).
+    /// Keys are sorted and de-duplicated, so the result is valid bulk-load
+    /// input regardless of the file's ordering.
+    ///
+    /// This is how real datasets replace the synthetic generators: the `exp`
+    /// binary's `--dataset-path` flag routes every workload's key set
+    /// through this loader instead of [`Dataset::generate_keys`].
+    pub fn from_sosd_file(path: &std::path::Path) -> std::io::Result<Vec<Key>> {
+        use std::io::{Error, ErrorKind};
+        let bytes = std::fs::read(path)?;
+        if bytes.len() < 8 {
+            return Err(Error::new(
+                ErrorKind::InvalidData,
+                format!("{}: too short for a SOSD header (need 8 bytes)", path.display()),
+            ));
+        }
+        let count = u64::from_le_bytes(bytes[..8].try_into().unwrap());
+        let needed = 8
+            + (count as usize).checked_mul(8).ok_or_else(|| {
+                Error::new(
+                    ErrorKind::InvalidData,
+                    format!("{}: absurd key count {count}", path.display()),
+                )
+            })?;
+        if bytes.len() < needed {
+            return Err(Error::new(
+                ErrorKind::InvalidData,
+                format!(
+                    "{}: header promises {count} keys ({needed} bytes) but the file has {}",
+                    path.display(),
+                    bytes.len()
+                ),
+            ));
+        }
+        let mut keys: Vec<Key> = bytes[8..needed]
+            .chunks_exact(8)
+            .map(|c| Key::from_le_bytes(c.try_into().unwrap()))
+            .collect();
+        keys.sort_unstable();
+        keys.dedup();
+        Ok(keys)
+    }
 }
 
 /// Builds keys from per-step gaps.
@@ -239,6 +284,32 @@ mod tests {
     fn entries_follow_the_payload_rule() {
         let entries = Dataset::Ycsb.generate(1_000, 3);
         assert!(entries.iter().all(|&(k, v)| v == k.wrapping_add(1)));
+    }
+
+    #[test]
+    fn sosd_loader_reads_sorts_and_dedups_the_fixture() {
+        // The checked-in fixture holds a count header of 100, then 100
+        // shuffled little-endian u64 keys of the form i*977+13 (i < 99) with
+        // one duplicate; the loader must sort and drop the duplicate.
+        let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("testdata/sosd_tiny.bin");
+        let keys = Dataset::from_sosd_file(&path).expect("fixture must load");
+        assert_eq!(keys.len(), 99, "the duplicate key must be dropped");
+        assert!(keys.windows(2).all(|w| w[0] < w[1]), "keys must come back sorted");
+        assert_eq!(keys[0], 13);
+        assert_eq!(keys[98], 98 * 977 + 13);
+
+        // Corrupt inputs are rejected, not mis-read.
+        let dir = std::env::temp_dir();
+        let short = dir.join("lidx_sosd_short.bin");
+        std::fs::write(&short, [1u8, 2, 3]).unwrap();
+        assert!(Dataset::from_sosd_file(&short).is_err(), "short header must fail");
+        let truncated = dir.join("lidx_sosd_truncated.bin");
+        let mut bytes = 1_000u64.to_le_bytes().to_vec();
+        bytes.extend_from_slice(&42u64.to_le_bytes());
+        std::fs::write(&truncated, bytes).unwrap();
+        assert!(Dataset::from_sosd_file(&truncated).is_err(), "truncated body must fail");
+        std::fs::remove_file(short).ok();
+        std::fs::remove_file(truncated).ok();
     }
 
     #[test]

@@ -8,7 +8,7 @@
 use std::sync::Arc;
 
 use lidx_btree::BTreeIndex;
-use lidx_core::{payload_for, DiskIndex, IndexRead};
+use lidx_core::{payload_for, IndexRead, IndexWrite};
 use lidx_lipp::LippIndex;
 use lidx_storage::{DeviceModel, Disk, DiskConfig};
 

@@ -9,7 +9,7 @@
 
 use std::collections::BTreeMap;
 
-use lidx_core::{DiskIndex, Entry, Key, Value};
+use lidx_core::{DiskIndex, Entry, IndexWrite, Key, Value};
 use lidx_experiments::runner::{IndexChoice, RunConfig};
 use lidx_storage::DeviceModel;
 

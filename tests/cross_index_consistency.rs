@@ -5,7 +5,7 @@
 
 use std::collections::BTreeMap;
 
-use lidx_core::{DiskIndex, Entry, Key, Value};
+use lidx_core::{DiskIndex, Entry, IndexWrite, Key, Value};
 use lidx_experiments::runner::{IndexChoice, RunConfig};
 use proptest::prelude::*;
 

@@ -1,0 +1,304 @@
+//! `insert_batch` ≡ sequential `insert` and `WriteBuffer` ≡ direct inserts,
+//! for every index design.
+//!
+//! The batched write APIs promise the *logical* outcome of the per-entry
+//! loop, for any input — fresh keys, overwrites of stored keys, in-batch
+//! duplicates (later wins), unsorted order — regardless of whether the
+//! design uses the default loop or a specialised override (B+-tree leaf-run
+//! insert, FITing-tree delta-buffer fill, PGM run-append, hybrid dense-leaf
+//! append with the deferred directory rebuild). The `WriteBuffer` adds the
+//! overlay contract on top: while entries are staged, every lookup, batched
+//! lookup and scan must answer newest-wins, exactly as if the entries had
+//! been inserted directly. These tests pin both contracts for all seven
+//! `IndexChoice` designs, deterministically and under proptest-generated
+//! workloads, and additionally pin the satellite fix that every design
+//! reports a real (non-zero) insert-step breakdown.
+
+use std::collections::BTreeMap;
+
+use lidx_core::{
+    DiskIndex, Entry, IndexWrite, InsertStep, Key, Value, WriteBuffer, WriteBufferConfig,
+};
+use lidx_experiments::runner::{IndexChoice, RunConfig};
+use proptest::prelude::*;
+
+fn build_loaded(choice: IndexChoice, entries: &[Entry]) -> Box<dyn DiskIndex> {
+    let disk = RunConfig::default().make_disk();
+    let mut index = choice.build(disk);
+    index.bulk_load(entries).expect("bulk load");
+    index
+}
+
+/// Checks that `index` agrees with `oracle` on every oracle key, a spread of
+/// misses, and a full scan.
+fn check_against_oracle(index: &dyn DiskIndex, oracle: &BTreeMap<Key, Value>, label: &str) {
+    let keys: Vec<Key> = oracle.keys().copied().collect();
+    let mut answers = Vec::new();
+    index.lookup_batch(&keys, &mut answers).expect("lookup_batch");
+    for (i, &k) in keys.iter().enumerate() {
+        assert_eq!(answers[i], oracle.get(&k).copied(), "{label} key {k}");
+    }
+    for &k in keys.iter().step_by(7) {
+        let miss = k + 1;
+        if !oracle.contains_key(&miss) {
+            assert_eq!(index.lookup(miss).expect("lookup"), None, "{label} miss {miss}");
+        }
+    }
+    let mut scanned = Vec::new();
+    index.scan(0, oracle.len() + 16, &mut scanned).expect("scan");
+    let expected: Vec<Entry> = oracle.iter().map(|(&k, &v)| (k, v)).collect();
+    assert_eq!(scanned, expected, "{label} full scan");
+}
+
+/// A deterministic batch exercising every interesting shape: fresh keys,
+/// overwrites of bulk keys, in-batch duplicates, unsorted order.
+fn mixed_batch(bulk: &[Entry]) -> Vec<Entry> {
+    // Key 45 collides with neither generator (batch keys are ≡ 2 mod 21,
+    // bulk keys ≡ 1 mod 9); after the reverse, (45, 1) is the later
+    // occurrence and must win.
+    let mut batch: Vec<Entry> = (0..400u64).map(|i| (i * 21 + 2, 1_000_000 + i)).collect();
+    batch.extend(bulk.iter().step_by(97).map(|&(k, _)| (k, 7_777_777)));
+    batch.push((45, 1));
+    batch.push((45, 2));
+    batch.reverse();
+    batch
+}
+
+fn apply_to_oracle(oracle: &mut BTreeMap<Key, Value>, batch: &[Entry]) {
+    for &(k, v) in batch {
+        oracle.insert(k, v);
+    }
+}
+
+#[test]
+fn insert_batch_matches_sequential_for_every_design() {
+    let bulk: Vec<Entry> = (0..5_000u64).map(|i| (i * 9 + 1, i)).collect();
+    let batch = mixed_batch(&bulk);
+    let mut oracle: BTreeMap<Key, Value> = bulk.iter().copied().collect();
+    apply_to_oracle(&mut oracle, &batch);
+
+    for choice in IndexChoice::ALL_DESIGNS {
+        let mut batched = build_loaded(choice, &bulk);
+        batched.insert_batch(&batch).expect("insert_batch");
+        let mut sequential = build_loaded(choice, &bulk);
+        for &(k, v) in &batch {
+            sequential.insert(k, v).expect("insert");
+        }
+        check_against_oracle(&*batched, &oracle, &format!("{choice:?} batched"));
+        check_against_oracle(&*sequential, &oracle, &format!("{choice:?} sequential"));
+        assert_eq!(
+            batched.len(),
+            sequential.len(),
+            "{choice:?} batched and sequential key counts must agree"
+        );
+        assert_eq!(batched.lookup(45).expect("lookup"), Some(1), "{choice:?} later dup wins");
+    }
+}
+
+#[test]
+fn write_buffer_matches_direct_inserts_with_newest_wins_overlay() {
+    let bulk: Vec<Entry> = (0..4_000u64).map(|i| (i * 11 + 3, i)).collect();
+    let batch = mixed_batch(&bulk);
+    let mut oracle: BTreeMap<Key, Value> = bulk.iter().copied().collect();
+
+    for choice in IndexChoice::ALL_DESIGNS {
+        // Capacity larger than the batch: everything stays staged, so the
+        // overlay serves every read until the explicit flush.
+        let mut buffered = WriteBuffer::new(
+            build_loaded(choice, &bulk),
+            WriteBufferConfig { capacity: batch.len() + 1, drain: 64 },
+        );
+        let mut direct = build_loaded(choice, &bulk);
+        let mut mid_oracle = oracle.clone();
+        for (i, &(k, v)) in batch.iter().enumerate() {
+            buffered.insert(k, v).expect("buffered insert");
+            direct.insert(k, v).expect("direct insert");
+            mid_oracle.insert(k, v);
+            // Interleaved mid-buffer reads: staged entries must be visible,
+            // newest-wins, through lookup, lookup_batch and scan.
+            if i % 97 == 0 {
+                use lidx_core::IndexRead;
+                assert_eq!(
+                    buffered.lookup(k).expect("mid lookup"),
+                    Some(v),
+                    "{choice:?} staged key {k} invisible mid-buffer"
+                );
+                let mut rows = Vec::new();
+                buffered.scan(k.saturating_sub(5), 8, &mut rows).expect("mid scan");
+                let expected: Vec<Entry> = mid_oracle
+                    .range(k.saturating_sub(5)..)
+                    .take(8)
+                    .map(|(&ok, &ov)| (ok, ov))
+                    .collect();
+                assert_eq!(rows, expected, "{choice:?} mid-buffer scan at {k}");
+            }
+        }
+        assert!(buffered.staged_len() > 0, "{choice:?} entries must still be staged");
+        apply_to_oracle(&mut oracle, &batch);
+        check_against_oracle(&buffered, &oracle, &format!("{choice:?} overlaid"));
+
+        // Drain and compare against the direct index: identical content.
+        buffered.flush().expect("flush");
+        assert_eq!(buffered.staged_len(), 0);
+        let drained = buffered.into_inner().expect("into_inner");
+        check_against_oracle(&*drained, &oracle, &format!("{choice:?} drained"));
+        check_against_oracle(&*direct, &oracle, &format!("{choice:?} direct"));
+        assert_eq!(drained.len(), direct.len(), "{choice:?} drained vs direct key count");
+        oracle = bulk.iter().copied().collect();
+    }
+}
+
+#[test]
+fn write_buffer_auto_drains_at_capacity_through_insert_batch() {
+    for choice in IndexChoice::ALL_DESIGNS {
+        let bulk: Vec<Entry> = (0..1_000u64).map(|i| (i * 13, i)).collect();
+        let mut buffered = WriteBuffer::new(
+            build_loaded(choice, &bulk),
+            WriteBufferConfig { capacity: 64, drain: 32 },
+        );
+        for i in 0..300u64 {
+            buffered.insert(i * 13 + 5, i).expect("insert");
+        }
+        use lidx_core::IndexRead;
+        assert!(buffered.staged_len() < 64, "{choice:?} auto-drains must have fired");
+        let b = buffered.insert_breakdown();
+        assert!(b.drains >= 4, "{choice:?} expected >= 4 drains, saw {}", b.drains);
+        assert_eq!(b.drained_entries + buffered.staged_len() as u64, 300, "{choice:?}");
+        // Every inserted key is findable whether it drained or is staged.
+        for i in (0..300u64).step_by(23) {
+            assert_eq!(buffered.lookup(i * 13 + 5).expect("lookup"), Some(i), "{choice:?}");
+        }
+    }
+}
+
+#[test]
+fn every_design_reports_a_real_insert_breakdown() {
+    // The satellite fix: `insert_breakdown` moved onto `IndexWrite` with no
+    // silently-zero default, so after inserts every design must report its
+    // insert count and a non-zero search cost (every write path starts by
+    // locating the key's position on disk).
+    let bulk: Vec<Entry> = (0..3_000u64).map(|i| (i * 7, i)).collect();
+    for choice in IndexChoice::ALL_DESIGNS {
+        let mut index = build_loaded(choice, &bulk);
+        for i in 0..200u64 {
+            index.insert(i * 7 + 3, i).expect("insert");
+        }
+        let b = index.insert_breakdown();
+        assert_eq!(b.inserts, 200, "{choice:?} must count every insert");
+        assert!(
+            b.device_ns(InsertStep::Search) > 0,
+            "{choice:?} must attribute non-zero search time"
+        );
+        assert!(b.reads(InsertStep::Search) > 0, "{choice:?} search must fetch blocks");
+        assert!(b.total_ns() >= b.device_ns(InsertStep::Search));
+        assert_eq!(b.drains, 0, "{choice:?} a bare index never drains");
+
+        // The batched path must keep counting per-entry.
+        let batch: Vec<Entry> = (0..50u64).map(|i| (i * 7 + 4, i)).collect();
+        index.insert_batch(&batch).expect("insert_batch");
+        assert_eq!(index.insert_breakdown().inserts, 250, "{choice:?} batch coverage");
+    }
+}
+
+#[test]
+fn empty_batches_and_uninitialised_indexes_error_cleanly() {
+    for choice in IndexChoice::ALL_DESIGNS {
+        let mut index = build_loaded(choice, &[(5, 6)]);
+        index.insert_batch(&[]).expect("empty batch is a no-op");
+        assert_eq!(index.len(), 1);
+
+        let disk = RunConfig::default().make_disk();
+        let mut fresh = choice.build(disk);
+        assert!(
+            fresh.insert_batch(&[(1, 2)]).is_err(),
+            "{choice:?} insert_batch before bulk_load must fail"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 6, .. ProptestConfig::default() })]
+
+    /// Property: for random bulk loads and random insert batches (duplicate
+    /// keys and bulk-key overwrites included), `insert_batch` produces
+    /// exactly the content of the sequential loop, for every design.
+    #[test]
+    fn random_insert_batches_match_sequential(
+        bulk_keys in proptest::collection::btree_set(0u64..400_000, 20..200),
+        batch_keys in proptest::collection::vec(0u64..450_000, 1..150),
+    ) {
+        let bulk: Vec<Entry> = bulk_keys.iter().map(|&k| (k, k + 1)).collect();
+        let batch: Vec<Entry> =
+            batch_keys.iter().enumerate().map(|(i, &k)| (k, 2_000_000 + i as u64)).collect();
+        let mut oracle: BTreeMap<Key, Value> = bulk.iter().copied().collect();
+        for &(k, v) in &batch {
+            oracle.insert(k, v);
+        }
+        for choice in IndexChoice::ALL_DESIGNS {
+            let mut batched = build_loaded(choice, &bulk);
+            batched.insert_batch(&batch).expect("insert_batch");
+            let probes: Vec<Key> = oracle.keys().copied().collect();
+            let mut answers = Vec::new();
+            batched.lookup_batch(&probes, &mut answers).expect("lookup_batch");
+            for (i, &k) in probes.iter().enumerate() {
+                prop_assert_eq!(answers[i], oracle.get(&k).copied(), "{:?} key {}", choice, k);
+            }
+            let mut scanned = Vec::new();
+            batched.scan(0, oracle.len() + 8, &mut scanned).expect("scan");
+            let expected: Vec<Entry> = oracle.iter().map(|(&k, &v)| (k, v)).collect();
+            prop_assert_eq!(&scanned, &expected, "{:?} full scan", choice);
+        }
+    }
+
+    /// Property: a `WriteBuffer` (small capacity, so drains interleave with
+    /// staging) over random inserts reads newest-wins mid-stream and
+    /// matches the direct index after the final flush, for every design.
+    #[test]
+    fn random_write_buffer_runs_match_direct_inserts(
+        bulk_keys in proptest::collection::btree_set(0u64..300_000, 20..150),
+        inserts in proptest::collection::vec((0u64..350_000, 0u64..1_000), 1..120),
+        capacity in 4usize..48,
+    ) {
+        let bulk: Vec<Entry> = bulk_keys.iter().map(|&k| (k, k + 1)).collect();
+        let mut oracle: BTreeMap<Key, Value> = bulk.iter().copied().collect();
+        for choice in IndexChoice::ALL_DESIGNS {
+            let mut buffered = WriteBuffer::new(
+                build_loaded(choice, &bulk),
+                WriteBufferConfig { capacity, drain: capacity.div_ceil(2) },
+            );
+            let mut direct = build_loaded(choice, &bulk);
+            let mut mid = oracle.clone();
+            for (i, &(k, v)) in inserts.iter().enumerate() {
+                buffered.insert(k, v).expect("buffered insert");
+                direct.insert(k, v).expect("direct insert");
+                mid.insert(k, v);
+                if i % 13 == 0 {
+                    use lidx_core::IndexRead;
+                    prop_assert_eq!(
+                        buffered.lookup(k).expect("mid lookup"),
+                        Some(v),
+                        "{:?} staged or drained key {} must read newest-wins",
+                        choice,
+                        k
+                    );
+                    let mut rows = Vec::new();
+                    buffered.scan(k, 5, &mut rows).expect("mid scan");
+                    let expected: Vec<Entry> =
+                        mid.range(k..).take(5).map(|(&ok, &ov)| (ok, ov)).collect();
+                    prop_assert_eq!(&rows, &expected, "{:?} mid scan at {}", choice, k);
+                }
+            }
+            let drained = buffered.into_inner().expect("into_inner");
+            let probes: Vec<Key> = mid.keys().copied().collect();
+            let mut a = Vec::new();
+            let mut b = Vec::new();
+            drained.lookup_batch(&probes, &mut a).expect("drained lookups");
+            direct.lookup_batch(&probes, &mut b).expect("direct lookups");
+            prop_assert_eq!(&a, &b, "{:?} drained vs direct answers", choice);
+            for (i, &k) in probes.iter().enumerate() {
+                prop_assert_eq!(a[i], mid.get(&k).copied(), "{:?} oracle key {}", choice, k);
+            }
+        }
+        oracle.clear();
+    }
+}
