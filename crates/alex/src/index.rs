@@ -432,6 +432,37 @@ impl AlexIndex {
         self.key_count += 1;
         Ok(true)
     }
+
+    /// Writes the deferred statistics header of a batch-cached leaf, if any
+    /// (the once-per-touched-node maintenance write of `insert_batch`).
+    fn flush_cached_leaf(&mut self, cached: &mut Option<CachedLeaf>) -> IndexResult<()> {
+        if let Some(c) = cached.take() {
+            if c.dirty {
+                let before = self.disk.snapshot();
+                c.node.write_header(&self.disk)?;
+                self.breakdown.add(InsertStep::Maintenance, &self.disk.snapshot().since(&before));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The leaf a batched insert is currently filling: its in-memory header is
+/// authoritative (the on-disk copy is stale until the deferred maintenance
+/// write), so the batch must route follow-up keys to this handle instead of
+/// re-loading the node from disk.
+struct CachedLeaf {
+    /// The inner-node path that led here, kept for a potential SMO.
+    path: Vec<(InnerNode, u32)>,
+    node: DataNode,
+    /// True once an insert changed the occupancy statistics.
+    dirty: bool,
+    /// A key known to route to this node; by monotonicity of the model
+    /// routing, every key in `[witness, max]` provably descends here.
+    witness: Key,
+    /// The node's largest stored key, fetched lazily (one slot read) on the
+    /// first reuse attempt.
+    max: Option<Key>,
 }
 
 impl IndexRead for AlexIndex {
@@ -589,6 +620,64 @@ impl IndexWrite for AlexIndex {
             let after_smo = self.disk.snapshot();
             self.breakdown.add(InsertStep::Smo, &after_smo.since(&after_search));
         }
+    }
+
+    /// Batched inserts keep the current leaf's statistics header in memory
+    /// and write it once per touched node per batch instead of once per key
+    /// — the maintenance-batching counterpart of `lookup_batch`'s pinned
+    /// descent. A key reuses the cached leaf when it provably routes there
+    /// (`witness <= key <= max`, monotone model routing); any other key
+    /// first flushes the deferred header, so the on-disk statistics are
+    /// never stale when a node is re-loaded. SMOs receive the cached
+    /// in-memory header (the authoritative occupancy), and the freed node's
+    /// deferred write is simply dropped.
+    fn insert_batch(&mut self, entries: &[Entry]) -> IndexResult<()> {
+        if !self.loaded {
+            return Err(IndexError::NotInitialized);
+        }
+        let mut cached: Option<CachedLeaf> = None;
+        for &(key, value) in entries {
+            loop {
+                // Route the key: reuse the cached leaf when possible.
+                let mut hit = false;
+                if let Some(c) = cached.as_mut() {
+                    if key >= c.witness {
+                        if c.max.is_none() && c.node.header.count > 0 {
+                            c.max = Some(c.node.max_key(&self.disk)?);
+                        }
+                        hit = c.max.is_some_and(|m| key <= m);
+                    }
+                }
+                if !hit {
+                    self.flush_cached_leaf(&mut cached)?;
+                    let before = self.disk.snapshot();
+                    let (path, node) = self.descend(key)?;
+                    self.breakdown.add(InsertStep::Search, &self.disk.snapshot().since(&before));
+                    cached = Some(CachedLeaf { path, node, dirty: false, witness: key, max: None });
+                }
+
+                let c = cached.as_mut().expect("cached leaf just resolved");
+                let before = self.disk.snapshot();
+                let prior_count = c.node.header.count;
+                if self.try_insert_into(&mut c.node, key, value)? {
+                    self.breakdown.add(InsertStep::Insert, &self.disk.snapshot().since(&before));
+                    if c.node.header.count != prior_count {
+                        c.dirty = true;
+                    }
+                    break;
+                }
+
+                // Too full: SMO with the authoritative in-memory header and
+                // the cached parent path, then retry this key. The freed
+                // node's deferred header write is dropped with it.
+                let c = cached.take().expect("cached leaf just resolved");
+                let before_smo = self.disk.snapshot();
+                self.smo(&c.path, c.node)?;
+                self.breakdown.add(InsertStep::Smo, &self.disk.snapshot().since(&before_smo));
+            }
+            self.breakdown.finish_insert();
+        }
+        self.flush_cached_leaf(&mut cached)
     }
 
     fn insert_breakdown(&self) -> InsertBreakdown {
@@ -897,6 +986,63 @@ mod tests {
             b.writes(InsertStep::Maintenance) >= 300,
             "every fresh insert persists the node statistics"
         );
+    }
+
+    #[test]
+    fn insert_batch_matches_sequential_semantics() {
+        let data = entries(2_000, 10);
+        let mut seq = index(512);
+        let mut bat = index(512);
+        seq.bulk_load(&data).unwrap();
+        bat.bulk_load(&data).unwrap();
+        // Fresh keys, upserts of bulk keys and in-batch duplicates
+        // (later must win), unsorted tail.
+        let mut batch: Vec<Entry> = (0..3_000u64).map(|i| (i * 7 + 2, i)).collect();
+        batch.push((1, 111));
+        batch.push((9, 999));
+        batch.push((9, 1000));
+        for &(k, v) in &batch {
+            seq.insert(k, v).unwrap();
+        }
+        bat.insert_batch(&batch).unwrap();
+        assert_eq!(seq.len(), bat.len());
+        assert_eq!(bat.lookup(9).unwrap(), Some(1000), "later duplicate wins");
+        for &(k, _) in batch.iter().step_by(97) {
+            assert_eq!(bat.lookup(k).unwrap(), seq.lookup(k).unwrap(), "key {k}");
+        }
+        for &(k, _) in data.iter().step_by(131) {
+            assert_eq!(bat.lookup(k).unwrap(), seq.lookup(k).unwrap(), "bulk key {k}");
+        }
+        assert_eq!(bat.insert_breakdown().inserts, batch.len() as u64);
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        seq.scan(0, 10_000, &mut a).unwrap();
+        bat.scan(0, 10_000, &mut b).unwrap();
+        assert_eq!(a, b, "scans must agree entry for entry");
+    }
+
+    #[test]
+    fn insert_batch_writes_each_touched_header_once() {
+        // A sorted co-located run: the sequential loop writes the leaf's
+        // statistics header once per key, the batch once per touched node.
+        let mut a = index(512);
+        a.bulk_load(&entries(2_000, 10)).unwrap();
+        let run: Vec<Entry> = (0..256u64).map(|i| (i * 10 + 5, i)).collect();
+        let before = a.insert_breakdown();
+        a.insert_batch(&run).unwrap();
+        let delta = a.insert_breakdown().since(&before);
+        assert_eq!(delta.inserts, 256);
+        assert!(
+            delta.writes(InsertStep::Maintenance) < 64,
+            "batched maintenance must write headers per node, not per key (got {})",
+            delta.writes(InsertStep::Maintenance)
+        );
+        // The deferred header did land: a re-loaded node sees the batch's
+        // occupancy (lookups agree and the key count is exact).
+        assert_eq!(a.len(), 2_000 + 256);
+        for &(k, v) in run.iter().step_by(17) {
+            assert_eq!(a.lookup(k).unwrap(), Some(v), "key {k}");
+        }
     }
 
     #[test]

@@ -84,12 +84,15 @@ pub struct IndexStats {
 /// [`Disk`] layer — atomic statistics plus a lock-striped buffer pool — and
 /// nothing in the index structures themselves).
 ///
-/// **Frozen-index contract.** Concurrent reads are only *meaningful* against
-/// an index that is not being mutated. Rust's borrow rules enforce this for
-/// free: [`IndexWrite::insert`] and [`IndexWrite::bulk_load`] take
-/// `&mut self`, so a writer cannot coexist with shared readers. There is no internal
-/// versioning or latching beyond the storage layer — per-index concurrency
-/// control (latch crabbing, epochs) is future work tracked in ROADMAP.md.
+/// **Frozen-index contract.** A bare index has no internal versioning or
+/// latching beyond the storage layer: concurrent reads are only
+/// *meaningful* against an index that is not being mutated, and Rust's
+/// borrow rules enforce that for free — [`IndexWrite::insert`] and
+/// [`IndexWrite::bulk_load`] take `&mut self`, so a writer cannot coexist
+/// with shared readers. To race readers against a mutating index, wrap it
+/// in [`crate::concurrent::ConcurrentIndex`] (an explicit reader/writer
+/// lock whose drains take exclusive access per chunk) or the full
+/// [`crate::concurrent::ShardedWriteBuffer`] staging front.
 ///
 /// # Example
 ///

@@ -17,6 +17,11 @@
 //!   any `DiskIndex` PGM-style batched writes: sorted in-memory staging,
 //!   newest-wins overlay reads, threshold-driven drains through
 //!   `insert_batch`.
+//! * [`concurrent::ConcurrentIndex`] / [`concurrent::ShardedWriteBuffer`] —
+//!   the concurrent write front: a reader/writer lock that keeps `IndexRead`
+//!   `&self` while drains take exclusive access one chunk at a time, and a
+//!   key-range-sharded staging map so writer threads race safely against
+//!   overlay readers.
 //! * [`metrics`] — latency recording (mean / p50 / p99 / standard deviation),
 //!   throughput derivation from the simulated device time, and the
 //!   search / insert / SMO / maintenance breakdown of Fig. 6.
@@ -25,11 +30,13 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod concurrent;
 pub mod error;
 pub mod index;
 pub mod metrics;
 pub mod write_buffer;
 
+pub use concurrent::{ConcurrentIndex, ShardedWriteBuffer, ShardedWriteBufferConfig};
 pub use error::{IndexError, IndexResult};
 pub use index::{DiskIndex, IndexKind, IndexRead, IndexStats, IndexWrite};
 pub use metrics::{InsertBreakdown, InsertStep, LatencyRecorder, LatencySummary, Throughput};

@@ -7,7 +7,7 @@ use lidx_alex::{AlexConfig, AlexIndex, AlexLayout};
 use lidx_btree::BTreeIndex;
 use lidx_core::{
     DiskIndex, Entry, IndexRead, IndexWrite, InsertBreakdown, Key, LatencyRecorder, LatencySummary,
-    WriteBuffer, WriteBufferConfig,
+    ShardedWriteBuffer, ShardedWriteBufferConfig, WriteBuffer, WriteBufferConfig,
 };
 use lidx_fiting::{FitingConfig, FitingTree};
 use lidx_hybrid::{HybridConfig, HybridIndex, HybridInnerKind};
@@ -785,6 +785,265 @@ fn finish_batch_insert_report(
     }
 }
 
+/// The YCSB read/write mixes the concurrent mixed-workload sweep executes
+/// (workload E/D variants are out of scope; A/B/C are the contention
+/// spectrum: write-heavy, read-mostly, read-only).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum YcsbMix {
+    /// YCSB-A: 50 % lookups / 50 % inserts.
+    A,
+    /// YCSB-B: 95 % lookups / 5 % inserts.
+    B,
+    /// YCSB-C: 100 % lookups.
+    C,
+}
+
+impl YcsbMix {
+    /// The three mixes in contention order.
+    pub const ALL: [YcsbMix; 3] = [YcsbMix::A, YcsbMix::B, YcsbMix::C];
+
+    /// Lowercase name used in report rows and `BENCH_mixed.json`.
+    pub fn name(self) -> &'static str {
+        match self {
+            YcsbMix::A => "ycsb-a",
+            YcsbMix::B => "ycsb-b",
+            YcsbMix::C => "ycsb-c",
+        }
+    }
+
+    /// Fraction of worker operations that are lookups.
+    pub fn read_fraction(self) -> f64 {
+        match self {
+            YcsbMix::A => 0.50,
+            YcsbMix::B => 0.95,
+            YcsbMix::C => 1.00,
+        }
+    }
+}
+
+/// Everything measured by one [`run_mixed_workload`] phase: N worker threads
+/// racing a YCSB mix against a background writer that stages and drains
+/// through the same [`ShardedWriteBuffer`].
+///
+/// As with [`ParLookupReport`], throughput is wall-clock: the phase exists to
+/// observe how reader threads overlap while drains take the index write lock
+/// one chunk at a time.
+#[derive(Debug, Clone)]
+pub struct MixedWorkloadReport {
+    /// Index name (with the `+rw+swb` suffixes of the concurrent front).
+    pub index: String,
+    /// Mix name (`ycsb-a` / `ycsb-b` / `ycsb-c`).
+    pub mix: &'static str,
+    /// Number of worker threads (the background writer is extra).
+    pub threads: usize,
+    /// Operations executed by the worker threads (lookups + staged inserts).
+    pub total_ops: u64,
+    /// Worker lookups executed.
+    pub lookups: u64,
+    /// Worker inserts staged.
+    pub inserts: u64,
+    /// Entries the background writer staged (and drained) during the
+    /// measured window — proof the writer was active.
+    pub writer_entries: u64,
+    /// Wall-clock seconds from the first worker starting to the last one
+    /// finishing.
+    pub wall_seconds: f64,
+    /// Worker lookups of bulk-loaded keys that returned `None` (must be 0:
+    /// drains only ever add entries).
+    pub not_found: u64,
+    /// Exclusive drain chunks applied during the measured window.
+    pub drain_chunks: u64,
+    /// Entries those chunks carried.
+    pub drained_entries: u64,
+    /// Reader acquisitions that found the index write-locked mid-drain.
+    pub read_stalls: u64,
+    /// Writer acquisitions (stages and drains) that had to wait.
+    pub write_stalls: u64,
+    /// Staged keys a post-run lookup failed to find after the final flush
+    /// (sanity signal; must be zero).
+    pub lost: u64,
+}
+
+impl MixedWorkloadReport {
+    /// Aggregate worker operations per wall-clock second.
+    pub fn aggregate_ops_per_sec(&self) -> f64 {
+        if self.wall_seconds <= 0.0 {
+            f64::INFINITY
+        } else {
+            self.total_ops as f64 / self.wall_seconds
+        }
+    }
+}
+
+/// The splitmix64 step: a tiny deterministic per-thread PRNG so worker
+/// threads need no shared RNG state.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Bulk loads `choice`, wraps it in a [`ShardedWriteBuffer`] (shard
+/// boundaries sampled from the full key population) and races `threads`
+/// worker threads executing `ops_per_thread` operations of the given YCSB
+/// `mix` against one background writer thread that continuously stages
+/// chunks and flushes them — so even the read-only YCSB-C rows measure
+/// readers overlapping an actively draining writer.
+///
+/// Lookups draw from the bulk-loaded keys (a miss is reported as
+/// `not_found`); worker inserts consume disjoint per-thread slices of the
+/// workload's insert pool, and the background writer cycles its own slice.
+/// After the workers finish, the buffer is flushed and every staged key is
+/// looked up once (unmeasured); misses are reported as `lost`.
+pub fn run_mixed_workload(
+    choice: IndexChoice,
+    config: &RunConfig,
+    workload: &Workload,
+    mix: YcsbMix,
+    threads: usize,
+    ops_per_thread: usize,
+    buffer: ShardedWriteBufferConfig,
+) -> MixedWorkloadReport {
+    assert!(threads >= 1, "at least one worker thread is required");
+    let disk = config.make_disk();
+    let mut index = choice.build(Arc::clone(&disk));
+    index.bulk_load(&workload.bulk).expect("bulk load");
+
+    let bulk_keys: Vec<Key> = workload.bulk.iter().map(|e| e.0).collect();
+    assert!(!bulk_keys.is_empty(), "mixed workload needs a non-empty bulk load");
+    let pool: Vec<Entry> = workload
+        .ops
+        .iter()
+        .filter_map(|op| match *op {
+            Op::Insert(k, v) => Some((k, v)),
+            _ => None,
+        })
+        .collect();
+    assert!(!pool.is_empty(), "mixed workload needs insert operations (the writer's fuel)");
+
+    // The background writer owns the tail third of the pool; the workers
+    // split the rest round-robin.
+    let writer_start = pool.len() - pool.len() / 3;
+    let (worker_pool, writer_pool) = pool.split_at(writer_start.min(pool.len() - 1).max(1));
+
+    let mut boundary_sample: Vec<Key> =
+        bulk_keys.iter().chain(pool.iter().map(|(k, _)| k)).copied().collect();
+    boundary_sample.sort_unstable();
+    let swb = ShardedWriteBuffer::with_sampled_boundaries(index, buffer, &boundary_sample);
+
+    disk.stats().reset();
+    disk.clear_buffer();
+    disk.reset_access_state();
+
+    let swb = &swb;
+    let bulk_keys = &bulk_keys;
+    let stop = std::sync::atomic::AtomicBool::new(false);
+    let stop = &stop;
+    let chunk = buffer.drain.max(1);
+    let (wall_seconds, lookups, inserts, not_found, staged_counts, writer_entries) =
+        std::thread::scope(|s| {
+            let writer = s.spawn(move || {
+                // Stage a chunk, then flush the whole buffer: the flush runs
+                // the exclusive drain protocol, so while this thread lives
+                // the workers race an actively draining writer. The pool is
+                // cycled (re-staging is an upsert) until the workers finish.
+                let mut staged = 0u64;
+                'outer: loop {
+                    for c in writer_pool.chunks(chunk) {
+                        if stop.load(std::sync::atomic::Ordering::Relaxed) {
+                            break 'outer;
+                        }
+                        swb.stage_batch(c).expect("writer stage");
+                        swb.flush().expect("writer drain");
+                        staged += c.len() as u64;
+                    }
+                }
+                staged
+            });
+
+            let start = Instant::now();
+            let results: Vec<(u64, u64, u64, u64)> = {
+                let handles: Vec<_> = (0..threads)
+                    .map(|t| {
+                        s.spawn(move || {
+                            let mine: Vec<Entry> =
+                                worker_pool.iter().skip(t).step_by(threads).copied().collect();
+                            let mut rng = 0x5EED_0000u64 + t as u64;
+                            let (mut lookups, mut inserts, mut misses) = (0u64, 0u64, 0u64);
+                            let mut next = 0usize;
+                            for _ in 0..ops_per_thread {
+                                let r = splitmix64(&mut rng);
+                                let is_read = mine.is_empty()
+                                    || (r >> 11) as f64 / ((1u64 << 53) as f64)
+                                        < mix.read_fraction();
+                                if is_read {
+                                    let k = bulk_keys[(r % bulk_keys.len() as u64) as usize];
+                                    if swb.lookup(k).expect("lookup").is_none() {
+                                        misses += 1;
+                                    }
+                                    lookups += 1;
+                                } else {
+                                    let (k, v) = mine[next % mine.len()];
+                                    swb.stage(k, v).expect("stage");
+                                    next += 1;
+                                    inserts += 1;
+                                }
+                            }
+                            (lookups, inserts, misses, (next as u64).min(mine.len() as u64))
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+            };
+            let wall = start.elapsed().as_secs_f64();
+            stop.store(true, std::sync::atomic::Ordering::Relaxed);
+            let writer_entries = writer.join().expect("writer panicked");
+
+            let lookups: u64 = results.iter().map(|r| r.0).sum();
+            let inserts: u64 = results.iter().map(|r| r.1).sum();
+            let misses: u64 = results.iter().map(|r| r.2).sum();
+            let staged_counts: Vec<u64> = results.iter().map(|r| r.3).collect();
+            (wall, lookups, inserts, misses, staged_counts, writer_entries)
+        });
+
+    swb.flush().expect("final flush");
+    let stats = disk.stats();
+    let (drain_chunks, drained_entries) = (stats.drain_chunks(), stats.drain_entries());
+    let (read_stalls, write_stalls) = (stats.read_stalls(), stats.write_stalls());
+
+    // Unmeasured self-check: every key any thread staged must be findable.
+    let mut verify: Vec<Key> = Vec::new();
+    for (t, &count) in staged_counts.iter().enumerate() {
+        verify.extend(
+            worker_pool.iter().skip(t).step_by(threads).take(count as usize).map(|&(k, _)| k),
+        );
+    }
+    let writer_staged = (writer_entries as usize).min(writer_pool.len());
+    verify.extend(writer_pool.iter().take(writer_staged).map(|&(k, _)| k));
+    let mut answers = Vec::new();
+    swb.lookup_batch(&verify, &mut answers).expect("verify lookups");
+    let lost = answers.iter().filter(|a| a.is_none()).count() as u64;
+
+    MixedWorkloadReport {
+        index: swb.name(),
+        mix: mix.name(),
+        threads,
+        total_ops: lookups + inserts,
+        lookups,
+        inserts,
+        writer_entries,
+        wall_seconds,
+        not_found,
+        drain_chunks,
+        drained_entries,
+        read_stalls,
+        write_stalls,
+        lost,
+    }
+}
+
 /// Everything measured by one [`run_scan_interference`] phase: the
 /// hot-lookup pool hit rate before and while a full-table scan streams.
 #[derive(Debug, Clone)]
@@ -989,6 +1248,30 @@ mod tests {
             assert_eq!(r.not_found, 0, "{choice:?} lookup keys come from the bulk load");
             assert_eq!(r.batch, 16);
             assert!(r.blocks_read > 0);
+        }
+    }
+
+    #[test]
+    fn mixed_workload_phase_loses_nothing_for_every_design() {
+        let keys = Dataset::Ycsb.generate_keys(6_000, 13);
+        let w = Workload::build(&keys, WorkloadSpec::new(WorkloadKind::Balanced, 2_000, 3_000));
+        let buffer = ShardedWriteBufferConfig { capacity: 256, drain: 64, shards: 4 };
+        for choice in IndexChoice::ALL_DESIGNS {
+            for mix in YcsbMix::ALL {
+                let r = run_mixed_workload(choice, &RunConfig::default(), &w, mix, 2, 150, buffer);
+                assert_eq!(r.total_ops, 300, "{choice:?} {mix:?}");
+                assert_eq!(r.lookups + r.inserts, r.total_ops);
+                assert_eq!(r.not_found, 0, "{choice:?} {mix:?} bulk keys must stay visible");
+                assert_eq!(r.lost, 0, "{choice:?} {mix:?} staged keys must survive the race");
+                assert!(r.writer_entries > 0, "{choice:?} {mix:?} writer must stage entries");
+                assert!(r.drain_chunks > 0, "{choice:?} {mix:?} writer must drain exclusively");
+                assert!(r.drained_entries >= r.writer_entries.min(64));
+                assert!(r.index.ends_with("+rw+swb"), "{choice:?} name: {}", r.index);
+                assert!(r.aggregate_ops_per_sec() > 0.0);
+                if mix == YcsbMix::C {
+                    assert_eq!(r.inserts, 0, "{choice:?} YCSB-C workers are read-only");
+                }
+            }
         }
     }
 

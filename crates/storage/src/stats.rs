@@ -85,6 +85,17 @@ pub struct IoStats {
     /// into probation only; this counter makes the tagging observable, so
     /// "scans announce themselves" is a tested invariant.
     scan_reads: AtomicU64,
+    /// Exclusive drain chunks applied through a concurrent write front (one
+    /// per `insert_batch` call made under the index write lock).
+    drain_chunks: AtomicU64,
+    /// Entries carried by those drain chunks.
+    drain_entries: AtomicU64,
+    /// Reader-side stalls: overlay reads that found the index write lock
+    /// held (a drain chunk in flight) and had to block for it.
+    read_stalls: AtomicU64,
+    /// Writer-side stalls: stage or drain steps that found their target lock
+    /// (shard mutex or index write lock) contended and had to block for it.
+    write_stalls: AtomicU64,
 }
 
 impl IoStats {
@@ -153,6 +164,25 @@ impl IoStats {
         self.scan_reads.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records one exclusive drain chunk of `entries` entries applied by a
+    /// concurrent write front.
+    pub fn record_drain_chunk(&self, entries: u64) {
+        self.drain_chunks.fetch_add(1, Ordering::Relaxed);
+        self.drain_entries.fetch_add(entries, Ordering::Relaxed);
+    }
+
+    /// Records one reader-side stall (an overlay read blocked on the index
+    /// write lock).
+    pub fn record_read_stall(&self) {
+        self.read_stalls.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one writer-side stall (a stage or drain step blocked on a
+    /// contended lock).
+    pub fn record_write_stall(&self) {
+        self.write_stalls.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Total device reads (all kinds), excluding buffer / reuse hits.
     pub fn reads(&self) -> u64 {
         self.reads.iter().map(|c| c.load(Ordering::Relaxed)).sum()
@@ -214,6 +244,26 @@ impl IoStats {
         self.scan_reads.load(Ordering::Relaxed)
     }
 
+    /// Exclusive drain chunks applied by a concurrent write front.
+    pub fn drain_chunks(&self) -> u64 {
+        self.drain_chunks.load(Ordering::Relaxed)
+    }
+
+    /// Entries carried by those drain chunks.
+    pub fn drain_entries(&self) -> u64 {
+        self.drain_entries.load(Ordering::Relaxed)
+    }
+
+    /// Reader-side stalls on the index write lock.
+    pub fn read_stalls(&self) -> u64 {
+        self.read_stalls.load(Ordering::Relaxed)
+    }
+
+    /// Writer-side stalls on contended shard or index locks.
+    pub fn write_stalls(&self) -> u64 {
+        self.write_stalls.load(Ordering::Relaxed)
+    }
+
     /// A point-in-time copy of every counter, used to compute per-operation
     /// deltas.
     pub fn snapshot(&self) -> OpStats {
@@ -228,6 +278,10 @@ impl IoStats {
             bytes_copied: self.bytes_copied.load(Ordering::Relaxed),
             frames_pinned: self.frames_pinned.load(Ordering::Relaxed),
             scan_reads: self.scan_reads.load(Ordering::Relaxed),
+            drain_chunks: self.drain_chunks.load(Ordering::Relaxed),
+            drain_entries: self.drain_entries.load(Ordering::Relaxed),
+            read_stalls: self.read_stalls.load(Ordering::Relaxed),
+            write_stalls: self.write_stalls.load(Ordering::Relaxed),
         }
     }
 
@@ -247,6 +301,10 @@ impl IoStats {
         self.bytes_copied.store(0, Ordering::Relaxed);
         self.frames_pinned.store(0, Ordering::Relaxed);
         self.scan_reads.store(0, Ordering::Relaxed);
+        self.drain_chunks.store(0, Ordering::Relaxed);
+        self.drain_entries.store(0, Ordering::Relaxed);
+        self.read_stalls.store(0, Ordering::Relaxed);
+        self.write_stalls.store(0, Ordering::Relaxed);
     }
 }
 
@@ -273,6 +331,14 @@ pub struct OpStats {
     pub frames_pinned: u64,
     /// Read requests tagged as part of a scan stream during the window.
     pub scan_reads: u64,
+    /// Exclusive drain chunks applied during the window.
+    pub drain_chunks: u64,
+    /// Entries carried by those drain chunks during the window.
+    pub drain_entries: u64,
+    /// Reader-side lock stalls during the window.
+    pub read_stalls: u64,
+    /// Writer-side lock stalls during the window.
+    pub write_stalls: u64,
 }
 
 impl OpStats {
@@ -290,6 +356,10 @@ impl OpStats {
             bytes_copied: self.bytes_copied.saturating_sub(earlier.bytes_copied),
             frames_pinned: self.frames_pinned.saturating_sub(earlier.frames_pinned),
             scan_reads: self.scan_reads.saturating_sub(earlier.scan_reads),
+            drain_chunks: self.drain_chunks.saturating_sub(earlier.drain_chunks),
+            drain_entries: self.drain_entries.saturating_sub(earlier.drain_entries),
+            read_stalls: self.read_stalls.saturating_sub(earlier.read_stalls),
+            write_stalls: self.write_stalls.saturating_sub(earlier.write_stalls),
         }
     }
 
@@ -370,6 +440,35 @@ mod tests {
         assert_eq!(s.freed_blocks(), 0);
         assert_eq!(s.buffer_hits(), 0);
         assert_eq!(s.reuse_hits(), 0);
+    }
+
+    #[test]
+    fn contention_counters_accumulate_and_reset() {
+        let s = IoStats::new();
+        s.record_drain_chunk(64);
+        s.record_drain_chunk(32);
+        s.record_read_stall();
+        s.record_write_stall();
+        s.record_write_stall();
+        assert_eq!(s.drain_chunks(), 2);
+        assert_eq!(s.drain_entries(), 96);
+        assert_eq!(s.read_stalls(), 1);
+        assert_eq!(s.write_stalls(), 2);
+
+        let before = s.snapshot();
+        s.record_drain_chunk(8);
+        s.record_read_stall();
+        let delta = s.snapshot().since(&before);
+        assert_eq!(delta.drain_chunks, 1);
+        assert_eq!(delta.drain_entries, 8);
+        assert_eq!(delta.read_stalls, 1);
+        assert_eq!(delta.write_stalls, 0);
+
+        s.reset();
+        assert_eq!(s.drain_chunks(), 0);
+        assert_eq!(s.drain_entries(), 0);
+        assert_eq!(s.read_stalls(), 0);
+        assert_eq!(s.write_stalls(), 0);
     }
 
     #[test]

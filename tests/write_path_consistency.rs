@@ -301,4 +301,70 @@ proptest! {
         }
         oracle.clear();
     }
+
+    /// Property: a [`ShardedWriteBuffer`] with a tiny per-shard capacity (so
+    /// threshold drains fire constantly mid-stream) answers every interleaved
+    /// lookup and scan newest-wins — visibility never regresses across the
+    /// stage → drain-chunk → reconcile windows — and matches the oracle
+    /// exactly after the final flush, for every design.
+    #[test]
+    fn random_sharded_buffer_overlay_reads_never_regress(
+        bulk_keys in proptest::collection::btree_set(0u64..300_000, 20..150),
+        inserts in proptest::collection::vec((0u64..350_000, 0u64..1_000), 1..120),
+        capacity in 4usize..32,
+        shards in 1usize..6,
+    ) {
+        use lidx_core::{IndexRead, ShardedWriteBuffer, ShardedWriteBufferConfig};
+        let bulk: Vec<Entry> = bulk_keys.iter().map(|&k| (k, k + 1)).collect();
+        let oracle: BTreeMap<Key, Value> = bulk.iter().copied().collect();
+        for choice in IndexChoice::ALL_DESIGNS {
+            let buffer = ShardedWriteBuffer::new(
+                build_loaded(choice, &bulk),
+                ShardedWriteBufferConfig { capacity, drain: capacity.div_ceil(2), shards },
+            );
+            let mut mid = oracle.clone();
+            for (i, &(k, v)) in inserts.iter().enumerate() {
+                buffer.stage(k, v).expect("stage");
+                mid.insert(k, v);
+                // Interleave reads with the threshold drains: the staged
+                // key, an unrelated older key, and a scan crossing shard
+                // boundaries must all answer newest-wins.
+                prop_assert_eq!(
+                    buffer.lookup(k).expect("mid lookup"),
+                    Some(v),
+                    "{:?} key {} invisible mid-drain",
+                    choice,
+                    k
+                );
+                if i % 7 == 0 {
+                    let probe = bulk[i % bulk.len()].0;
+                    prop_assert_eq!(
+                        buffer.lookup(probe).expect("old lookup"),
+                        mid.get(&probe).copied(),
+                        "{:?} bulk key {} regressed",
+                        choice,
+                        probe
+                    );
+                    let start = k.saturating_sub(1_000);
+                    let mut rows = Vec::new();
+                    buffer.scan(start, 8, &mut rows).expect("mid scan");
+                    let expected: Vec<Entry> =
+                        mid.range(start..).take(8).map(|(&ok, &ov)| (ok, ov)).collect();
+                    prop_assert_eq!(&rows, &expected, "{:?} mid scan at {}", choice, start);
+                }
+            }
+            buffer.flush().expect("final flush");
+            prop_assert_eq!(buffer.staged_len(), 0, "{:?} flush must empty every shard", choice);
+            let probes: Vec<Key> = mid.keys().copied().collect();
+            let mut answers = Vec::new();
+            buffer.lookup_batch(&probes, &mut answers).expect("final lookups");
+            for (i, &k) in probes.iter().enumerate() {
+                prop_assert_eq!(answers[i], mid.get(&k).copied(), "{:?} final key {}", choice, k);
+            }
+            let mut scanned = Vec::new();
+            buffer.scan(0, mid.len() + 16, &mut scanned).expect("final scan");
+            let expected: Vec<Entry> = mid.iter().map(|(&k, &v)| (k, v)).collect();
+            prop_assert_eq!(&scanned, &expected, "{:?} final scan", choice);
+        }
+    }
 }

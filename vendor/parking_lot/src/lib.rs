@@ -85,6 +85,24 @@ impl<T: ?Sized> RwLock<T> {
         self.inner.write().unwrap_or_else(PoisonError::into_inner)
     }
 
+    /// Attempts to acquire a shared read lock without blocking.
+    pub fn try_read(&self) -> Option<RwLockReadGuard<'_, T>> {
+        match self.inner.try_read() {
+            Ok(guard) => Some(guard),
+            Err(std::sync::TryLockError::Poisoned(p)) => Some(p.into_inner()),
+            Err(std::sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
+    /// Attempts to acquire an exclusive write lock without blocking.
+    pub fn try_write(&self) -> Option<RwLockWriteGuard<'_, T>> {
+        match self.inner.try_write() {
+            Ok(guard) => Some(guard),
+            Err(std::sync::TryLockError::Poisoned(p)) => Some(p.into_inner()),
+            Err(std::sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
     /// Returns a mutable reference to the protected value.
     pub fn get_mut(&mut self) -> &mut T {
         self.inner.get_mut().unwrap_or_else(PoisonError::into_inner)
@@ -108,6 +126,22 @@ mod tests {
         let l = RwLock::new(vec![1, 2]);
         l.write().push(3);
         assert_eq!(l.read().len(), 3);
+    }
+
+    #[test]
+    fn rwlock_try_variants() {
+        let l = RwLock::new(5);
+        {
+            let _r = l.read();
+            assert!(l.try_read().is_some(), "read locks are shared");
+            assert!(l.try_write().is_none(), "a reader blocks writers");
+        }
+        {
+            let mut w = l.try_write().expect("uncontended try_write succeeds");
+            *w += 1;
+            assert!(l.try_read().is_none(), "a writer blocks readers");
+        }
+        assert_eq!(*l.read(), 6);
     }
 
     #[test]
