@@ -8,7 +8,7 @@ use lidx_core::{
     IndexWrite, InsertBreakdown, InsertStep, Key, Value,
 };
 use lidx_models::LinearModel;
-use lidx_storage::{BlockId, Disk, INVALID_BLOCK};
+use lidx_storage::{AccessClass, BlockId, BlockKind, Disk, SeqHint, INVALID_BLOCK};
 
 use crate::node::{ChildPtr, DataGeometry, DataNode, InnerNode};
 
@@ -433,6 +433,85 @@ impl AlexIndex {
         Ok(true)
     }
 
+    /// Routes `key` through the inner levels only, returning the start block
+    /// of the covering data node without touching the data file. This is the
+    /// descent the outstanding-read batch uses: it resolves *where* every
+    /// probe lands first, so the data-node header fetches can ride one
+    /// submission wave instead of being paid one blocking latency at a time.
+    fn route(&self, key: Key) -> IndexResult<BlockId> {
+        let mut ptr = self.root;
+        while !ptr.is_data {
+            let node = InnerNode::load(&self.disk, self.inner_file, ptr.block)?;
+            let idx = node.child_index(key);
+            ptr = node.child_at(&self.disk, idx)?;
+        }
+        Ok(ptr.block)
+    }
+
+    /// The outstanding-I/O variant of [`lookup_batch`](IndexRead::lookup_batch)
+    /// used when the disk's queue depth exceeds 1: probes are routed through
+    /// the (pool-resident) inner levels first, then the data-node header
+    /// blocks are fetched as one completion wave, then every probe's
+    /// predicted slot block is prefetched as a second wave; the final
+    /// in-node probes consume the parked frames, with only exponential-search
+    /// spillover reads left synchronous. Answers are identical to the
+    /// synchronous batch — the queue only overlaps the simulated latencies.
+    fn lookup_batch_queued(
+        &self,
+        keys: &[Key],
+        order: &[u32],
+        out: &mut [Option<Value>],
+    ) -> IndexResult<()> {
+        // Phase 1: route every probe; model routing is monotone in the key,
+        // so probes landing in the same data node are consecutive in sorted
+        // order and grouping is a plain run-length pass.
+        let mut groups: Vec<(BlockId, Vec<u32>)> = Vec::new();
+        for &i in order {
+            let start = self.route(keys[i as usize])?;
+            match groups.last_mut() {
+                Some((block, idxs)) if *block == start => idxs.push(i),
+                _ => groups.push((start, vec![i])),
+            }
+        }
+
+        // Phase 2: one wave over the distinct data-node header blocks.
+        let mut q = self.disk.read_queue();
+        let mut header_blocks = std::collections::BTreeSet::new();
+        for &(start, _) in &groups {
+            header_blocks.insert(start);
+        }
+        for &start in &header_blocks {
+            q.submit(self.data_file, start, BlockKind::Leaf, AccessClass::Point)?;
+        }
+        let mut nodes = std::collections::HashMap::new();
+        for c in q.complete()? {
+            nodes.insert(c.block, DataNode::from_header_bytes(self.data_file, c.block, &c.frame)?);
+        }
+
+        // Phase 3: one wave prefetching every probe's predicted slot block.
+        let mut slot_blocks = std::collections::BTreeSet::new();
+        for (start, idxs) in &groups {
+            let node = &nodes[start];
+            for &i in idxs {
+                let slot = node.predict(keys[i as usize]);
+                slot_blocks.insert(node.slot_block_id(&self.disk, slot));
+            }
+        }
+        for &block in &slot_blocks {
+            q.prefetch(self.data_file, block, BlockKind::Leaf, AccessClass::Point, SeqHint::Auto)?;
+        }
+        q.flush()?;
+
+        // Phase 4: answer from the parked frames.
+        for (start, idxs) in &groups {
+            let node = &nodes[start];
+            for &i in idxs {
+                out[i as usize] = node.lookup(&self.disk, keys[i as usize])?;
+            }
+        }
+        Ok(())
+    }
+
     /// Writes the deferred statistics header of a batch-cached leaf, if any
     /// (the once-per-touched-node maintenance write of `insert_batch`).
     fn flush_cached_leaf(&mut self, cached: &mut Option<CachedLeaf>) -> IndexResult<()> {
@@ -500,6 +579,9 @@ impl IndexRead for AlexIndex {
         out.resize(keys.len(), None);
         let mut order: Vec<u32> = (0..keys.len() as u32).collect();
         order.sort_unstable_by_key(|&i| keys[i as usize]);
+        if self.disk.queue_depth() > 1 {
+            return self.lookup_batch_queued(keys, &order, out);
+        }
         // The pinned node and its largest stored key (fetched on the second
         // consecutive landing; empty nodes are never pinned).
         let mut current: Option<(DataNode, Option<Key>)> = None;
@@ -946,6 +1028,42 @@ mod tests {
         assert!(batched.is_empty());
         let empty = index(512);
         assert!(empty.lookup_batch(&[1], &mut batched).is_err());
+    }
+
+    #[test]
+    fn queued_lookup_batch_matches_depth_one_answers_and_overlaps_io() {
+        use lidx_storage::DeviceModel;
+        let data = skewed(20_000);
+        let mut probes: Vec<Key> = data.iter().step_by(17).map(|&(k, _)| k).collect();
+        probes.extend([0, u64::MAX, data[500].0 + 1]);
+        probes.reverse();
+
+        let config =
+            || DiskConfig::with_block_size(512).device(DeviceModel::ssd()).buffer_blocks(64);
+        let alex_config =
+            AlexConfig { target_leaf_entries: 128, max_leaf_entries: 1024, ..Default::default() };
+        let mut sync_alex = AlexIndex::with_config(Disk::in_memory(config()), alex_config).unwrap();
+        sync_alex.bulk_load(&data).unwrap();
+        let mut expected = Vec::new();
+        sync_alex.disk().stats().reset();
+        sync_alex.lookup_batch(&probes, &mut expected).unwrap();
+        let sync_ns = sync_alex.disk().stats().device_ns();
+
+        let mut queued_alex =
+            AlexIndex::with_config(Disk::in_memory(config().queue_depth(8)), alex_config).unwrap();
+        queued_alex.bulk_load(&data).unwrap();
+        let mut got = Vec::new();
+        queued_alex.disk().stats().reset();
+        queued_alex.lookup_batch(&probes, &mut got).unwrap();
+        let queued_ns = queued_alex.disk().stats().device_ns();
+
+        assert_eq!(got, expected, "queue depth must never change the answers");
+        assert!(
+            queued_ns * 2 < sync_ns,
+            "depth-8 header+slot waves ({queued_ns} ns) must overlap the depth-1 cost ({sync_ns} ns)"
+        );
+        assert!(queued_alex.disk().stats().overlap_saved_ns() > 0);
+        assert!(queued_alex.disk().stats().max_inflight() > 1);
     }
 
     #[test]

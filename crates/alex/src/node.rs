@@ -167,6 +167,12 @@ impl DataNode {
         Ok(DataNode { file, start, header: DataHeader::decode(&buf)? })
     }
 
+    /// Builds a handle from an already-fetched header block (e.g. one
+    /// delivered by a read-queue completion wave), avoiding a second read.
+    pub fn from_header_bytes(file: u32, start: BlockId, buf: &[u8]) -> IndexResult<Self> {
+        Ok(DataNode { file, start, header: DataHeader::decode(buf)? })
+    }
+
     /// [`DataNode::load`] tagged as part of a scan stream: used when a range
     /// scan follows the sibling chain into the next data node.
     pub fn load_scan(disk: &Disk, file: u32, start: BlockId) -> IndexResult<Self> {
@@ -195,6 +201,12 @@ impl DataNode {
         let per_block = (disk.block_size() / SLOT_BYTES) as u32;
         let geo = self.geometry(disk.block_size());
         (self.start + 1 + geo.bitmap_blocks + slot / per_block, (slot % per_block) as usize)
+    }
+
+    /// Absolute block id holding `slot` — the prefetch target for batched
+    /// lookups that wave the predicted slot blocks before probing.
+    pub fn slot_block_id(&self, disk: &Disk, slot: u32) -> BlockId {
+        self.slot_block(slot, disk).0
     }
 
     /// Reads the slot at `slot` (entry may be a gap duplicate).

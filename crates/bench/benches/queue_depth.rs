@@ -1,0 +1,123 @@
+//! Outstanding-read engine: batched lookups across a queue-depth sweep.
+//!
+//! The read queue charges a completion wave the *max* of its members' device
+//! costs instead of their sum, modelling depth-parallel service (an io_uring
+//! shape). With the cost model *realised* as blocking time (25 µs per random
+//! read, SSD-like but scaled down so the sweep stays fast), deeper queues
+//! turn directly into shorter wall-clock time for the same batch of lookups:
+//! a depth-32 wave sleeps once for its slowest member where depth 1 sleeps
+//! once per read. Each measured iteration issues a fixed total of
+//! [`LOOKUPS_PER_ROUND`] lookups through `lookup_batch` on an index whose
+//! disk was built at the swept queue depth; depth 1 degenerates to the fully
+//! synchronous path and anchors the sweep.
+//!
+//! A summary table of per-round wall time and the speedup vs depth 1 is
+//! printed after the Criterion measurements; CI runs this bench as a smoke
+//! gate.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use lidx_core::DiskIndex;
+use lidx_experiments::runner::IndexChoice;
+use lidx_storage::{DeviceModel, Disk, DiskConfig};
+use lidx_workloads::Dataset;
+
+/// Total lookups per measured round, issued as `BATCH`-key batches.
+const LOOKUPS_PER_ROUND: usize = 192;
+/// Keys per `lookup_batch` call.
+const BATCH: usize = 64;
+/// Outstanding-read queue depths swept by the bench (1 = synchronous path).
+const DEPTH_SWEEP: [usize; 4] = [1, 4, 8, 32];
+/// Indexes covered (one per structural family keeps the sweep quick; the
+/// `batch_lookup` experiment target sweeps all seven variants).
+const CHOICES: [IndexChoice; 3] = [IndexChoice::BTree, IndexChoice::Pgm, IndexChoice::Fiting];
+
+/// A small pool forces most probe reads to the device, where the 25 µs
+/// simulated latency makes wave overlap visible as wall time.
+fn sim_ssd_disk(depth: usize) -> Arc<Disk> {
+    Disk::in_memory(
+        DiskConfig::with_block_size(4096)
+            .device(DeviceModel::custom("ssd-25us", 25_000, 30_000, 15_000))
+            .buffer_blocks(64)
+            .queue_depth(depth)
+            .simulate_latency(true),
+    )
+}
+
+fn loaded(choice: IndexChoice, depth: usize) -> (Box<dyn DiskIndex>, Vec<u64>) {
+    let keys = Dataset::Ycsb.generate_keys(50_000, 0xD1A6);
+    let entries: Vec<(u64, u64)> = keys.iter().map(|&k| (k, k + 1)).collect();
+    let mut index = choice.build(sim_ssd_disk(depth));
+    index.bulk_load(&entries).expect("bulk load");
+    let probe: Vec<u64> = keys.iter().step_by(113).copied().collect();
+    (index, probe)
+}
+
+/// One measured round: `LOOKUPS_PER_ROUND` lookups in `BATCH`-key batches.
+fn round(index: &dyn DiskIndex, probe: &[u64], round_no: usize, out: &mut Vec<Option<u64>>) {
+    let base = round_no * LOOKUPS_PER_ROUND;
+    let mut chunk = [0u64; BATCH];
+    for c in 0..LOOKUPS_PER_ROUND / BATCH {
+        for (i, slot) in chunk.iter_mut().enumerate() {
+            *slot = probe[(base + c * BATCH + i) % probe.len()];
+        }
+        index.lookup_batch(&chunk, out).expect("lookup_batch");
+        black_box(out.len());
+    }
+}
+
+fn bench_queue_depth(c: &mut Criterion) {
+    let mut group = c.benchmark_group("queue_depth");
+    group.warm_up_time(Duration::from_millis(200));
+    group.measurement_time(Duration::from_millis(1200));
+    for choice in CHOICES {
+        for depth in DEPTH_SWEEP {
+            let (index, probe) = loaded(choice, depth);
+            let mut out = Vec::with_capacity(BATCH);
+            let mut round_no = 0;
+            group.bench_function(BenchmarkId::new(choice.name(), format!("qd{depth}")), |b| {
+                b.iter(|| {
+                    round(&*index, &probe, round_no, &mut out);
+                    round_no += 1;
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+/// Prints per-round wall time and the speedup over depth 1, the acceptance
+/// signal for the outstanding-read engine (>2x at depth 32).
+fn depth_summary(_c: &mut Criterion) {
+    eprintln!("  --- queue-depth sweep summary (simulated 25us SSD) ---");
+    for choice in CHOICES {
+        let mut base = 0.0f64;
+        for depth in DEPTH_SWEEP {
+            const ROUNDS: usize = 8;
+            let (index, probe) = loaded(choice, depth);
+            let mut out = Vec::with_capacity(BATCH);
+            // One untimed warm round, then a few timed ones.
+            round(&*index, &probe, 0, &mut out);
+            let t0 = Instant::now();
+            for r in 1..=ROUNDS {
+                round(&*index, &probe, r, &mut out);
+            }
+            let per_round_us = t0.elapsed().as_secs_f64() * 1e6 / ROUNDS as f64;
+            if depth == 1 {
+                base = per_round_us;
+            }
+            eprintln!(
+                "  {:>12} qd{:<2}: {:>9.0} us/round  ({:.2}x vs depth 1)",
+                choice.name(),
+                depth,
+                per_round_us,
+                base / per_round_us
+            );
+        }
+    }
+}
+
+criterion_group!(benches, bench_queue_depth, depth_summary);
+criterion_main!(benches);

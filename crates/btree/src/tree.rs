@@ -6,7 +6,7 @@ use lidx_core::{
     index::validate_bulk_load, Entry, IndexError, IndexKind, IndexRead, IndexResult, IndexStats,
     IndexWrite, InsertBreakdown, InsertStep, Key, Value,
 };
-use lidx_storage::{BlockId, BlockKind, BlockWriter, Disk, INVALID_BLOCK};
+use lidx_storage::{AccessClass, BlockId, BlockKind, BlockWriter, Disk, SeqHint, INVALID_BLOCK};
 
 use crate::node::{InnerNode, LeafNode, NodeCapacity};
 
@@ -101,9 +101,19 @@ impl BTreeIndex {
 
     /// [`Self::read_leaf`] tagged as part of a scan stream, so the buffer
     /// pool's admission policy can keep the leaf-chain walk from flushing
-    /// the point-lookup working set.
-    fn read_leaf_scan(&self, block: BlockId) -> IndexResult<LeafNode> {
-        let buf = self.disk.read_ref_scan(self.file, block, BlockKind::Leaf)?;
+    /// the point-lookup working set. The caller passes an explicit
+    /// sequentiality hint derived from the leaf chain itself (`next ==
+    /// block + 1`), so a concurrent reader touching other blocks between
+    /// two chain steps cannot turn this scan's sequential charges into
+    /// random ones.
+    fn read_leaf_scan(&self, block: BlockId, hint: SeqHint) -> IndexResult<LeafNode> {
+        let buf = self.disk.read_ref_hinted(
+            self.file,
+            block,
+            BlockKind::Leaf,
+            AccessClass::Scan,
+            hint,
+        )?;
         LeafNode::decode(&buf)
     }
 
@@ -140,6 +150,72 @@ impl BTreeIndex {
             current = child;
         }
         Ok((path, current))
+    }
+
+    /// Like [`Self::descend`], but additionally returns the leaf's upper
+    /// separator — the smallest routing key to the right of the descent
+    /// path (`None` for the rightmost leaf). Every key strictly below the
+    /// separator routes to the same leaf, so a sorted batch can group keys
+    /// per leaf *without reading the leaf*, which is what lets the queued
+    /// batch path fetch whole leaves as one outstanding-I/O wave.
+    fn descend_bounded(&self, key: Key) -> IndexResult<(BlockId, Option<Key>)> {
+        if self.root == INVALID_BLOCK {
+            return Err(IndexError::NotInitialized);
+        }
+        let mut current = self.root;
+        let mut upper = None;
+        for _ in 1..self.height {
+            let node = self.read_inner(current)?;
+            let idx = node.child_for(key);
+            if idx < node.keys.len() {
+                upper = Some(node.keys[idx]);
+            }
+            current = node.children[idx];
+        }
+        Ok((current, upper))
+    }
+
+    /// The queued batch path: group the sorted probes per leaf via
+    /// [`Self::descend_bounded`] (inner blocks only), then fetch all the
+    /// group leaves as outstanding-I/O waves and answer each group from its
+    /// decoded leaf. Answers are identical to the pinned-leaf loop; only
+    /// the simulated time differs (a wave is charged its max, not its sum).
+    fn lookup_batch_queued(
+        &self,
+        keys: &[Key],
+        order: &[u32],
+        out: &mut [Option<Value>],
+    ) -> IndexResult<()> {
+        let mut groups: Vec<(BlockId, Vec<u32>)> = Vec::new();
+        let mut bound: Option<Key> = None;
+        for &i in order {
+            let key = keys[i as usize];
+            let in_current = !groups.is_empty() && bound.is_none_or(|b| key < b);
+            if in_current {
+                groups.last_mut().expect("group exists").1.push(i);
+            } else {
+                let (leaf_block, upper) = self.descend_bounded(key)?;
+                bound = upper;
+                match groups.last_mut() {
+                    // A gap key can re-route to the group's own leaf.
+                    Some((block, idxs)) if *block == leaf_block => idxs.push(i),
+                    _ => groups.push((leaf_block, vec![i])),
+                }
+            }
+        }
+        let mut q = self.disk.read_queue();
+        for &(block, _) in &groups {
+            q.submit(self.file, block, BlockKind::Leaf, AccessClass::Point)?;
+        }
+        let done = q.complete()?;
+        debug_assert_eq!(done.len(), groups.len());
+        for ((_, idxs), c) in groups.iter().zip(done) {
+            let leaf = LeafNode::decode(&c.frame)?;
+            for &i in idxs {
+                out[i as usize] = leaf.lookup(keys[i as usize]);
+            }
+        }
+        Ok(())
     }
 
     /// Finds the entry with the greatest stored key `<= key` (a "floor"
@@ -307,6 +383,9 @@ impl IndexRead for BTreeIndex {
         }
         let mut order: Vec<u32> = (0..keys.len() as u32).collect();
         order.sort_unstable_by_key(|&i| keys[i as usize]);
+        if self.disk.queue_depth() > 1 {
+            return self.lookup_batch_queued(keys, &order, out);
+        }
         let mut current: Option<(BlockId, LeafNode)> = None;
         for &i in &order {
             let key = keys[i as usize];
@@ -336,8 +415,9 @@ impl IndexRead for BTreeIndex {
         }
         let (_, leaf_block) = self.descend(start)?;
         let mut block = leaf_block;
+        let mut hint = SeqHint::Auto;
         loop {
-            let leaf = self.read_leaf_scan(block)?;
+            let leaf = self.read_leaf_scan(block, hint)?;
             let from = leaf.entries.partition_point(|&(k, _)| k < start);
             for &e in &leaf.entries[from..] {
                 out.push(e);
@@ -348,6 +428,10 @@ impl IndexRead for BTreeIndex {
             if leaf.next == INVALID_BLOCK {
                 return Ok(out.len());
             }
+            // The chain itself knows whether the next hop is physically
+            // contiguous — no need to guess from the shared last-access
+            // word.
+            hint = if leaf.next == block + 1 { SeqHint::Sequential } else { SeqHint::Random };
             block = leaf.next;
         }
     }
@@ -792,6 +876,55 @@ mod tests {
         a.insert_batch(&[]).unwrap();
         let mut empty = make_tree(256);
         assert!(matches!(empty.insert_batch(&[(1, 1)]), Err(IndexError::NotInitialized)));
+    }
+
+    #[test]
+    fn queued_lookup_batch_matches_depth_one_answers_and_overlaps_io() {
+        let data = entries(10_000, 3);
+        let probes: Vec<Key> = data
+            .iter()
+            .step_by(17)
+            .map(|&(k, _)| k)
+            .chain([0, 2, u64::MAX, data[500].0, data[500].0 + 1])
+            .rev()
+            .collect();
+
+        // A buffer pool keeps the inner levels resident (as any real
+        // deployment would), so the comparison isolates the leaf fetches —
+        // the part the outstanding-I/O engine overlaps.
+        let model = lidx_storage::DeviceModel::ssd();
+        let config = || {
+            DiskConfig::with_block_size(512).device(model).buffer_blocks(64).reuse_last_block(true)
+        };
+        let mut expected = Vec::new();
+        let mut t1 = BTreeIndex::new(Disk::in_memory(config())).unwrap();
+        t1.bulk_load(&data).unwrap();
+        t1.lookup_batch(&probes, &mut expected).unwrap();
+        let sync_ns = {
+            t1.disk().stats().reset();
+            t1.disk().reset_access_state();
+            t1.disk().clear_buffer();
+            t1.lookup_batch(&probes, &mut expected).unwrap();
+            t1.disk().stats().device_ns()
+        };
+
+        let disk = Disk::in_memory(config().queue_depth(8));
+        let mut t8 = BTreeIndex::new(disk).unwrap();
+        t8.bulk_load(&data).unwrap();
+        let mut got = Vec::new();
+        t8.lookup_batch(&probes, &mut got).unwrap();
+        assert_eq!(got, expected, "queue depth must never change the answers");
+        t8.disk().stats().reset();
+        t8.disk().reset_access_state();
+        t8.disk().clear_buffer();
+        t8.lookup_batch(&probes, &mut got).unwrap();
+        let queued_ns = t8.disk().stats().device_ns();
+        assert!(
+            queued_ns * 2 < sync_ns,
+            "depth-8 leaf waves ({queued_ns} ns) must overlap the depth-1 cost ({sync_ns} ns)"
+        );
+        assert!(t8.disk().stats().overlap_saved_ns() > 0);
+        assert!(t8.disk().stats().max_inflight() > 1);
     }
 
     #[test]

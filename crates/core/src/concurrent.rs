@@ -42,7 +42,10 @@
 //!    value still equals the drained value. A key re-staged mid-drain keeps
 //!    its newer value; a reader always sees either the staged value or the
 //!    just-applied identical value — newest-wins never regresses across a
-//!    drain boundary.
+//!    drain boundary. A capacity-triggered drain is *bounded*: it stops
+//!    once the shard is back below capacity (or after a fixed chunk
+//!    budget), so racing re-stagers can never starve the draining thread;
+//!    only an explicit `flush` drains to empty.
 //!
 //! [`IoStats`]: lidx_storage::IoStats
 
@@ -431,12 +434,12 @@ impl<I: DiskIndex> ShardedWriteBuffer<I> {
     pub fn stage(&self, key: Key, value: Value) -> IndexResult<()> {
         let s = self.shard_of(key);
         let shard = &self.shards[s];
-        let mut staged = self.lock_staged(shard);
+        let mut staged = self.lock_staged_write(shard);
         staged.insert(key, value);
         let full = staged.len() >= self.config.capacity;
         drop(staged);
         if full {
-            self.drain_shard(s)?;
+            self.drain_shard_bounded(s)?;
         }
         Ok(())
     }
@@ -466,8 +469,9 @@ impl<I: DiskIndex> ShardedWriteBuffer<I> {
         Ok(self.index.into_inner())
     }
 
-    /// Locks a shard's staging map, counting a writer stall if contended.
-    fn lock_staged<'a>(
+    /// Locks a shard's staging map on behalf of a *writer* (stage or
+    /// drain), counting a write stall if contended.
+    fn lock_staged_write<'a>(
         &self,
         shard: &'a Shard,
     ) -> parking_lot::MutexGuard<'a, BTreeMap<Key, Value>> {
@@ -478,11 +482,51 @@ impl<I: DiskIndex> ShardedWriteBuffer<I> {
         shard.staged.lock()
     }
 
+    /// Locks a shard's staging map on behalf of an overlay *read*
+    /// (`lookup`, `lookup_batch`, `scan` via [`staged_range`]), counting a
+    /// read stall if contended — a reader blocked on the staging lock is
+    /// read-side contention and must not inflate `write_stalls`.
+    ///
+    /// [`staged_range`]: ShardedWriteBuffer::staged_range
+    fn lock_staged_read<'a>(
+        &self,
+        shard: &'a Shard,
+    ) -> parking_lot::MutexGuard<'a, BTreeMap<Key, Value>> {
+        if let Some(guard) = shard.staged.try_lock() {
+            return guard;
+        }
+        self.index.disk().stats().record_read_stall();
+        shard.staged.lock()
+    }
+
+    /// Drains one shard completely (the [`flush`] path — only the caller
+    /// keeps staging, so running until empty terminates).
+    ///
+    /// [`flush`]: ShardedWriteBuffer::flush
+    fn drain_shard(&self, s: usize) -> IndexResult<()> {
+        self.drain_shard_inner(s, None)
+    }
+
+    /// Drains one shard far enough to relieve its capacity trigger.
+    ///
+    /// A capacity-triggered drain must *not* loop until the shard is empty:
+    /// with racing writers re-staging into the same shard the emptiness
+    /// condition may never hold and the draining thread starves. Instead the
+    /// triggered path stops as soon as the shard is back below capacity, and
+    /// in any case after enough chunks to clear one full shard (plus one
+    /// chunk of slack for entries staged while draining).
+    fn drain_shard_bounded(&self, s: usize) -> IndexResult<()> {
+        let max_chunks = self.config.capacity.div_ceil(self.config.drain) + 1;
+        self.drain_shard_inner(s, Some(max_chunks))
+    }
+
     /// Drains one shard: snapshot a chunk under the staging lock, apply it
     /// under the index write lock, then remove exactly the entries whose
     /// staged value is still the drained one (a key re-staged mid-chunk
-    /// keeps its newer value for the next drain).
-    fn drain_shard(&self, s: usize) -> IndexResult<()> {
+    /// keeps its newer value for the next drain). With `max_chunks` set,
+    /// stops early once the shard is below capacity and never exceeds the
+    /// chunk budget.
+    fn drain_shard_inner(&self, s: usize, max_chunks: Option<usize>) -> IndexResult<()> {
         let shard = &self.shards[s];
         let gate = match shard.drain_gate.try_lock() {
             Some(guard) => guard,
@@ -495,9 +539,18 @@ impl<I: DiskIndex> ShardedWriteBuffer<I> {
             }
         };
         let mut drained_any = false;
+        let mut chunks_done = 0usize;
         loop {
+            if max_chunks.is_some_and(|cap| chunks_done >= cap) {
+                break;
+            }
             let chunk: Vec<Entry> = {
-                let staged = self.lock_staged(shard);
+                let staged = self.lock_staged_write(shard);
+                if drained_any && max_chunks.is_some() && staged.len() < self.config.capacity {
+                    // The trigger is relieved; leave the remainder for the
+                    // next drain instead of chasing racing re-stagers.
+                    break;
+                }
                 staged.iter().take(self.config.drain).map(|(&k, &v)| (k, v)).collect()
             };
             if chunk.is_empty() {
@@ -505,8 +558,9 @@ impl<I: DiskIndex> ShardedWriteBuffer<I> {
             }
             self.index.insert_batch_exclusive(&chunk)?;
             drained_any = true;
+            chunks_done += 1;
             self.drained_entries.fetch_add(chunk.len() as u64, Ordering::Relaxed);
-            let mut staged = self.lock_staged(shard);
+            let mut staged = self.lock_staged_write(shard);
             for &(key, value) in &chunk {
                 if staged.get(&key) == Some(&value) {
                     staged.remove(&key);
@@ -528,7 +582,7 @@ impl<I: DiskIndex> ShardedWriteBuffer<I> {
             return out;
         }
         for s in self.shard_of(start)..self.shards.len() {
-            let staged = self.lock_staged(&self.shards[s]);
+            let staged = self.lock_staged_read(&self.shards[s]);
             out.extend(staged.range(start..).take(count - out.len()).map(|(&k, &v)| (k, v)));
             if out.len() >= count {
                 break;
@@ -556,7 +610,7 @@ impl<I: DiskIndex> IndexRead for ShardedWriteBuffer<I> {
     /// lock.
     fn lookup(&self, key: Key) -> IndexResult<Option<Value>> {
         let shard = &self.shards[self.shard_of(key)];
-        let staged = self.lock_staged(shard);
+        let staged = self.lock_staged_read(shard);
         if let Some(&v) = staged.get(&key) {
             return Ok(Some(v));
         }
@@ -576,7 +630,7 @@ impl<I: DiskIndex> IndexRead for ShardedWriteBuffer<I> {
         let mut forward_keys = Vec::new();
         let mut forward_idx = Vec::new();
         for (i, &key) in keys.iter().enumerate() {
-            let staged = self.lock_staged(&self.shards[self.shard_of(key)]);
+            let staged = self.lock_staged_read(&self.shards[self.shard_of(key)]);
             match staged.get(&key) {
                 Some(&v) => out[i] = Some(v),
                 None => {
@@ -668,6 +722,9 @@ mod tests {
         batches: Vec<usize>,
         loaded: bool,
         poison: Option<Key>,
+        /// Artificial per-batch latency, so racing tests can make staging
+        /// reliably faster than draining.
+        batch_delay: Option<std::time::Duration>,
     }
 
     impl MapIndex {
@@ -678,6 +735,7 @@ mod tests {
                 batches: Vec::new(),
                 loaded: false,
                 poison: None,
+                batch_delay: None,
             }
         }
     }
@@ -726,6 +784,9 @@ mod tests {
         }
 
         fn insert_batch(&mut self, entries: &[Entry]) -> IndexResult<()> {
+            if let Some(delay) = self.batch_delay {
+                std::thread::sleep(delay);
+            }
             if let Some(poison) = self.poison {
                 if entries.iter().any(|&(k, _)| k == poison) {
                     self.poison = None;
@@ -924,6 +985,89 @@ mod tests {
         for key in 0..writers * per_writer {
             assert_eq!(b.lookup(key).unwrap(), Some(key + 1), "key {key}");
         }
+    }
+
+    #[test]
+    fn a_triggered_drain_is_not_starved_by_racing_restagers() {
+        use std::sync::atomic::AtomicBool;
+        // capacity 8 / drain 2: a triggered drain's chunk budget is
+        // 8/2 + 1 = 5. The re-stager keeps the shard topped up to just
+        // below capacity, so the old drain-until-empty loop would never
+        // terminate (staging is made reliably faster than draining via the
+        // per-batch delay); the bounded drain must return regardless.
+        let mut inner = MapIndex::new();
+        inner.batch_delay = Some(std::time::Duration::from_millis(2));
+        let b = {
+            let mut b = ShardedWriteBuffer::with_boundaries(
+                inner,
+                ShardedWriteBufferConfig { capacity: 8, drain: 2, shards: 1 },
+                Vec::new(),
+            );
+            b.bulk_load(&[]).unwrap();
+            b
+        };
+        for key in 0..7u64 {
+            b.stage(key, key).unwrap();
+        }
+        let stop = AtomicBool::new(false);
+        std::thread::scope(|s| {
+            let (b, stop) = (&b, &stop);
+            let restager = s.spawn(move || {
+                let mut key = 1_000u64;
+                while !stop.load(Ordering::Relaxed) {
+                    // Refill without ever crossing capacity ourselves, so
+                    // the re-stager never becomes a drainer.
+                    if b.staged_len() < 6 {
+                        b.stage(key, key).unwrap();
+                        key += 1;
+                    }
+                    std::thread::yield_now();
+                }
+                key
+            });
+            // Crosses capacity and triggers the drain. Under the unbounded
+            // loop this call would never return while the re-stager runs.
+            b.stage(7, 7).unwrap();
+            assert!(
+                b.disk().stats().drain_chunks() <= 5,
+                "a triggered drain must respect its chunk budget"
+            );
+            stop.store(true, Ordering::Relaxed);
+            let next_key = restager.join().unwrap();
+            // Nothing is lost: flush (unbounded, re-stager stopped) must
+            // reconcile every key staged by either thread.
+            b.flush().unwrap();
+            for key in (0..8).chain(1_000..next_key) {
+                assert_eq!(b.lookup(key).unwrap(), Some(key), "key {key}");
+            }
+        });
+    }
+
+    #[test]
+    fn overlay_reads_blocked_on_staging_record_read_stalls() {
+        let b = buffer(ShardedWriteBufferConfig::default());
+        b.stage(1, 1).unwrap();
+        let stats = b.disk().stats();
+        let (reads_before, writes_before) = (stats.read_stalls(), stats.write_stalls());
+        std::thread::scope(|s| {
+            // Hold the staging lock of key 1's shard while an overlay read
+            // probes it: the reader must block, and the stall must land in
+            // the *read* column.
+            let guard = b.shards[b.shard_of(1)].staged.lock();
+            let b2 = &b;
+            let reader = s.spawn(move || b2.lookup(1).expect("lookup"));
+            while b.disk().stats().read_stalls() == reads_before {
+                std::thread::yield_now();
+            }
+            drop(guard);
+            assert_eq!(reader.join().unwrap(), Some(1));
+        });
+        assert!(b.disk().stats().read_stalls() > reads_before);
+        assert_eq!(
+            b.disk().stats().write_stalls(),
+            writes_before,
+            "an overlay read stalling on the staging lock is not write contention"
+        );
     }
 
     #[test]

@@ -104,3 +104,59 @@ pub fn merge_newest_wins(
         produced += 1;
     }
 }
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn merged(
+        newer: impl IntoIterator<Item = Entry>,
+        stored: impl IntoIterator<Item = Entry>,
+        limit: usize,
+    ) -> Vec<Entry> {
+        let mut out = Vec::new();
+        merge_newest_wins(newer, stored, limit, &mut out);
+        out
+    }
+
+    #[test]
+    fn zero_limit_produces_nothing_and_consumes_nothing() {
+        assert_eq!(merged([(1, 10), (2, 20)], [(1, 1), (3, 3)], 0), vec![]);
+        assert_eq!(merged([], [], 0), vec![]);
+        // Appending semantics: a zero limit must not clear what's there.
+        let mut out = vec![(9, 9)];
+        merge_newest_wins([(1, 10)], [(2, 2)], 0, &mut out);
+        assert_eq!(out, vec![(9, 9)]);
+    }
+
+    #[test]
+    fn a_sentinel_limit_drains_both_sides_without_overflowing() {
+        // `usize::MAX` is the conventional "no limit" sentinel: the merge
+        // must terminate when both inputs are exhausted, not chase the
+        // limit.
+        let out = merged([(2, 20), (5, 50)], [(1, 1), (2, 2), (9, 9)], usize::MAX);
+        assert_eq!(out, vec![(1, 1), (2, 20), (5, 50), (9, 9)]);
+    }
+
+    #[test]
+    fn a_fully_shadowed_stored_side_yields_only_newer_values() {
+        let newer = [(1, 10), (2, 20), (3, 30)];
+        let stored = [(1, 1), (2, 2), (3, 3)];
+        assert_eq!(merged(newer, stored, usize::MAX), vec![(1, 10), (2, 20), (3, 30)]);
+        // And the limit still counts shadowed keys exactly once.
+        assert_eq!(merged(newer, stored, 2), vec![(1, 10), (2, 20)]);
+    }
+
+    #[test]
+    fn one_sided_inputs_pass_through() {
+        assert_eq!(merged([(4, 40), (6, 60)], [], usize::MAX), vec![(4, 40), (6, 60)]);
+        assert_eq!(merged([], [(4, 4), (6, 6)], usize::MAX), vec![(4, 4), (6, 6)]);
+        assert_eq!(merged([], [(4, 4), (6, 6)], 1), vec![(4, 4)]);
+    }
+
+    #[test]
+    fn the_limit_cuts_mid_merge_preserving_order() {
+        let out = merged([(3, 30)], [(1, 1), (2, 2), (4, 4)], 3);
+        assert_eq!(out, vec![(1, 1), (2, 2), (3, 30)]);
+    }
+}

@@ -1,0 +1,138 @@
+//! Property test: the overlay scan — staged entries merged newest-wins over
+//! the wrapped index — must behave identically whether the staging front is
+//! the single-threaded [`WriteBuffer`] or the sharded concurrent
+//! [`ShardedWriteBuffer`], and both must match a reference model (a plain
+//! map with staged entries overwriting stored ones).
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use lidx_core::concurrent::{ShardedWriteBuffer, ShardedWriteBufferConfig};
+use lidx_core::write_buffer::{WriteBuffer, WriteBufferConfig};
+use lidx_core::{
+    Entry, IndexKind, IndexRead, IndexResult, IndexStats, IndexWrite, InsertBreakdown, Key, Value,
+};
+use lidx_storage::{Disk, DiskConfig};
+use proptest::prelude::*;
+
+/// A minimal in-memory [`lidx_core::DiskIndex`] to sit under the staging
+/// fronts.
+struct MapIndex {
+    disk: Arc<Disk>,
+    entries: BTreeMap<Key, Value>,
+}
+
+impl MapIndex {
+    fn new() -> Self {
+        MapIndex { disk: Disk::in_memory(DiskConfig::default()), entries: BTreeMap::new() }
+    }
+}
+
+impl IndexRead for MapIndex {
+    fn kind(&self) -> IndexKind {
+        IndexKind::BTree
+    }
+
+    fn disk(&self) -> &Arc<Disk> {
+        &self.disk
+    }
+
+    fn lookup(&self, key: Key) -> IndexResult<Option<Value>> {
+        Ok(self.entries.get(&key).copied())
+    }
+
+    fn scan(&self, start: Key, count: usize, out: &mut Vec<Entry>) -> IndexResult<usize> {
+        out.clear();
+        out.extend(self.entries.range(start..).take(count).map(|(&k, &v)| (k, v)));
+        Ok(out.len())
+    }
+
+    fn len(&self) -> u64 {
+        self.entries.len() as u64
+    }
+
+    fn stats(&self) -> IndexStats {
+        IndexStats::default()
+    }
+}
+
+impl IndexWrite for MapIndex {
+    fn bulk_load(&mut self, entries: &[Entry]) -> IndexResult<()> {
+        self.entries = entries.iter().copied().collect();
+        Ok(())
+    }
+
+    fn insert(&mut self, key: Key, value: Value) -> IndexResult<()> {
+        self.entries.insert(key, value);
+        Ok(())
+    }
+
+    fn insert_breakdown(&self) -> InsertBreakdown {
+        InsertBreakdown::new()
+    }
+}
+
+/// What any overlay scan must produce: staged entries overwrite stored
+/// ones, then the first `count` entries with key `>= start`.
+fn model_scan(
+    stored: &BTreeMap<Key, Value>,
+    staged: &BTreeMap<Key, Value>,
+    start: Key,
+    count: usize,
+) -> Vec<Entry> {
+    let mut merged = stored.clone();
+    for (&k, &v) in staged {
+        merged.insert(k, v);
+    }
+    merged.range(start..).take(count).map(|(&k, &v)| (k, v)).collect()
+}
+
+fn entries(map: &BTreeMap<Key, Value>) -> Vec<Entry> {
+    map.iter().map(|(&k, &v)| (k, v)).collect()
+}
+
+proptest! {
+    /// The same (stored, staged, scan) case runs through both staging
+    /// fronts; `capacity` is drawn too, so some cases drain mid-staging and
+    /// some answer purely from the overlay.
+    #[test]
+    fn overlay_scans_match_the_reference_model(
+        stored_pairs in proptest::collection::vec((0u64..200, 0u64..1_000), 0..32),
+        staged_pairs in proptest::collection::vec((0u64..200, 0u64..1_000), 0..32),
+        start in 0u64..210,
+        count in 0usize..48,
+        capacity in prop_oneof![Just(4usize), Just(1_024usize)],
+    ) {
+        // Later duplicates win when collecting, matching staging semantics.
+        let stored: BTreeMap<Key, Value> = stored_pairs.into_iter().collect();
+        let staged: BTreeMap<Key, Value> = staged_pairs.into_iter().collect();
+        let expected = model_scan(&stored, &staged, start, count);
+        let stored_entries = entries(&stored);
+        let staged_entries = entries(&staged);
+
+        // Single-threaded front.
+        let mut wb = WriteBuffer::new(
+            MapIndex::new(),
+            WriteBufferConfig { capacity, drain: capacity },
+        );
+        wb.bulk_load(&stored_entries).unwrap();
+        for &(k, v) in &staged_entries {
+            wb.insert(k, v).unwrap();
+        }
+        let mut got = Vec::new();
+        wb.scan(start, count, &mut got).unwrap();
+        prop_assert_eq!(&got, &expected, "WriteBuffer::scan diverged from the model");
+
+        // Sharded concurrent front (same case, three key-range shards).
+        let mut swb = ShardedWriteBuffer::with_boundaries(
+            MapIndex::new(),
+            ShardedWriteBufferConfig { capacity, drain: capacity, shards: 3 },
+            vec![70, 140],
+        );
+        swb.bulk_load(&stored_entries).unwrap();
+        swb.stage_batch(&staged_entries).unwrap();
+        let mut got = Vec::new();
+        swb.scan(start, count, &mut got).unwrap();
+        prop_assert_eq!(&got, &expected, "ShardedWriteBuffer::scan diverged from the model");
+    }
+}

@@ -15,8 +15,9 @@ use lidx_core::WriteBufferConfig;
 
 use crate::report::{f2, ms, ops, Table};
 use crate::runner::{
-    run_batch_insert, run_batch_lookup, run_par_lookup, run_par_lookup_batched,
-    run_scan_interference, run_workload, IndexChoice, InsertMode, RunConfig, WorkloadReport,
+    run_batch_insert, run_batch_lookup, run_batch_lookup_qdepth_sweep, run_par_lookup,
+    run_par_lookup_batched, run_scan_interference, run_workload, IndexChoice, InsertMode,
+    RunConfig, WorkloadReport, QDEPTH_SWEEP,
 };
 
 /// Scale knobs shared by every experiment.
@@ -603,6 +604,28 @@ pub fn batch_lookup(scale: &Scale) {
     }
     t.print();
 
+    // Outstanding reads: the same 64-key batches with the disk configured
+    // for queue depths 1/4/8/32. Depth 1 is the synchronous baseline; deeper
+    // queues overlap each batch's misses into completion waves charged at
+    // the max (not the sum) of their device costs, so simulated I/O time
+    // collapses while the answers stay identical.
+    println!("-- 64-key batches at outstanding-read queue depths 1/4/8/32 (simulated I/O s) --");
+    let mut qt = Table::new(["index", "qd1 io s", "qd4 io s", "qd8 io s", "qd32 io s", "speedup"]);
+    for choice in IndexChoice::ALL_DESIGNS {
+        let sweep = run_batch_lookup_qdepth_sweep(choice, &cfg, &w, 64, &QDEPTH_SWEEP);
+        let base = sweep[0].device_seconds;
+        let last = sweep.last().unwrap().device_seconds;
+        qt.row([
+            sweep[0].index.clone(),
+            format!("{:.4}", sweep[0].device_seconds),
+            format!("{:.4}", sweep[1].device_seconds),
+            format!("{:.4}", sweep[2].device_seconds),
+            format!("{:.4}", last),
+            f2(base / last.max(f64::MIN_POSITIVE)),
+        ]);
+    }
+    qt.print();
+
     // The same comparison under reader parallelism: batched threads.
     println!("-- 4 reader threads, per-key vs 64-key batches (wall-clock ops/s) --");
     let mut pt = Table::new(["index", "per-key ops/s", "batched ops/s"]);
@@ -643,10 +666,15 @@ pub fn bench_snapshot_to(scale: &Scale, path: &std::path::Path) {
         "pool hit",
         "reuse hit",
         "sim io s",
+        "qd32 io s",
     ]);
     for choice in IndexChoice::ALL_DESIGNS {
         let seq = run_batch_lookup(choice, &cfg, &w, 1);
         let bat = run_batch_lookup(choice, &cfg, &w, 64);
+        // Outstanding-read sweep: the same 64-key batches with the disk at
+        // queue depths 1/4/8/32. The depth-1 row reproduces `bat` (same
+        // config, fresh disk); deeper rows overlap each batch's misses.
+        let sweep = run_batch_lookup_qdepth_sweep(choice, &cfg, &w, 64, &QDEPTH_SWEEP);
         t.row([
             seq.index.clone(),
             format!("{:.0}", seq.wall_ns_per_op()),
@@ -655,7 +683,22 @@ pub fn bench_snapshot_to(scale: &Scale, path: &std::path::Path) {
             f2(seq.buffer_hit_rate()),
             f2(seq.reuse_hit_rate()),
             format!("{:.4}", seq.device_seconds),
+            format!("{:.4}", sweep.last().unwrap().device_seconds),
         ]);
+        let qdepth_rows: Vec<String> = sweep
+            .iter()
+            .map(|r| {
+                format!(
+                    concat!(
+                        "        {{ \"depth\": {}, \"simulated_io_seconds\": {:.6}, ",
+                        "\"overlap_saved_seconds\": {:.6} }}"
+                    ),
+                    r.queue_depth,
+                    r.device_seconds,
+                    r.overlap_saved_ns as f64 / 1e9,
+                )
+            })
+            .collect();
         entries.push(format!(
             concat!(
                 "    {{\n",
@@ -667,7 +710,8 @@ pub fn bench_snapshot_to(scale: &Scale, path: &std::path::Path) {
                 "      \"reuse_hit_rate\": {:.4},\n",
                 "      \"simulated_io_seconds\": {:.6},\n",
                 "      \"bytes_copied\": {},\n",
-                "      \"frames_pinned\": {}\n",
+                "      \"frames_pinned\": {},\n",
+                "      \"qdepth_sweep\": [\n{}\n      ]\n",
                 "    }}"
             ),
             seq.index,
@@ -679,6 +723,7 @@ pub fn bench_snapshot_to(scale: &Scale, path: &std::path::Path) {
             seq.device_seconds,
             seq.bytes_copied,
             seq.frames_pinned,
+            qdepth_rows.join(",\n"),
         ));
     }
     t.print();
@@ -1379,8 +1424,18 @@ mod tests {
             "simulated_io_seconds",
             "bytes_copied",
             "frames_pinned",
+            "qdepth_sweep",
+            "overlap_saved_seconds",
         ] {
             assert!(s.contains(field), "snapshot misses field {field}");
+        }
+        // Each of the 7 index entries carries the full 1/4/8/32 depth sweep.
+        for depth in QDEPTH_SWEEP {
+            assert_eq!(
+                s.matches(&format!("\"depth\": {depth},")).count(),
+                7,
+                "one depth-{depth} row per index: {s}"
+            );
         }
         // Lookup hot paths are zero-copy: the sequential pass must record
         // exactly zero caller-buffer copies for *every one* of the seven

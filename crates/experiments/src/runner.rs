@@ -153,6 +153,10 @@ pub struct RunConfig {
     pub buffer_partitions: PoolPartitions,
     /// Treat inner-node and meta blocks as memory-resident (§6.2).
     pub memory_resident_inner: bool,
+    /// Outstanding-read queue depth (1 = today's fully synchronous path;
+    /// deeper queues let `lookup_batch`/readahead overlap a wave of misses,
+    /// charging the max instead of the sum of the wave's device costs).
+    pub queue_depth: usize,
     /// Realise the device cost model as actual blocking time (each charged
     /// read/write sleeps for its simulated latency, outside all locks). Used
     /// by the concurrent-read phases so N reader threads overlap their
@@ -169,6 +173,7 @@ impl Default for RunConfig {
             buffer_policy: ReplacementPolicy::default(),
             buffer_partitions: PoolPartitions::default(),
             memory_resident_inner: false,
+            queue_depth: 1,
             simulate_device_latency: false,
         }
     }
@@ -182,6 +187,7 @@ impl RunConfig {
             .buffer_blocks(self.buffer_blocks)
             .buffer_policy(self.buffer_policy)
             .buffer_partitions(self.buffer_partitions)
+            .queue_depth(self.queue_depth)
             .simulate_latency(self.simulate_device_latency);
         if self.memory_resident_inner {
             cfg = cfg.memory_resident(&[BlockKind::Inner, BlockKind::Meta]);
@@ -458,10 +464,15 @@ pub struct BatchLookupReport {
     pub ops: u64,
     /// Lookups per batch call (1 = sequential per-key lookups).
     pub batch: usize,
+    /// Outstanding-read queue depth the run's disk was configured with.
+    pub queue_depth: usize,
     /// Wall-clock seconds for the measured pass.
     pub wall_seconds: f64,
     /// Simulated device seconds for the measured pass.
     pub device_seconds: f64,
+    /// Simulated device nanoseconds saved by overlapping completion waves
+    /// (`sum - max` across every wave; 0 at queue depth 1).
+    pub overlap_saved_ns: u64,
     /// Device block reads during the measured pass.
     pub reads: u64,
     /// Buffer-pool hits during the measured pass.
@@ -570,8 +581,10 @@ pub fn run_batch_lookup(
         index: index.name(),
         ops: keys.len() as u64,
         batch: batch.max(1),
+        queue_depth: config.queue_depth.max(1),
         wall_seconds,
         device_seconds: stats.device_ns() as f64 / 1e9,
+        overlap_saved_ns: stats.overlap_saved_ns(),
         reads: stats.reads(),
         buffer_hits: stats.buffer_hits(),
         reuse_hits: stats.reuse_hits(),
@@ -579,6 +592,32 @@ pub fn run_batch_lookup(
         frames_pinned: stats.frames_pinned(),
         not_found,
     }
+}
+
+/// The outstanding-read queue depths the batched-lookup sweep measures:
+/// depth 1 is today's fully synchronous path (the reproducibility anchor),
+/// the rest show how overlapping a wave of misses collapses simulated I/O
+/// time.
+pub const QDEPTH_SWEEP: [usize; 4] = [1, 4, 8, 32];
+
+/// Runs [`run_batch_lookup`] once per queue depth in `depths`, holding
+/// everything else (index, workload, batch size, buffer pool) fixed. Each
+/// depth gets its own freshly built disk and index, so depth 1 reproduces
+/// the plain [`run_batch_lookup`] numbers bit for bit.
+pub fn run_batch_lookup_qdepth_sweep(
+    choice: IndexChoice,
+    config: &RunConfig,
+    workload: &Workload,
+    batch: usize,
+    depths: &[usize],
+) -> Vec<BatchLookupReport> {
+    depths
+        .iter()
+        .map(|&depth| {
+            let cfg = RunConfig { queue_depth: depth, ..*config };
+            run_batch_lookup(choice, &cfg, workload, batch)
+        })
+        .collect()
 }
 
 /// How [`run_batch_insert`] feeds the workload's inserts to the index.
@@ -1296,6 +1335,29 @@ mod tests {
                 seq.reads
             );
             assert!(seq.buffer_hit_rate() > 0.0, "{choice:?} warm pool must produce hits");
+        }
+    }
+
+    #[test]
+    fn qdepth_sweep_overlaps_simulated_io_for_every_design() {
+        let keys = Dataset::Ycsb.generate_keys(20_000, 7);
+        let w = Workload::build(&keys, WorkloadSpec::new(WorkloadKind::LookupOnly, 512, 0));
+        let cfg = RunConfig { buffer_blocks: 64, ..Default::default() };
+        for choice in IndexChoice::ALL_DESIGNS {
+            let sweep = run_batch_lookup_qdepth_sweep(choice, &cfg, &w, 64, &[1, 8]);
+            let (d1, d8) = (&sweep[0], &sweep[1]);
+            assert_eq!(d1.queue_depth, 1);
+            assert_eq!(d8.queue_depth, 8);
+            assert_eq!(d1.not_found, 0, "{choice:?} keys come from the bulk load");
+            assert_eq!(d8.not_found, 0, "{choice:?} queued answers must match");
+            assert_eq!(d1.overlap_saved_ns, 0, "{choice:?} depth 1 must stay synchronous");
+            assert!(d8.overlap_saved_ns > 0, "{choice:?} depth 8 must overlap waves");
+            assert!(
+                d8.device_seconds < d1.device_seconds,
+                "{choice:?} outstanding reads must cut simulated I/O ({} vs {})",
+                d8.device_seconds,
+                d1.device_seconds
+            );
         }
     }
 

@@ -93,6 +93,44 @@ impl HybridIndex {
         self.config.inner
     }
 
+    /// The outstanding-I/O variant of [`lookup_batch`](IndexRead::lookup_batch)
+    /// used when the disk's queue depth exceeds 1: sorted probes are grouped
+    /// by covering leaf through the in-memory boundary table (leaves cover
+    /// contiguous disjoint ranges, so groups are runs), one learned-directory
+    /// descent is still charged per group — the routing I/O the sequential
+    /// batch pays per run — and then every group's leaf block is fetched as
+    /// one submission wave instead of one blocking read per run. Answers are
+    /// identical to the synchronous batch.
+    fn lookup_batch_queued(
+        &self,
+        keys: &[Key],
+        order: &[u32],
+        out: &mut [Option<Value>],
+    ) -> IndexResult<()> {
+        let mut groups: Vec<(BlockId, Vec<u32>)> = Vec::new();
+        let mut current: Option<usize> = None;
+        for &i in order {
+            let key = keys[i as usize];
+            let idx = self.boundaries.partition_point(|&(b, _)| b <= key).saturating_sub(1);
+            match (current, groups.last_mut()) {
+                (Some(c), Some((_, idxs))) if c == idx => idxs.push(i),
+                _ => {
+                    let block = self.inner.find_leaf(key)?;
+                    groups.push((block, vec![i]));
+                    current = Some(idx);
+                }
+            }
+        }
+        let blocks: Vec<BlockId> = groups.iter().map(|&(b, _)| b).collect();
+        let leaves = self.leaves.leaf_nodes_queued(&blocks)?;
+        for ((_, idxs), leaf) in groups.iter().zip(&leaves) {
+            for &i in idxs {
+                out[i as usize] = leaf.lookup(keys[i as usize]);
+            }
+        }
+        Ok(())
+    }
+
     /// Number of leaf blocks.
     pub fn leaf_count(&self) -> u64 {
         self.leaves.leaf_count()
@@ -136,6 +174,9 @@ impl IndexRead for HybridIndex {
         out.resize(keys.len(), None);
         let mut order: Vec<u32> = (0..keys.len() as u32).collect();
         order.sort_unstable_by_key(|&i| keys[i as usize]);
+        if self.disk.queue_depth() > 1 {
+            return self.lookup_batch_queued(keys, &order, out);
+        }
         let mut current: Option<lidx_btree::LeafNode> = None;
         for &i in &order {
             let key = keys[i as usize];
@@ -448,6 +489,47 @@ mod tests {
                 batch_reads * 2 < seq_reads,
                 "{inner:?} batched reads ({batch_reads}) must amortise sequential ({seq_reads})"
             );
+        }
+    }
+
+    #[test]
+    fn queued_lookup_batch_matches_depth_one_answers_and_overlaps_io() {
+        use lidx_storage::DeviceModel;
+        let mut keys: Vec<u64> = (0..10_000u64).map(|i| i * 13 + (i % 29) * 7).collect();
+        keys.sort_unstable();
+        keys.dedup();
+        let data: Vec<Entry> = keys.into_iter().map(|k| (k, k + 1)).collect();
+        let mut probes: Vec<Key> = data.iter().step_by(11).map(|&(k, _)| k).collect();
+        probes.extend([0, u64::MAX, data[7].0 + 1]);
+        probes.reverse();
+        let config =
+            || DiskConfig::with_block_size(512).device(DeviceModel::ssd()).buffer_blocks(64);
+
+        for inner in [HybridInnerKind::Pla, HybridInnerKind::ModelTree] {
+            let hybrid_config = HybridConfig { inner, epsilon: 16, gap_factor: 2, leaf_fill: 0.8 };
+            let mut sync_h = HybridIndex::new(Disk::in_memory(config()), hybrid_config).unwrap();
+            sync_h.bulk_load(&data).unwrap();
+            let mut expected = Vec::new();
+            sync_h.disk().stats().reset();
+            sync_h.lookup_batch(&probes, &mut expected).unwrap();
+            let sync_ns = sync_h.disk().stats().device_ns();
+
+            let mut queued_h =
+                HybridIndex::new(Disk::in_memory(config().queue_depth(8)), hybrid_config).unwrap();
+            queued_h.bulk_load(&data).unwrap();
+            let mut got = Vec::new();
+            queued_h.disk().stats().reset();
+            queued_h.lookup_batch(&probes, &mut got).unwrap();
+            let queued_ns = queued_h.disk().stats().device_ns();
+
+            assert_eq!(got, expected, "{inner:?}: queue depth must never change the answers");
+            assert!(
+                queued_ns * 2 < sync_ns,
+                "{inner:?}: depth-8 leaf waves ({queued_ns} ns) must overlap \
+                 the depth-1 cost ({sync_ns} ns)"
+            );
+            assert!(queued_h.disk().stats().overlap_saved_ns() > 0);
+            assert!(queued_h.disk().stats().max_inflight() > 1);
         }
     }
 

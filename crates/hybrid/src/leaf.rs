@@ -10,7 +10,7 @@ use std::sync::Arc;
 
 use lidx_btree::{LeafNode, NodeCapacity};
 use lidx_core::{Entry, IndexResult, Key, Value};
-use lidx_storage::{BlockId, BlockKind, Disk, INVALID_BLOCK};
+use lidx_storage::{AccessClass, BlockId, BlockKind, Disk, INVALID_BLOCK};
 
 /// The leaf level: a file of linked, dense leaf blocks.
 pub struct LeafLevel {
@@ -108,6 +108,18 @@ impl LeafLevel {
     /// read path, which pins one decoded leaf per probe run.
     pub(crate) fn leaf_node(&self, block: BlockId) -> IndexResult<LeafNode> {
         self.read(block)
+    }
+
+    /// Decodes a batch of leaves with the blocks fetched as one
+    /// outstanding-read submission wave — the queue-depth > 1 counterpart of
+    /// calling [`LeafLevel::leaf_node`] once per block. Results are returned
+    /// in input order.
+    pub(crate) fn leaf_nodes_queued(&self, blocks: &[BlockId]) -> IndexResult<Vec<LeafNode>> {
+        let mut q = self.disk.read_queue();
+        for &b in blocks {
+            q.submit(self.file, b, BlockKind::Leaf, AccessClass::Point)?;
+        }
+        q.complete()?.iter().map(|c| LeafNode::decode(&c.frame)).collect()
     }
 
     /// Upserts a sorted run of entries into the leaf at `block` with one

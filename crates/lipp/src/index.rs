@@ -8,7 +8,7 @@ use lidx_core::{
     IndexWrite, InsertBreakdown, InsertStep, Key, Value,
 };
 use lidx_models::fmcd::fit_fmcd;
-use lidx_storage::{BlockId, Disk};
+use lidx_storage::{AccessClass, BlockId, BlockKind, Disk, SeqHint};
 
 use crate::node::{blocks_for, group_by_slot, LippNode, Slot};
 
@@ -173,6 +173,66 @@ impl LippIndex {
         Ok(())
     }
 
+    /// The outstanding-I/O variant of [`lookup_batch`](IndexRead::lookup_batch)
+    /// used when the disk's queue depth exceeds 1: every probe descends the
+    /// tree level by level in lock-step, so each level's header fetches ride
+    /// one completion wave and each level's predicted slot blocks ride a
+    /// prefetch wave — the per-level "header + slot" latency pair every LIPP
+    /// probe pays is overlapped across the whole batch. Answers are identical
+    /// to the synchronous batch: the per-probe routing (predict → slot →
+    /// child) is byte-for-byte the sequential descent.
+    fn lookup_batch_queued(
+        &self,
+        keys: &[Key],
+        order: &[u32],
+        out: &mut [Option<Value>],
+    ) -> IndexResult<()> {
+        use std::collections::{BTreeSet, HashMap};
+        let bs = self.disk.block_size();
+        let mut nodes: HashMap<BlockId, LippNode> = HashMap::new();
+        let mut active: Vec<(u32, BlockId)> = order.iter().map(|&i| (i, self.root)).collect();
+        let mut q = self.disk.read_queue();
+        while !active.is_empty() {
+            // Wave A: headers of the nodes this level reaches for the first
+            // time (always exactly one — the root — on the first round).
+            let need: BTreeSet<BlockId> =
+                active.iter().map(|&(_, b)| b).filter(|b| !nodes.contains_key(b)).collect();
+            for &b in &need {
+                q.submit(self.file, b, BlockKind::Leaf, AccessClass::Point)?;
+            }
+            for c in q.complete()? {
+                nodes.insert(c.block, LippNode::from_header_bytes(self.file, c.block, &c.frame)?);
+            }
+
+            // Wave B: every active probe's predicted slot block.
+            let slot_blocks: BTreeSet<BlockId> = active
+                .iter()
+                .map(|&(i, b)| {
+                    let node = &nodes[&b];
+                    node.slot_block_id(node.predict(keys[i as usize]), bs)
+                })
+                .collect();
+            for &b in &slot_blocks {
+                q.prefetch(self.file, b, BlockKind::Leaf, AccessClass::Point, SeqHint::Auto)?;
+            }
+            q.flush()?;
+
+            // Resolve the level from the parked frames; probes that hit a
+            // child pointer go another round.
+            let mut next = Vec::new();
+            for (i, b) in active {
+                let node = &nodes[&b];
+                match node.read_slot(&self.disk, node.predict(keys[i as usize]))? {
+                    Slot::Null => {}
+                    Slot::Data(k, v) => out[i as usize] = (k == keys[i as usize]).then_some(v),
+                    Slot::Child(child) => next.push((i, child)),
+                }
+            }
+            active = next;
+        }
+        Ok(())
+    }
+
     fn should_rebuild(&self, node: &LippNode) -> bool {
         let h = &node.header;
         let grown = f64::from(h.num_inserts)
@@ -236,6 +296,9 @@ impl IndexRead for LippIndex {
         out.resize(keys.len(), None);
         let mut order: Vec<u32> = (0..keys.len() as u32).collect();
         order.sort_unstable_by_key(|&i| keys[i as usize]);
+        if self.disk.queue_depth() > 1 {
+            return self.lookup_batch_queued(keys, &order, out);
+        }
         let mut nodes: std::collections::HashMap<BlockId, LippNode> =
             std::collections::HashMap::new();
         for &i in &order {
@@ -701,6 +764,39 @@ mod tests {
         assert!(batched.is_empty());
         let fresh = index();
         assert!(fresh.lookup_batch(&[1], &mut batched).is_err());
+    }
+
+    #[test]
+    fn queued_lookup_batch_matches_depth_one_answers_and_overlaps_io() {
+        use lidx_storage::DeviceModel;
+        let data = clustered(10_000);
+        let mut probes: Vec<Key> = data.iter().step_by(13).map(|&(k, _)| k).collect();
+        probes.extend([0, u64::MAX, data[100].0 + 1]);
+        probes.reverse();
+
+        let config =
+            || DiskConfig::with_block_size(512).device(DeviceModel::ssd()).buffer_blocks(64);
+        let mut sync_lipp = LippIndex::new(Disk::in_memory(config())).unwrap();
+        sync_lipp.bulk_load(&data).unwrap();
+        let mut expected = Vec::new();
+        sync_lipp.disk().stats().reset();
+        sync_lipp.lookup_batch(&probes, &mut expected).unwrap();
+        let sync_ns = sync_lipp.disk().stats().device_ns();
+
+        let mut queued_lipp = LippIndex::new(Disk::in_memory(config().queue_depth(8))).unwrap();
+        queued_lipp.bulk_load(&data).unwrap();
+        let mut got = Vec::new();
+        queued_lipp.disk().stats().reset();
+        queued_lipp.lookup_batch(&probes, &mut got).unwrap();
+        let queued_ns = queued_lipp.disk().stats().device_ns();
+
+        assert_eq!(got, expected, "queue depth must never change the answers");
+        assert!(
+            queued_ns * 2 < sync_ns,
+            "depth-8 level waves ({queued_ns} ns) must overlap the depth-1 cost ({sync_ns} ns)"
+        );
+        assert!(queued_lipp.disk().stats().overlap_saved_ns() > 0);
+        assert!(queued_lipp.disk().stats().max_inflight() > 1);
     }
 
     #[test]

@@ -143,6 +143,12 @@ impl LippNode {
         Ok(LippNode { file, start, header: LippHeader::decode(&buf)? })
     }
 
+    /// Builds a handle from an already-fetched header block (e.g. one
+    /// delivered by a read-queue completion wave), avoiding a second read.
+    pub fn from_header_bytes(file: u32, start: BlockId, buf: &[u8]) -> IndexResult<Self> {
+        Ok(LippNode { file, start, header: LippHeader::decode(buf)? })
+    }
+
     /// [`LippNode::load`] tagged as part of a scan stream: used by the
     /// in-order scan traversal when it descends into a child subtree.
     pub fn load_scan(disk: &Disk, file: u32, start: BlockId) -> IndexResult<Self> {
@@ -170,6 +176,12 @@ impl LippNode {
     fn slot_location(&self, slot: u32, block_size: usize) -> (BlockId, usize) {
         let per_block = slots_per_block(block_size) as u32;
         (self.start + 1 + slot / per_block, ((slot % per_block) as usize) * SLOT_BYTES)
+    }
+
+    /// Absolute block id holding `slot` — the prefetch target for batched
+    /// lookups that wave a whole level's slot fetches at once.
+    pub fn slot_block_id(&self, slot: u32, block_size: usize) -> BlockId {
+        self.slot_location(slot, block_size).0
     }
 
     /// Reads one slot.

@@ -22,6 +22,7 @@
 //! mutex, but those only run during bulk load and inserts, which the
 //! `lidx-core` read/write trait split keeps exclusive (`&mut self`) anyway.
 
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
@@ -78,6 +79,14 @@ pub struct DiskConfig {
     /// configuration where all inner nodes (and the meta block) are cached in
     /// main memory while leaves stay on disk.
     pub memory_resident: [bool; 4],
+    /// Outstanding-read queue depth of the [`Disk::read_queue`] engine: how
+    /// many read requests a completion wave may carry (and how far scan
+    /// readahead prefetches). A wave charges the *max* of its members' device
+    /// costs instead of their sum, modelling depth-parallel service. Depth 1
+    /// (the default) degenerates to the fully synchronous path — one request
+    /// per wave, `max == sum` — so every existing number is reproduced
+    /// bit for bit.
+    pub queue_depth: usize,
 }
 
 impl Default for DiskConfig {
@@ -92,6 +101,7 @@ impl Default for DiskConfig {
             reuse_freed_space: false,
             simulate_latency: false,
             memory_resident: [false; 4],
+            queue_depth: 1,
         }
     }
 }
@@ -170,6 +180,14 @@ impl DiskConfig {
         self
     }
 
+    /// Sets the outstanding-read queue depth (clamped to at least 1; see
+    /// [`DiskConfig::queue_depth`]).
+    #[must_use]
+    pub fn queue_depth(mut self, depth: usize) -> Self {
+        self.queue_depth = depth.max(1);
+        self
+    }
+
     /// Marks `kinds` as memory-resident: their I/O still happens against the
     /// backend but is never charged to the device or the statistics. This is
     /// how the harness reproduces the "inner nodes are memory-resident"
@@ -207,6 +225,111 @@ fn pack_access(file: FileId, block: BlockId) -> u64 {
     (u64::from(file) << 32) | u64::from(block)
 }
 
+/// How a device read should be classified for the sequential/random cost
+/// split of the [`DeviceModel`].
+///
+/// `Auto` reproduces the historical behaviour: compare against the single
+/// last-device-access word, which works single-threaded but lets interleaved
+/// concurrent readers destroy each other's sequentiality (charging random
+/// cost to a perfectly sequential scan). Streams that *know* their access
+/// pattern — leaf-chain scans over contiguous extents, readahead prefetches —
+/// pass `Sequential`/`Random` explicitly so the charge is immune to
+/// cross-thread interleaving.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SeqHint {
+    /// Detect from the globally last-accessed block (historical behaviour).
+    #[default]
+    Auto,
+    /// The caller knows this read continues a sequential stream.
+    Sequential,
+    /// The caller knows this read breaks any sequential stream.
+    Random,
+}
+
+/// One request of a completion wave processed by [`Disk::run_wave`].
+pub(crate) struct WaveReq {
+    pub(crate) file: FileId,
+    pub(crate) block: BlockId,
+    pub(crate) kind: BlockKind,
+    pub(crate) class: AccessClass,
+    pub(crate) hint: SeqHint,
+    /// `true`: the caller wants the pinned frame back (a queued read).
+    /// `false`: a readahead prefetch — the frame is parked in the readahead
+    /// cache and the request is skipped entirely if the block is already
+    /// cached anywhere.
+    pub(crate) deliver: bool,
+}
+
+/// Frames parked by readahead prefetch waves, keyed by `(file, block)`.
+/// Consumed (removed) by the first read of the block; invalidated on frees
+/// and overwrites like the buffer pool.
+struct ReadaheadCache {
+    frames: HashMap<(FileId, BlockId), (u64, BlockRef)>,
+    /// Park order for FIFO eviction, each entry tagged with the generation
+    /// it parked. May hold stale entries for frames already consumed,
+    /// invalidated or re-parked; the generation check skips those lazily, so
+    /// an old entry can never evict a newer frame for the same block.
+    order: VecDeque<((FileId, BlockId), u64)>,
+    /// Monotonic park counter backing the generation tags.
+    generation: u64,
+}
+
+/// Safety valve: a workload of many abandoned short scans could otherwise
+/// grow the readahead cache without bound. Dropping parked frames is always
+/// correct (they are re-fetched on demand), so past this size the oldest
+/// parked frames are evicted first — a batch's freshly parked waves survive
+/// while stale leftovers of abandoned prefetches go.
+const MAX_READAHEAD_FRAMES: usize = 1024;
+
+impl ReadaheadCache {
+    fn new() -> Self {
+        ReadaheadCache { frames: HashMap::new(), order: VecDeque::new(), generation: 0 }
+    }
+
+    fn contains(&self, key: &(FileId, BlockId)) -> bool {
+        self.frames.contains_key(key)
+    }
+
+    /// Consumes the parked frame for `key`, if any.
+    fn take(&mut self, key: &(FileId, BlockId)) -> Option<BlockRef> {
+        self.frames.remove(key).map(|(_, frame)| frame)
+    }
+
+    /// Drops an order entry only if it still names the generation that
+    /// parked the live frame — a stale entry never evicts a newer frame.
+    fn evict(&mut self, key: (FileId, BlockId), generation: u64) {
+        if self.frames.get(&key).is_some_and(|&(g, _)| g == generation) {
+            self.frames.remove(&key);
+        }
+    }
+
+    /// Parks `frame`, evicting oldest-parked frames past
+    /// [`MAX_READAHEAD_FRAMES`] — oldest first, so the waves a batch is
+    /// still consuming survive while stale leftovers of abandoned
+    /// prefetches go.
+    fn park(&mut self, key: (FileId, BlockId), frame: BlockRef) {
+        self.generation += 1;
+        self.frames.insert(key, (self.generation, frame));
+        self.order.push_back((key, self.generation));
+        // Every live frame has exactly one order entry carrying its
+        // generation, so the first loop terminates; the second keeps
+        // consumed/re-parked leftovers from accumulating in the queue.
+        while self.frames.len() > MAX_READAHEAD_FRAMES {
+            let Some((old, generation)) = self.order.pop_front() else { break };
+            self.evict(old, generation);
+        }
+        while self.order.len() > 2 * MAX_READAHEAD_FRAMES {
+            let Some((old, generation)) = self.order.pop_front() else { break };
+            self.evict(old, generation);
+        }
+    }
+
+    fn clear(&mut self) {
+        self.frames.clear();
+        self.order.clear();
+    }
+}
+
 /// A simulated (or real) disk shared by the blocks of one index instance.
 pub struct Disk {
     backend: Box<dyn StorageBackend>,
@@ -219,12 +342,15 @@ pub struct Disk {
     /// Packed `(file, block)` of the most recent *device* access, used to
     /// decide whether a read is sequential for the cost model.
     last_device_access: AtomicU64,
+    /// Frames parked by scan-readahead waves, consumed by later reads.
+    readahead: Mutex<ReadaheadCache>,
     stats: IoStats,
     device: DeviceModel,
     block_size: usize,
     reuse_last_block: bool,
     simulate_latency: bool,
     memory_resident: [bool; 4],
+    queue_depth: usize,
 }
 
 impl std::fmt::Debug for Disk {
@@ -263,12 +389,14 @@ impl Disk {
                 frame: BlockRef::from_vec(vec![0; config.block_size]),
             }),
             last_device_access: AtomicU64::new(NO_ACCESS),
+            readahead: Mutex::new(ReadaheadCache::new()),
             stats: IoStats::new(),
             device: config.device,
             block_size: config.block_size,
             reuse_last_block: config.reuse_last_block,
             simulate_latency: config.simulate_latency,
             memory_resident: config.memory_resident,
+            queue_depth: config.queue_depth.max(1),
         })
     }
 
@@ -353,6 +481,12 @@ impl Disk {
             self.pool.invalidate(file, b);
         }
         {
+            let mut readahead = self.readahead.lock();
+            for b in start..start + count {
+                readahead.take(&(file, b));
+            }
+        }
+        {
             let mut reuse = self.reuse.lock();
             if reuse.last_read.is_some_and(|(f, b)| f == file && b >= start && b < start + count) {
                 reuse.last_read = None;
@@ -425,6 +559,22 @@ impl Disk {
         kind: BlockKind,
         class: AccessClass,
     ) -> StorageResult<BlockRef> {
+        self.read_ref_hinted(file, block, kind, class, SeqHint::Auto)
+    }
+
+    /// [`Disk::read_ref_class`] with an explicit sequential-cost hint
+    /// ([`SeqHint`]): scan streams that know their block layout pass
+    /// `Sequential` so concurrent readers cannot destroy each other's
+    /// sequentiality through the shared last-access word. With
+    /// `SeqHint::Auto` this is exactly `read_ref_class`.
+    pub fn read_ref_hinted(
+        &self,
+        file: FileId,
+        block: BlockId,
+        kind: BlockKind,
+        class: AccessClass,
+        hint: SeqHint,
+    ) -> StorageResult<BlockRef> {
         if class == AccessClass::Scan {
             self.stats.record_scan_read();
         }
@@ -459,11 +609,39 @@ impl Disk {
             }
         }
 
+        if self.queue_depth > 1 {
+            // Readahead cache: a prefetch wave already paid the device for
+            // this block; consume the parked frame. The read was recorded
+            // when the prefetch fetched it, so this is a cache hit.
+            let parked = self.readahead.lock().take(&(file, block));
+            if let Some(frame) = parked {
+                self.stats.record_readahead_hit();
+                self.stats.record_frame_pinned();
+                if self.pool.capacity() > 0 {
+                    self.pool.put_ref(file, block, kind, class, frame.clone());
+                }
+                self.note_last_read(file, block, &frame);
+                return Ok(frame);
+            }
+            // Scan-class miss: fold the demand fetch and an extent-style
+            // readahead of the next `queue_depth - 1` blocks into one
+            // completion wave (the ext4-extent-walker model) — the wave is
+            // charged `max`, so the sequential prefetches ride along with
+            // the demand miss for free.
+            if class == AccessClass::Scan {
+                return self.scan_miss_with_readahead(file, block, kind, hint);
+            }
+        }
+
         // Device access: load into a fresh frame once; the pool and the
         // reuse slot share it from there.
         let frame = self.load_frame(file, block)?;
         let prev = self.last_device_access.swap(pack_access(file, block), Ordering::Relaxed);
-        let sequential = prev != NO_ACCESS && prev == pack_access(file, block.wrapping_sub(1));
+        let sequential = match hint {
+            SeqHint::Auto => prev != NO_ACCESS && prev == pack_access(file, block.wrapping_sub(1)),
+            SeqHint::Sequential => true,
+            SeqHint::Random => false,
+        };
         self.stats.record_read(kind);
         self.charge(self.device.read_cost(sequential));
 
@@ -473,6 +651,183 @@ impl Disk {
         self.note_last_read(file, block, &frame);
         self.stats.record_frame_pinned();
         Ok(frame)
+    }
+
+    /// Serves a scan-class device miss at `block` together with a readahead
+    /// prefetch of the following blocks of the extent, all as one completion
+    /// wave. Only called with `queue_depth > 1`.
+    fn scan_miss_with_readahead(
+        &self,
+        file: FileId,
+        block: BlockId,
+        kind: BlockKind,
+        hint: SeqHint,
+    ) -> StorageResult<BlockRef> {
+        let end = self.num_blocks(file).unwrap_or(0);
+        let mut reqs = Vec::with_capacity(self.queue_depth);
+        reqs.push(WaveReq { file, block, kind, class: AccessClass::Scan, hint, deliver: true });
+        let mut next = block.saturating_add(1);
+        while reqs.len() < self.queue_depth && next < end {
+            reqs.push(WaveReq {
+                file,
+                block: next,
+                kind,
+                class: AccessClass::Scan,
+                hint: SeqHint::Sequential,
+                deliver: false,
+            });
+            next += 1;
+        }
+        let mut frames = self.run_wave(&reqs)?;
+        frames
+            .swap_remove(0)
+            .ok_or_else(|| StorageError::Corrupt("wave dropped a delivered frame".into()))
+    }
+
+    /// Processes one completion wave of the outstanding-read engine: every
+    /// request is served (cache hits as usual, misses loaded from the
+    /// backend), but the device is charged the *max* of the wave's per-miss
+    /// costs instead of their sum — the requests are in flight together, so
+    /// the wave completes when its slowest member does. The saved difference
+    /// is recorded in [`IoStats::overlap_saved_ns`]. A wave of one request
+    /// charges exactly what the synchronous path charges.
+    ///
+    /// Returns one entry per request, aligned with `reqs`: `Some(frame)` for
+    /// delivered requests, `None` for prefetches (parked or skipped).
+    pub(crate) fn run_wave(&self, reqs: &[WaveReq]) -> StorageResult<Vec<Option<BlockRef>>> {
+        self.stats.record_ios_submitted(reqs.len() as u64);
+        let mut results: Vec<Option<BlockRef>> = Vec::with_capacity(reqs.len());
+        results.resize(reqs.len(), None);
+        // Misses fetched by this wave: (request index, frame, cost).
+        let mut misses: Vec<(usize, BlockRef, u64)> = Vec::new();
+        // Blocks already being fetched by this wave, for duplicate requests.
+        let mut in_wave: HashMap<(FileId, BlockId), usize> = HashMap::new();
+        let mut total_cost = 0u64;
+        let mut max_cost = 0u64;
+
+        for (i, req) in reqs.iter().enumerate() {
+            let at = (req.file, req.block);
+            if !req.deliver {
+                // Prefetch: skip silently when the block is already cached
+                // (or free to read) — parking it would only waste a device
+                // slot.
+                if self.is_memory_resident(req.kind)
+                    || in_wave.contains_key(&at)
+                    || self.readahead.lock().contains(&at)
+                {
+                    continue;
+                }
+                if self.pool.capacity() > 0 {
+                    if let Some(frame) = self.pool.get_ref(req.file, req.block, req.class) {
+                        // Pool-resident: re-park the frame (free — no device
+                        // slot) so the wave's consumer still finds it even if
+                        // the pool evicts the block before the probe
+                        // resolves, e.g. under the churn of the batch's own
+                        // consumptions.
+                        self.readahead.lock().park(at, frame);
+                        continue;
+                    }
+                }
+            } else {
+                if self.is_memory_resident(req.kind) {
+                    let frame = self.load_frame(req.file, req.block)?;
+                    self.stats.record_frame_pinned();
+                    results[i] = Some(frame);
+                    continue;
+                }
+                if self.reuse_last_block {
+                    if let Some(reuse) = self.reuse.try_lock() {
+                        if reuse.last_read == Some(at) {
+                            self.stats.record_reuse_hit();
+                            self.stats.record_frame_pinned();
+                            results[i] = Some(reuse.frame.clone());
+                            continue;
+                        }
+                    }
+                }
+                if self.pool.capacity() > 0 {
+                    if let Some(frame) = self.pool.get_ref(req.file, req.block, req.class) {
+                        self.stats.record_buffer_hit();
+                        self.stats.record_frame_pinned();
+                        self.note_last_read(req.file, req.block, &frame);
+                        results[i] = Some(frame);
+                        continue;
+                    }
+                }
+                let parked = self.readahead.lock().take(&at);
+                if let Some(frame) = parked {
+                    self.stats.record_readahead_hit();
+                    self.stats.record_frame_pinned();
+                    if self.pool.capacity() > 0 {
+                        self.pool.put_ref(req.file, req.block, req.kind, req.class, frame.clone());
+                    }
+                    self.note_last_read(req.file, req.block, &frame);
+                    results[i] = Some(frame);
+                    continue;
+                }
+                if let Some(&m) = in_wave.get(&at) {
+                    // A duplicate of a block this wave is already fetching:
+                    // share the in-flight frame, like last-block reuse.
+                    self.stats.record_reuse_hit();
+                    self.stats.record_frame_pinned();
+                    results[i] = Some(misses[m].1.clone());
+                    continue;
+                }
+            }
+
+            // Device fetch.
+            let frame = self.load_frame(req.file, req.block)?;
+            let prev =
+                self.last_device_access.swap(pack_access(req.file, req.block), Ordering::Relaxed);
+            let sequential = match req.hint {
+                SeqHint::Auto => {
+                    prev != NO_ACCESS && prev == pack_access(req.file, req.block.wrapping_sub(1))
+                }
+                SeqHint::Sequential => true,
+                SeqHint::Random => false,
+            };
+            self.stats.record_read(req.kind);
+            let cost = self.device.read_cost(sequential);
+            total_cost += cost;
+            max_cost = max_cost.max(cost);
+            in_wave.insert(at, misses.len());
+            misses.push((i, frame, cost));
+        }
+
+        // One charge for the whole wave: its members were in flight together.
+        self.stats.note_inflight(misses.len() as u64);
+        self.charge(max_cost);
+        self.stats.record_overlap_saved_ns(total_cost - max_cost);
+
+        // Publish after completion, in submission order, exactly like the
+        // synchronous path publishes after its charge.
+        let mut parked: Vec<((FileId, BlockId), BlockRef)> = Vec::new();
+        for (i, frame, _) in misses {
+            let req = &reqs[i];
+            if req.deliver {
+                if self.pool.capacity() > 0 {
+                    self.pool.put_ref(req.file, req.block, req.kind, req.class, frame.clone());
+                }
+                self.note_last_read(req.file, req.block, &frame);
+                self.stats.record_frame_pinned();
+                results[i] = Some(frame);
+            } else {
+                parked.push(((req.file, req.block), frame));
+            }
+        }
+        if !parked.is_empty() {
+            let mut cache = self.readahead.lock();
+            for (key, frame) in parked {
+                cache.park(key, frame);
+            }
+        }
+        self.stats.record_ios_completed(reqs.len() as u64);
+        Ok(results)
+    }
+
+    /// The configured outstanding-read queue depth.
+    pub fn queue_depth(&self) -> usize {
+        self.queue_depth
     }
 
     /// Reads one block into `buf`, charging the device unless the block is
@@ -535,6 +890,8 @@ impl Disk {
             self.stats.record_write(kind);
             self.charge(self.device.write_cost());
         }
+        // A parked readahead frame for this block is now stale.
+        self.readahead.lock().take(&(file, block));
         // Publish at most one new frame for the cached copies; readers that
         // pinned the previous frame keep their snapshot (immutable frames).
         let mut frame: Option<BlockRef> = None;
@@ -551,7 +908,11 @@ impl Disk {
     }
 
     /// Reads `nblocks` consecutive blocks starting at `start` and returns the
-    /// concatenated bytes. Each block is charged individually.
+    /// concatenated bytes. Each block is charged individually; blocks after
+    /// the first carry an explicit [`SeqHint::Sequential`] — the extent *is*
+    /// contiguous, so concurrent readers must not be able to turn its
+    /// follow-up blocks into random charges through the shared last-access
+    /// word.
     pub fn read_extent(
         &self,
         file: FileId,
@@ -562,7 +923,16 @@ impl Disk {
         let mut out = vec![0u8; nblocks as usize * self.block_size];
         for i in 0..nblocks {
             let off = i as usize * self.block_size;
-            self.read(file, start + i, kind, &mut out[off..off + self.block_size])?;
+            let buf = &mut out[off..off + self.block_size];
+            if self.is_memory_resident(kind) {
+                self.backend.read_block(file, start + i, buf)?;
+                self.stats.record_bytes_copied(self.block_size as u64);
+                continue;
+            }
+            let hint = if i == 0 { SeqHint::Auto } else { SeqHint::Sequential };
+            let frame = self.read_ref_hinted(file, start + i, kind, AccessClass::Point, hint)?;
+            buf.copy_from_slice(&frame);
+            self.stats.record_bytes_copied(self.block_size as u64);
         }
         Ok(out)
     }
@@ -601,11 +971,14 @@ impl Disk {
     pub fn reset_access_state(&self) {
         self.reuse.lock().last_read = None;
         self.last_device_access.store(NO_ACCESS, Ordering::Relaxed);
+        self.readahead.lock().clear();
     }
 
-    /// Empties the buffer pool (used between workload phases).
+    /// Empties the buffer pool and the readahead cache (used between
+    /// workload phases).
     pub fn clear_buffer(&self) {
         self.pool.clear();
+        self.readahead.lock().clear();
     }
 
     /// Buffer pool hit count.
@@ -855,6 +1228,125 @@ mod tests {
         // The pin is the only remaining owner of the old frame (clone-count
         // visibility for the lazy-free contract).
         assert_eq!(pinned.ref_count(), 1);
+    }
+
+    #[test]
+    fn scan_readahead_charges_one_wave_per_extent() {
+        // depth 4, random 100 / seq 5: an 8-block scan costs one random wave
+        // (the demand miss, prefetching 3 more) plus one sequential wave
+        // (the next demand miss at the readahead edge is sequential), i.e.
+        // 100 + 5 instead of 100 + 7 * 5 sequential charges.
+        let d = Disk::in_memory(
+            DiskConfig::with_block_size(128)
+                .device(DeviceModel::custom("t", 100, 1, 5))
+                .queue_depth(4)
+                .reuse_last_block(false),
+        );
+        let f = d.create_file().unwrap();
+        d.allocate(f, 8).unwrap();
+        for b in 0..8u32 {
+            d.write(f, b, BlockKind::Leaf, &[(b + 1) as u8; 128]).unwrap();
+        }
+        d.stats().reset();
+        d.reset_access_state();
+        for b in 0..8u32 {
+            let frame = d.read_ref_scan(f, b, BlockKind::Leaf).unwrap();
+            assert!(frame.iter().all(|&x| x == (b + 1) as u8), "block {b}");
+        }
+        assert_eq!(d.stats().reads(), 8, "readahead never changes the fetched-block count");
+        assert_eq!(d.stats().readahead_hits(), 6, "blocks 1-3 and 5-7 come from readahead");
+        assert_eq!(d.stats().device_ns(), 100 + 5, "two waves: one random, one sequential");
+        assert_eq!(d.stats().scan_reads(), 8);
+
+        // Depth 1 on the same access pattern keeps today's per-block charges.
+        let d1 = Disk::in_memory(
+            DiskConfig::with_block_size(128)
+                .device(DeviceModel::custom("t", 100, 1, 5))
+                .reuse_last_block(false),
+        );
+        let f1 = d1.create_file().unwrap();
+        d1.allocate(f1, 8).unwrap();
+        for b in 0..8u32 {
+            d1.write(f1, b, BlockKind::Leaf, &[0u8; 128]).unwrap();
+        }
+        d1.stats().reset();
+        d1.reset_access_state();
+        for b in 0..8u32 {
+            d1.read_ref_scan(f1, b, BlockKind::Leaf).unwrap();
+        }
+        assert_eq!(d1.stats().device_ns(), 100 + 7 * 5);
+        assert_eq!(d1.stats().readahead_hits(), 0);
+    }
+
+    #[test]
+    fn freeing_and_overwriting_invalidate_parked_readahead_frames() {
+        let d = Disk::in_memory(
+            DiskConfig::with_block_size(128)
+                .device(DeviceModel::custom("t", 100, 1, 5))
+                .queue_depth(4)
+                .reuse_last_block(false),
+        );
+        let f = d.create_file().unwrap();
+        d.allocate(f, 8).unwrap();
+        for b in 0..8u32 {
+            d.write(f, b, BlockKind::Leaf, &[1u8; 128]).unwrap();
+        }
+        d.reset_access_state();
+        // Park blocks 1..=3 via the scan readahead.
+        d.read_ref_scan(f, 0, BlockKind::Leaf).unwrap();
+        // Overwrite block 1: its parked frame must not be served.
+        d.write(f, 1, BlockKind::Leaf, &[9u8; 128]).unwrap();
+        let frame = d.read_ref_scan(f, 1, BlockKind::Leaf).unwrap();
+        assert!(frame.iter().all(|&x| x == 9), "stale readahead frame served after overwrite");
+        // Free blocks 2..=3: their parked frames must be dropped too. (A
+        // point read avoids kicking off another readahead wave here, so the
+        // fetch count moves by exactly one.)
+        d.free(f, 2, 2);
+        let before = d.stats().reads();
+        d.read_ref(f, 2, BlockKind::Leaf).unwrap();
+        assert_eq!(d.stats().reads(), before + 1, "freed block must be re-fetched");
+    }
+
+    #[test]
+    fn sequential_hints_shield_concurrent_scans_from_each_other() {
+        // Two threads each stream their own contiguous 64-block file. With
+        // hint-carrying reads every fetch after a thread's first is charged
+        // sequential regardless of how the threads interleave on the shared
+        // last-access word. (Auto detection would let the interleaving turn
+        // nearly every fetch into a random charge.)
+        let d = Disk::in_memory(
+            DiskConfig::with_block_size(128)
+                .device(DeviceModel::custom("t", 1_000, 1, 7))
+                .reuse_last_block(false),
+        );
+        let f0 = d.create_file().unwrap();
+        let f1 = d.create_file().unwrap();
+        for f in [f0, f1] {
+            d.allocate(f, 64).unwrap();
+            for b in 0..64u32 {
+                d.write(f, b, BlockKind::Leaf, &[3u8; 128]).unwrap();
+            }
+        }
+        d.stats().reset();
+        d.reset_access_state();
+        let d = &d;
+        std::thread::scope(|s| {
+            for f in [f0, f1] {
+                s.spawn(move || {
+                    for b in 0..64u32 {
+                        let hint = if b == 0 { SeqHint::Random } else { SeqHint::Sequential };
+                        d.read_ref_hinted(f, b, BlockKind::Leaf, AccessClass::Scan, hint).unwrap();
+                    }
+                });
+            }
+        });
+        assert_eq!(d.stats().reads(), 128);
+        assert_eq!(
+            d.stats().device_ns(),
+            2 * (1_000 + 63 * 7),
+            "each scan pays one random seek plus 63 sequential charges, \
+             independent of thread interleaving"
+        );
     }
 
     #[test]

@@ -20,6 +20,11 @@
 //!   [`Disk`] so concurrent readers do not serialise on a single pool mutex.
 //! * [`pager::Pager`] — extent allocation on top of a file, required by ALEX
 //!   and LIPP whose variable-sized nodes may span several contiguous blocks.
+//! * [`queue::ReadQueue`] — the outstanding-read engine: an io_uring-shaped
+//!   submission/completion queue that overlaps a wave of fetches (the device
+//!   is charged the max, not the sum, of the wave's costs) and powers the
+//!   scan readahead; at queue depth 1 it degenerates to the synchronous
+//!   path.
 //! * [`Disk`] — the façade combining all of the above, which is what index
 //!   crates actually talk to.
 //!
@@ -44,6 +49,7 @@ pub mod device;
 pub mod disk;
 pub mod error;
 pub mod pager;
+pub mod queue;
 pub mod stats;
 
 pub use backend::{FileBackend, MemoryBackend, StorageBackend};
@@ -53,9 +59,10 @@ pub use buffer::{
 };
 pub use codec::{BlockReader, BlockWriter};
 pub use device::DeviceModel;
-pub use disk::{Disk, DiskConfig, FileId};
+pub use disk::{Disk, DiskConfig, FileId, SeqHint};
 pub use error::{StorageError, StorageResult};
 pub use pager::Pager;
+pub use queue::{Completion, ReadQueue};
 pub use stats::{BlockKind, IoStats, OpStats};
 
 /// Identifier of a block within one file, starting at zero.

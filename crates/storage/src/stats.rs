@@ -96,6 +96,22 @@ pub struct IoStats {
     /// Writer-side stalls: stage or drain steps that found their target lock
     /// (shard mutex or index write lock) contended and had to block for it.
     write_stalls: AtomicU64,
+    /// Read requests entering the outstanding-read engine (one per request in
+    /// a completion wave, whether it missed, hit a cache or was a skipped
+    /// prefetch).
+    ios_submitted: AtomicU64,
+    /// Requests retired by the outstanding-read engine (delivered frames,
+    /// cache hits and parked readahead frames alike).
+    ios_completed: AtomicU64,
+    /// High-water mark of device fetches in flight within one completion
+    /// wave — the effective queue depth actually reached.
+    max_inflight: AtomicU64,
+    /// Device nanoseconds saved by overlapping a wave's fetches: the sum of
+    /// the wave's per-block costs minus the max actually charged.
+    overlap_saved_ns: AtomicU64,
+    /// Reads served from the readahead cache (frames parked by an earlier
+    /// prefetch wave instead of fetched on demand).
+    readahead_hits: AtomicU64,
 }
 
 impl IoStats {
@@ -183,6 +199,32 @@ impl IoStats {
         self.write_stalls.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records `n` requests entering the outstanding-read engine.
+    pub fn record_ios_submitted(&self, n: u64) {
+        self.ios_submitted.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records `n` requests retired by the outstanding-read engine.
+    pub fn record_ios_completed(&self, n: u64) {
+        self.ios_completed.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Raises the in-flight high-water mark to `n` if it is larger than the
+    /// current value.
+    pub fn note_inflight(&self, n: u64) {
+        self.max_inflight.fetch_max(n, Ordering::Relaxed);
+    }
+
+    /// Records device nanoseconds saved by overlapping a wave's fetches.
+    pub fn record_overlap_saved_ns(&self, ns: u64) {
+        self.overlap_saved_ns.fetch_add(ns, Ordering::Relaxed);
+    }
+
+    /// Records one read served from the readahead cache.
+    pub fn record_readahead_hit(&self) {
+        self.readahead_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Total device reads (all kinds), excluding buffer / reuse hits.
     pub fn reads(&self) -> u64 {
         self.reads.iter().map(|c| c.load(Ordering::Relaxed)).sum()
@@ -264,6 +306,31 @@ impl IoStats {
         self.write_stalls.load(Ordering::Relaxed)
     }
 
+    /// Requests submitted to the outstanding-read engine.
+    pub fn ios_submitted(&self) -> u64 {
+        self.ios_submitted.load(Ordering::Relaxed)
+    }
+
+    /// Requests retired by the outstanding-read engine.
+    pub fn ios_completed(&self) -> u64 {
+        self.ios_completed.load(Ordering::Relaxed)
+    }
+
+    /// High-water mark of device fetches in flight within one wave.
+    pub fn max_inflight(&self) -> u64 {
+        self.max_inflight.load(Ordering::Relaxed)
+    }
+
+    /// Device nanoseconds saved by overlapping wave fetches.
+    pub fn overlap_saved_ns(&self) -> u64 {
+        self.overlap_saved_ns.load(Ordering::Relaxed)
+    }
+
+    /// Reads served from the readahead cache.
+    pub fn readahead_hits(&self) -> u64 {
+        self.readahead_hits.load(Ordering::Relaxed)
+    }
+
     /// A point-in-time copy of every counter, used to compute per-operation
     /// deltas.
     pub fn snapshot(&self) -> OpStats {
@@ -282,6 +349,11 @@ impl IoStats {
             drain_entries: self.drain_entries.load(Ordering::Relaxed),
             read_stalls: self.read_stalls.load(Ordering::Relaxed),
             write_stalls: self.write_stalls.load(Ordering::Relaxed),
+            ios_submitted: self.ios_submitted.load(Ordering::Relaxed),
+            ios_completed: self.ios_completed.load(Ordering::Relaxed),
+            max_inflight: self.max_inflight.load(Ordering::Relaxed),
+            overlap_saved_ns: self.overlap_saved_ns.load(Ordering::Relaxed),
+            readahead_hits: self.readahead_hits.load(Ordering::Relaxed),
         }
     }
 
@@ -305,6 +377,11 @@ impl IoStats {
         self.drain_entries.store(0, Ordering::Relaxed);
         self.read_stalls.store(0, Ordering::Relaxed);
         self.write_stalls.store(0, Ordering::Relaxed);
+        self.ios_submitted.store(0, Ordering::Relaxed);
+        self.ios_completed.store(0, Ordering::Relaxed);
+        self.max_inflight.store(0, Ordering::Relaxed);
+        self.overlap_saved_ns.store(0, Ordering::Relaxed);
+        self.readahead_hits.store(0, Ordering::Relaxed);
     }
 }
 
@@ -339,6 +416,17 @@ pub struct OpStats {
     pub read_stalls: u64,
     /// Writer-side lock stalls during the window.
     pub write_stalls: u64,
+    /// Requests submitted to the outstanding-read engine during the window.
+    pub ios_submitted: u64,
+    /// Requests retired by the outstanding-read engine during the window.
+    pub ios_completed: u64,
+    /// In-flight high-water mark. This is a level, not a flow: `since`
+    /// reports the later snapshot's mark, not a difference.
+    pub max_inflight: u64,
+    /// Device nanoseconds saved by wave overlap during the window.
+    pub overlap_saved_ns: u64,
+    /// Readahead-cache hits during the window.
+    pub readahead_hits: u64,
 }
 
 impl OpStats {
@@ -360,6 +448,11 @@ impl OpStats {
             drain_entries: self.drain_entries.saturating_sub(earlier.drain_entries),
             read_stalls: self.read_stalls.saturating_sub(earlier.read_stalls),
             write_stalls: self.write_stalls.saturating_sub(earlier.write_stalls),
+            ios_submitted: self.ios_submitted.saturating_sub(earlier.ios_submitted),
+            ios_completed: self.ios_completed.saturating_sub(earlier.ios_completed),
+            max_inflight: self.max_inflight,
+            overlap_saved_ns: self.overlap_saved_ns.saturating_sub(earlier.overlap_saved_ns),
+            readahead_hits: self.readahead_hits.saturating_sub(earlier.readahead_hits),
         }
     }
 
@@ -469,6 +562,38 @@ mod tests {
         assert_eq!(s.drain_entries(), 0);
         assert_eq!(s.read_stalls(), 0);
         assert_eq!(s.write_stalls(), 0);
+    }
+
+    #[test]
+    fn outstanding_io_counters_accumulate_and_reset() {
+        let s = IoStats::new();
+        s.record_ios_submitted(8);
+        s.record_ios_completed(8);
+        s.note_inflight(5);
+        s.note_inflight(3); // must not lower the high-water mark
+        s.record_overlap_saved_ns(700);
+        s.record_readahead_hit();
+        assert_eq!(s.ios_submitted(), 8);
+        assert_eq!(s.ios_completed(), 8);
+        assert_eq!(s.max_inflight(), 5);
+        assert_eq!(s.overlap_saved_ns(), 700);
+        assert_eq!(s.readahead_hits(), 1);
+
+        let before = s.snapshot();
+        s.record_ios_submitted(4);
+        s.record_ios_completed(4);
+        s.note_inflight(7);
+        let delta = s.snapshot().since(&before);
+        assert_eq!(delta.ios_submitted, 4);
+        assert_eq!(delta.ios_completed, 4);
+        assert_eq!(delta.max_inflight, 7, "high-water mark is a level, not a flow");
+
+        s.reset();
+        assert_eq!(s.ios_submitted(), 0);
+        assert_eq!(s.ios_completed(), 0);
+        assert_eq!(s.max_inflight(), 0);
+        assert_eq!(s.overlap_saved_ns(), 0);
+        assert_eq!(s.readahead_hits(), 0);
     }
 
     #[test]
