@@ -5,7 +5,7 @@ use std::sync::Arc;
 
 use lidx_core::{
     index::validate_bulk_load, Entry, IndexError, IndexKind, IndexRead, IndexResult, IndexStats,
-    IndexWrite, InsertBreakdown, InsertStep, Key, Value,
+    IndexWrite, InsertBreakdown, InsertStep, Key, MetaReader, MetaWriter, Value,
 };
 use lidx_models::LinearModel;
 use lidx_storage::{AccessClass, BlockId, BlockKind, Disk, SeqHint, INVALID_BLOCK};
@@ -99,6 +99,36 @@ impl AlexIndex {
             height: 0,
             smo_count: 0,
             loaded: false,
+            breakdown: InsertBreakdown::new(),
+        })
+    }
+
+    /// Reopens an ALEX index from [`IndexWrite::save_meta`] bytes against a
+    /// disk that already holds its blocks. `config` must match the one the
+    /// index was created with (including the layout).
+    pub fn load(disk: Arc<Disk>, config: AlexConfig, meta: &[u8]) -> IndexResult<Self> {
+        let mut r = MetaReader::new(meta);
+        let inner_file = r.u32()?;
+        let data_file = r.u32()?;
+        let root_is_data = r.u32()? != 0;
+        let root_block = r.u32()?;
+        let key_count = r.u64()?;
+        let data_nodes = r.u64()?;
+        let inner_nodes = r.u64()?;
+        let height = r.u32()?;
+        let smo_count = r.u64()?;
+        Ok(AlexIndex {
+            disk,
+            config,
+            inner_file,
+            data_file,
+            root: ChildPtr { is_data: root_is_data, block: root_block },
+            key_count,
+            data_nodes,
+            inner_nodes,
+            height,
+            smo_count,
+            loaded: true,
             breakdown: InsertBreakdown::new(),
         })
     }
@@ -764,6 +794,22 @@ impl IndexWrite for AlexIndex {
 
     fn insert_breakdown(&self) -> InsertBreakdown {
         self.breakdown
+    }
+
+    fn save_meta(&mut self) -> IndexResult<Vec<u8>> {
+        // Node blocks (inner and data, headers included) are written eagerly,
+        // so the handle's plain fields are the whole state.
+        let mut w = MetaWriter::new();
+        w.u32(self.inner_file)
+            .u32(self.data_file)
+            .u32(self.root.is_data as u32)
+            .u32(self.root.block)
+            .u64(self.key_count)
+            .u64(self.data_nodes)
+            .u64(self.inner_nodes)
+            .u32(self.height)
+            .u64(self.smo_count);
+        Ok(w.finish())
     }
 }
 

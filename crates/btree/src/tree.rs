@@ -4,7 +4,7 @@ use std::sync::Arc;
 
 use lidx_core::{
     index::validate_bulk_load, Entry, IndexError, IndexKind, IndexRead, IndexResult, IndexStats,
-    IndexWrite, InsertBreakdown, InsertStep, Key, Value,
+    IndexWrite, InsertBreakdown, InsertStep, Key, MetaReader, MetaWriter, Value,
 };
 use lidx_storage::{AccessClass, BlockId, BlockKind, BlockWriter, Disk, SeqHint, INVALID_BLOCK};
 
@@ -77,6 +77,34 @@ impl BTreeIndex {
     /// The node capacities derived from the disk's block size.
     pub fn capacity(&self) -> NodeCapacity {
         self.capacity
+    }
+
+    /// Rebuilds a tree handle over blocks already on `disk` from the bytes
+    /// a previous session's [`IndexWrite::save_meta`] produced.
+    pub fn load(disk: Arc<Disk>, config: BTreeConfig, meta: &[u8]) -> IndexResult<Self> {
+        let mut r = MetaReader::new(meta);
+        let file = r.u32()?;
+        let root = r.u32()?;
+        let height = r.u32()?;
+        let key_count = r.u64()?;
+        let inner_nodes = r.u64()?;
+        let leaf_nodes = r.u64()?;
+        let smo_count = r.u64()?;
+        let capacity = NodeCapacity::for_block_size(disk.block_size());
+        Ok(BTreeIndex {
+            disk,
+            config,
+            capacity,
+            file,
+            root,
+            height,
+            key_count,
+            inner_nodes,
+            leaf_nodes,
+            smo_count,
+            loaded: true,
+            breakdown: InsertBreakdown::new(),
+        })
     }
 
     /// The file id holding this tree (exposed for the hybrid designs).
@@ -577,6 +605,19 @@ impl IndexWrite for BTreeIndex {
 
     fn insert_breakdown(&self) -> InsertBreakdown {
         self.breakdown
+    }
+
+    fn save_meta(&mut self) -> IndexResult<Vec<u8>> {
+        self.persist_meta()?;
+        let mut w = MetaWriter::new();
+        w.u32(self.file)
+            .u32(self.root)
+            .u32(self.height)
+            .u64(self.key_count)
+            .u64(self.inner_nodes)
+            .u64(self.leaf_nodes)
+            .u64(self.smo_count);
+        Ok(w.finish())
     }
 }
 

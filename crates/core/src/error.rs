@@ -27,6 +27,10 @@ pub enum IndexError {
     NotInitialized,
     /// An internal invariant was violated; indicates a bug or corrupt data.
     Internal(String),
+    /// The index does not implement an optional capability (e.g. a design
+    /// without a persistence format cannot serve
+    /// [`crate::index::IndexWrite::save_meta`]).
+    Unsupported(&'static str),
 }
 
 impl fmt::Display for IndexError {
@@ -43,6 +47,7 @@ impl fmt::Display for IndexError {
             IndexError::DuplicateKey(k) => write!(f, "key {k} already exists"),
             IndexError::NotInitialized => write!(f, "index has not been initialised"),
             IndexError::Internal(msg) => write!(f, "internal index error: {msg}"),
+            IndexError::Unsupported(op) => write!(f, "operation not supported by this index: {op}"),
         }
     }
 }
@@ -81,5 +86,6 @@ mod tests {
         assert!(IndexError::DuplicateKey(9).to_string().contains('9'));
         assert!(IndexError::NotInitialized.to_string().contains("not been initialised"));
         assert!(IndexError::Internal("oops".into()).to_string().contains("oops"));
+        assert!(IndexError::Unsupported("save_meta").to_string().contains("save_meta"));
     }
 }

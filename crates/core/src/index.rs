@@ -354,6 +354,20 @@ pub trait IndexWrite {
     /// by returning [`InsertBreakdown::new`], so a zeroed breakdown can no
     /// longer silently shadow real measurements.
     fn insert_breakdown(&self) -> InsertBreakdown;
+
+    /// Serialises the index's root metadata — everything needed to rebuild
+    /// the in-memory handle over the blocks already on disk — into an opaque
+    /// byte string. The bytes end up in the superblock's manifest payload
+    /// (checksummed by the storage layer), and each design's inherent
+    /// `load(disk, config, meta)` constructor inverts them after a restart.
+    ///
+    /// Takes `&mut self` so implementations may flush deferred state (e.g.
+    /// an in-memory insert run) before capturing the snapshot. The default
+    /// reports the capability as unsupported; every persistent design in
+    /// this workspace overrides it.
+    fn save_meta(&mut self) -> IndexResult<Vec<u8>> {
+        Err(crate::IndexError::Unsupported("save_meta"))
+    }
 }
 
 /// A disk-resident, updatable ordered index over `u64` keys.
@@ -436,6 +450,10 @@ impl<T: IndexWrite + ?Sized> IndexWrite for Box<T> {
 
     fn insert_breakdown(&self) -> InsertBreakdown {
         (**self).insert_breakdown()
+    }
+
+    fn save_meta(&mut self) -> IndexResult<Vec<u8>> {
+        (**self).save_meta()
     }
 }
 

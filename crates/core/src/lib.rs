@@ -22,6 +22,11 @@
 //!   `&self` while drains take exclusive access one chunk at a time, and a
 //!   key-range-sharded staging map so writer threads race safely against
 //!   overlay readers.
+//! * [`persist::Manifest`] — the restart manifest stored in the storage
+//!   layer's checksummed superblock at every checkpoint: the design tag, its
+//!   [`index::IndexWrite::save_meta`] bytes, and the WAL segment files to
+//!   replay. Both write fronts can attach a WAL (`with_wal` /
+//!   `with_wal_replayed`) so staged entries survive a kill mid-drain.
 //! * [`metrics`] — latency recording (mean / p50 / p99 / standard deviation),
 //!   throughput derivation from the simulated device time, and the
 //!   search / insert / SMO / maintenance breakdown of Fig. 6.
@@ -34,12 +39,14 @@ pub mod concurrent;
 pub mod error;
 pub mod index;
 pub mod metrics;
+pub mod persist;
 pub mod write_buffer;
 
 pub use concurrent::{ConcurrentIndex, ShardedWriteBuffer, ShardedWriteBufferConfig};
 pub use error::{IndexError, IndexResult};
 pub use index::{DiskIndex, IndexKind, IndexRead, IndexStats, IndexWrite};
 pub use metrics::{InsertBreakdown, InsertStep, LatencyRecorder, LatencySummary, Throughput};
+pub use persist::{Manifest, MetaReader, MetaWriter};
 pub use write_buffer::{WriteBuffer, WriteBufferConfig};
 
 /// The key type indexed throughout the evaluation (the paper uses `uint64`).

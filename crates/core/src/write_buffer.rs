@@ -31,11 +31,12 @@
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
-use lidx_storage::Disk;
+use lidx_storage::{Disk, FileId, WalSegment};
 
 use crate::error::IndexResult;
 use crate::index::{DiskIndex, IndexKind, IndexRead, IndexStats, IndexWrite};
 use crate::metrics::InsertBreakdown;
+use crate::persist::{decode_wal_entries, encode_wal_entry, Manifest};
 use crate::{Entry, Key, Value};
 
 /// Configuration of a [`WriteBuffer`].
@@ -147,6 +148,12 @@ pub struct WriteBuffer<I> {
     staged: BTreeMap<Key, Value>,
     drains: u64,
     drained_entries: u64,
+    /// When attached, every staged entry is appended here before it enters
+    /// the overlay, and drains run the checkpoint protocol (sync → drain →
+    /// save_meta → superblock persist → truncate).
+    wal: Option<WalSegment>,
+    /// The design tag written into the manifest (only used with a WAL).
+    tag: String,
 }
 
 impl<I: DiskIndex> WriteBuffer<I> {
@@ -154,7 +161,60 @@ impl<I: DiskIndex> WriteBuffer<I> {
     pub fn new(inner: I, config: WriteBufferConfig) -> Self {
         assert!(config.capacity >= 1, "write buffer capacity must hold at least one entry");
         assert!(config.drain >= 1, "drain chunks must carry at least one entry");
-        WriteBuffer { inner, config, staged: BTreeMap::new(), drains: 0, drained_entries: 0 }
+        WriteBuffer {
+            inner,
+            config,
+            staged: BTreeMap::new(),
+            drains: 0,
+            drained_entries: 0,
+            wal: None,
+            tag: String::new(),
+        }
+    }
+
+    /// Wraps `inner` with a freshly created write-ahead log on its disk.
+    ///
+    /// Every staged entry is logged (group-committed) before it becomes
+    /// visible, and every drain ends in a full checkpoint: WAL sync, drain,
+    /// [`IndexWrite::save_meta`], superblock persist of the [`Manifest`]
+    /// (carrying `tag`), WAL truncate. A process killed at any point resumes
+    /// from the last checkpoint plus the WAL's replayable suffix.
+    pub fn with_wal(inner: I, config: WriteBufferConfig, tag: &str) -> IndexResult<Self> {
+        let wal = WalSegment::create(inner.disk())?;
+        let mut wb = Self::new(inner, config);
+        wb.wal = Some(wal);
+        wb.tag = tag.to_string();
+        Ok(wb)
+    }
+
+    /// Reopens a WAL-backed buffer after a restart: replays the log segment
+    /// stored in `wal_file` into the staging overlay (newest-wins, so
+    /// re-staging entries an interrupted drain already applied is harmless)
+    /// and returns the buffer plus the number of replayed entries.
+    ///
+    /// `inner` must already be the design's `load`-ed handle over the same
+    /// disk. The disk's caches are invalidated so every post-recovery read
+    /// observes device state, not frames cached while replaying.
+    pub fn with_wal_replayed(
+        inner: I,
+        config: WriteBufferConfig,
+        tag: &str,
+        wal_file: FileId,
+    ) -> IndexResult<(Self, u64)> {
+        let disk = Arc::clone(inner.disk());
+        let (wal, payloads) = WalSegment::open(&disk, wal_file)?;
+        let mut wb = Self::new(inner, config);
+        wb.wal = Some(wal);
+        wb.tag = tag.to_string();
+        let mut replayed = 0u64;
+        for payload in payloads {
+            for (key, value) in decode_wal_entries(&payload)? {
+                wb.staged.insert(key, value);
+                replayed += 1;
+            }
+        }
+        disk.invalidate_caches();
+        Ok((wb, replayed))
     }
 
     /// Wraps `inner` with the default configuration.
@@ -195,6 +255,13 @@ impl<I: DiskIndex> WriteBuffer<I> {
         if self.staged.is_empty() {
             return Ok(());
         }
+        // Fsync-point: with a WAL attached, every staged entry must be
+        // durable *before* the drain starts mutating index blocks — a kill
+        // mid-drain then replays the full staged set over the last
+        // checkpoint's structure.
+        if let Some(wal) = &mut self.wal {
+            wal.sync()?;
+        }
         self.drains += 1;
         while !self.staged.is_empty() {
             let chunk: Vec<Entry> =
@@ -205,6 +272,42 @@ impl<I: DiskIndex> WriteBuffer<I> {
                 self.staged.remove(&key);
             }
         }
+        self.write_checkpoint(false)?;
+        Ok(())
+    }
+
+    /// Forces buffered WAL bytes to the device without draining, bounding
+    /// what a crash right now could lose to nothing. No-op without a WAL.
+    pub fn sync_wal(&mut self) -> IndexResult<()> {
+        match &mut self.wal {
+            Some(wal) => Ok(wal.sync()?),
+            None => Ok(()),
+        }
+    }
+
+    /// Drains everything and writes a durable checkpoint with the given
+    /// clean-shutdown flag. `checkpoint(true)` is the orderly-shutdown path;
+    /// crash-recovery tests call `checkpoint(false)` to leave the directory
+    /// in the same shape a kill would. No-op without a WAL beyond the drain.
+    pub fn checkpoint(&mut self, clean: bool) -> IndexResult<()> {
+        self.flush()?;
+        self.write_checkpoint(clean)
+    }
+
+    /// The checkpoint tail: capture `save_meta`, persist the manifest in the
+    /// superblock, then retire the WAL. Ordering is load-bearing — the WAL
+    /// may only be truncated once the superblock owning the drained state is
+    /// durable, so a kill between the two steps merely replays entries the
+    /// drain already applied (idempotent under newest-wins).
+    fn write_checkpoint(&mut self, clean: bool) -> IndexResult<()> {
+        let Some(wal) = &mut self.wal else {
+            return Ok(());
+        };
+        let index_meta = self.inner.save_meta()?;
+        let manifest =
+            Manifest { index_kind: self.tag.clone(), index_meta, wal_files: vec![wal.file()] };
+        self.inner.disk().persist(&manifest.encode(), clean)?;
+        wal.truncate()?;
         Ok(())
     }
 
@@ -309,14 +412,21 @@ impl<I: DiskIndex> IndexRead for WriteBuffer<I> {
 
 impl<I: DiskIndex> IndexWrite for WriteBuffer<I> {
     /// Bulk load goes straight to the wrapped index (the buffer only stages
-    /// post-load inserts).
+    /// post-load inserts). With a WAL attached, the load ends in a durable
+    /// checkpoint so a directory is reopenable right after building.
     fn bulk_load(&mut self, entries: &[Entry]) -> IndexResult<()> {
-        self.inner.bulk_load(entries)
+        self.inner.bulk_load(entries)?;
+        self.write_checkpoint(false)
     }
 
     /// Stages the entry; drains automatically once `capacity` entries are
-    /// buffered. No index I/O happens on the non-draining path.
+    /// buffered. With a WAL attached the entry is logged (group-committed)
+    /// first — a stage that cannot be logged does not happen. No index I/O
+    /// happens on the non-draining path.
     fn insert(&mut self, key: Key, value: Value) -> IndexResult<()> {
+        if let Some(wal) = &mut self.wal {
+            wal.append(&encode_wal_entry(key, value))?;
+        }
         self.staged.insert(key, value);
         if self.staged.len() >= self.config.capacity {
             self.flush()?;

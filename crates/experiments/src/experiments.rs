@@ -711,6 +711,9 @@ pub fn bench_snapshot_to(scale: &Scale, path: &std::path::Path) {
                 "      \"simulated_io_seconds\": {:.6},\n",
                 "      \"bytes_copied\": {},\n",
                 "      \"frames_pinned\": {},\n",
+                "      \"checksum_failures\": {},\n",
+                "      \"io_retries\": {},\n",
+                "      \"wal_appends\": {},\n",
                 "      \"qdepth_sweep\": [\n{}\n      ]\n",
                 "    }}"
             ),
@@ -723,6 +726,9 @@ pub fn bench_snapshot_to(scale: &Scale, path: &std::path::Path) {
             seq.device_seconds,
             seq.bytes_copied,
             seq.frames_pinned,
+            seq.checksum_failures,
+            seq.io_retries,
+            seq.wal_appends,
             qdepth_rows.join(",\n"),
         ));
     }
@@ -1193,6 +1199,7 @@ pub fn all_experiments() -> Vec<(&'static str, ExperimentFn)> {
         ("bench_snapshot", bench_snapshot),
         ("scan_resistance", scan_resistance),
         ("space_reuse_ablation", space_reuse_ablation),
+        ("recovery", crate::recovery::recovery),
     ]
 }
 

@@ -19,7 +19,11 @@
 #![warn(rust_2018_idioms)]
 
 pub mod experiments;
+pub mod recovery;
 pub mod report;
 pub mod runner;
 
+pub use recovery::{
+    create_durable_index, create_durable_index_with, reopen_durable_index, DurableIndex,
+};
 pub use runner::{IndexChoice, RunConfig, WorkloadReport};

@@ -4,14 +4,14 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use lidx_alex::{AlexConfig, AlexIndex, AlexLayout};
-use lidx_btree::BTreeIndex;
+use lidx_btree::{BTreeConfig, BTreeIndex};
 use lidx_core::{
     DiskIndex, Entry, IndexRead, IndexWrite, InsertBreakdown, Key, LatencyRecorder, LatencySummary,
     ShardedWriteBuffer, ShardedWriteBufferConfig, WriteBuffer, WriteBufferConfig,
 };
 use lidx_fiting::{FitingConfig, FitingTree};
 use lidx_hybrid::{HybridConfig, HybridIndex, HybridInnerKind};
-use lidx_lipp::LippIndex;
+use lidx_lipp::{LippConfig, LippIndex};
 use lidx_pgm::{PgmConfig, PgmIndex};
 use lidx_storage::{BlockKind, DeviceModel, Disk, DiskConfig, PoolPartitions, ReplacementPolicy};
 use lidx_workloads::{Op, Workload};
@@ -130,6 +130,44 @@ impl IndexChoice {
                 .expect("hybrid init"),
             ),
         }
+    }
+
+    /// Reopens an index of this kind from its
+    /// [`save_meta`](lidx_core::IndexWrite::save_meta) bytes over a durable
+    /// disk that already holds its blocks. The per-design configurations
+    /// mirror [`IndexChoice::build`] exactly, so a store written by `build`
+    /// always reopens under the same choice.
+    pub fn load(self, disk: Arc<Disk>, meta: &[u8]) -> lidx_core::IndexResult<Box<dyn DiskIndex>> {
+        Ok(match self {
+            IndexChoice::BTree => Box::new(BTreeIndex::load(disk, BTreeConfig::default(), meta)?),
+            IndexChoice::Fiting => Box::new(FitingTree::load(
+                disk,
+                FitingConfig { epsilon: 64, buffer_entries: 256 },
+                meta,
+            )?),
+            IndexChoice::Pgm => Box::new(PgmIndex::load(
+                disk,
+                PgmConfig { epsilon: 64, insert_run_entries: 585 },
+                meta,
+            )?),
+            IndexChoice::Alex => Box::new(AlexIndex::load(disk, AlexConfig::default(), meta)?),
+            IndexChoice::AlexLayout1 => Box::new(AlexIndex::load(
+                disk,
+                AlexConfig { layout: AlexLayout::SingleFile, ..Default::default() },
+                meta,
+            )?),
+            IndexChoice::Lipp => Box::new(LippIndex::load(disk, LippConfig::default(), meta)?),
+            IndexChoice::HybridPla => Box::new(HybridIndex::load(
+                disk,
+                HybridConfig { inner: HybridInnerKind::Pla, ..Default::default() },
+                meta,
+            )?),
+            IndexChoice::HybridModelTree => Box::new(HybridIndex::load(
+                disk,
+                HybridConfig { inner: HybridInnerKind::ModelTree, ..Default::default() },
+                meta,
+            )?),
+        })
     }
 }
 
@@ -485,6 +523,13 @@ pub struct BatchLookupReport {
     pub frames_pinned: u64,
     /// Lookups that returned `None` (should be 0: keys come from the bulk).
     pub not_found: u64,
+    /// Stamp verifications that failed during the measured pass (0 on the
+    /// in-memory experiment disks; non-zero only under fault injection).
+    pub checksum_failures: u64,
+    /// Transient read errors retried during the measured pass.
+    pub io_retries: u64,
+    /// WAL records appended during the measured pass (0: lookups never log).
+    pub wal_appends: u64,
 }
 
 impl BatchLookupReport {
@@ -591,6 +636,9 @@ pub fn run_batch_lookup(
         bytes_copied: stats.bytes_copied(),
         frames_pinned: stats.frames_pinned(),
         not_found,
+        checksum_failures: stats.checksum_failures(),
+        io_retries: stats.io_retries(),
+        wal_appends: stats.wal_appends(),
     }
 }
 

@@ -139,6 +139,27 @@ impl Directory {
         self.file
     }
 
+    /// Root block of the directory tree ([`INVALID_BLOCK`] before the first
+    /// bulk build).
+    pub fn root_block(&self) -> BlockId {
+        self.root
+    }
+
+    /// Reconstructs a directory handle from persisted counters. The blocks
+    /// themselves must already exist on `disk`; no I/O is performed.
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_parts(
+        disk: Arc<Disk>,
+        file: u32,
+        root: BlockId,
+        height: u32,
+        leaf_count: u64,
+        routing_count: u64,
+        segment_count: u64,
+    ) -> Self {
+        Directory { disk, file, root, height, leaf_count, routing_count, segment_count }
+    }
+
     fn read_leaf(&self, block: BlockId) -> IndexResult<DirLeaf> {
         let buf = self.disk.read_ref(self.file, block, BlockKind::Inner)?;
         DirLeaf::decode(&buf)

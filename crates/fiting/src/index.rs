@@ -4,7 +4,7 @@ use std::sync::Arc;
 
 use lidx_core::{
     index::validate_bulk_load, Entry, IndexError, IndexKind, IndexRead, IndexResult, IndexStats,
-    IndexWrite, InsertBreakdown, InsertStep, Key, Value,
+    IndexWrite, InsertBreakdown, InsertStep, Key, MetaReader, MetaWriter, Value,
 };
 use lidx_models::pla::ShrinkingCone;
 use lidx_storage::{AccessClass, BlockId, BlockKind, Disk, SeqHint};
@@ -76,6 +76,45 @@ impl FitingTree {
             key_count: 0,
             smo_count: 0,
             loaded: false,
+            breakdown: InsertBreakdown::new(),
+        })
+    }
+
+    /// Reopens a FITing-tree from [`IndexWrite::save_meta`] bytes against a
+    /// disk that already holds its blocks. `config` must match the one the
+    /// tree was created with.
+    pub fn load(disk: Arc<Disk>, config: FitingConfig, meta: &[u8]) -> IndexResult<Self> {
+        let mut r = MetaReader::new(meta);
+        let seg_file = r.u32()?;
+        let global_min_key = r.u64()?;
+        let overflow_count = r.u32()?;
+        let key_count = r.u64()?;
+        let smo_count = r.u64()?;
+        let dir_file = r.u32()?;
+        let dir_root = r.u32()?;
+        let dir_height = r.u32()?;
+        let dir_leaves = r.u64()?;
+        let dir_routing = r.u64()?;
+        let dir_segments = r.u64()?;
+        let directory = Directory::from_parts(
+            Arc::clone(&disk),
+            dir_file,
+            dir_root,
+            dir_height,
+            dir_leaves,
+            dir_routing,
+            dir_segments,
+        );
+        Ok(FitingTree {
+            disk,
+            config,
+            directory,
+            seg_file,
+            global_min_key,
+            overflow_count,
+            key_count,
+            smo_count,
+            loaded: true,
             breakdown: InsertBreakdown::new(),
         })
     }
@@ -685,6 +724,24 @@ impl IndexWrite for FitingTree {
 
     fn insert_breakdown(&self) -> InsertBreakdown {
         self.breakdown
+    }
+
+    fn save_meta(&mut self) -> IndexResult<Vec<u8>> {
+        // Every block (segments, buffers, directory nodes, overflow) is
+        // written eagerly, so the handle's plain fields are the whole state.
+        let mut w = MetaWriter::new();
+        w.u32(self.seg_file)
+            .u64(self.global_min_key)
+            .u32(self.overflow_count)
+            .u64(self.key_count)
+            .u64(self.smo_count)
+            .u32(self.directory.file_id())
+            .u32(self.directory.root_block())
+            .u32(self.directory.height())
+            .u64(self.directory.leaf_nodes())
+            .u64(self.directory.routing_nodes())
+            .u64(self.directory.segment_count());
+        Ok(w.finish())
     }
 }
 

@@ -4,7 +4,7 @@ use std::sync::Arc;
 
 use lidx_core::{
     index::validate_bulk_load, Entry, IndexError, IndexKind, IndexRead, IndexResult, IndexStats,
-    IndexWrite, InsertBreakdown, InsertStep, Key, Value,
+    IndexWrite, InsertBreakdown, InsertStep, Key, MetaReader, MetaWriter, Value,
 };
 use lidx_storage::{BlockId, Disk};
 
@@ -84,6 +84,47 @@ impl HybridIndex {
             key_count: 0,
             smo_count: 0,
             loaded: false,
+            breakdown: InsertBreakdown::new(),
+        })
+    }
+
+    /// Reopens a hybrid index from [`IndexWrite::save_meta`] bytes against a
+    /// disk that already holds its leaf blocks. `config` must match the one
+    /// the index was created with (including the inner flavour). The learned
+    /// inner directory is rebuilt from the persisted boundary table — the
+    /// same refresh path leaf splits take — so it lands in fresh blocks.
+    pub fn load(disk: Arc<Disk>, config: HybridConfig, meta: &[u8]) -> IndexResult<Self> {
+        let mut r = MetaReader::new(meta);
+        let leaf_file = r.u32()?;
+        let leaf_count = r.u64()?;
+        let loaded = r.u32()? != 0;
+        let key_count = r.u64()?;
+        let smo_count = r.u64()?;
+        let boundary_count = r.u32()? as usize;
+        let mut boundaries = Vec::with_capacity(boundary_count.min(1 << 20));
+        for _ in 0..boundary_count {
+            boundaries.push((r.u64()?, r.u32()?));
+        }
+        let leaves =
+            LeafLevel::from_parts(Arc::clone(&disk), leaf_file, config.leaf_fill, leaf_count);
+        let mut inner: Box<dyn InnerDirectory + Send + Sync> = match config.inner {
+            HybridInnerKind::Pla => Box::new(PlaInner::new(Arc::clone(&disk), config.epsilon)?),
+            HybridInnerKind::ModelTree => {
+                Box::new(ModelTreeInner::new(Arc::clone(&disk), config.gap_factor)?)
+            }
+        };
+        if !boundaries.is_empty() {
+            inner.rebuild(&boundaries)?;
+        }
+        Ok(HybridIndex {
+            disk,
+            config,
+            leaves,
+            inner,
+            boundaries,
+            key_count,
+            smo_count,
+            loaded,
             breakdown: InsertBreakdown::new(),
         })
     }
@@ -343,6 +384,23 @@ impl IndexWrite for HybridIndex {
 
     fn insert_breakdown(&self) -> InsertBreakdown {
         self.breakdown
+    }
+
+    fn save_meta(&mut self) -> IndexResult<Vec<u8>> {
+        // Leaf blocks are written eagerly; the inner directory is derivable
+        // from the boundary table (it is rebuilt on load), so the meta is
+        // the leaf-level parts plus the boundaries.
+        let mut w = MetaWriter::new();
+        w.u32(self.leaves.file_id())
+            .u64(self.leaves.leaf_count())
+            .u32(self.loaded as u32)
+            .u64(self.key_count)
+            .u64(self.smo_count)
+            .u32(self.boundaries.len() as u32);
+        for &(key, block) in &self.boundaries {
+            w.u64(key).u32(block);
+        }
+        Ok(w.finish())
     }
 }
 

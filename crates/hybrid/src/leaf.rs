@@ -45,6 +45,13 @@ impl LeafLevel {
         Ok(LeafLevel { disk, file, capacity, fill, leaf_count: 0 })
     }
 
+    /// Reconstructs a leaf level from persisted parts. The leaf blocks must
+    /// already exist on `disk`; no I/O is performed.
+    pub fn from_parts(disk: Arc<Disk>, file: u32, fill: f64, leaf_count: u64) -> Self {
+        let capacity = NodeCapacity::for_block_size(disk.block_size()).leaf_entries;
+        LeafLevel { disk, file, capacity, fill, leaf_count }
+    }
+
     /// The file holding the leaves.
     pub fn file_id(&self) -> u32 {
         self.file

@@ -5,7 +5,7 @@ use std::sync::Arc;
 
 use lidx_core::{
     index::validate_bulk_load, Entry, IndexError, IndexKind, IndexRead, IndexResult, IndexStats,
-    IndexWrite, InsertBreakdown, InsertStep, Key, Value,
+    IndexWrite, InsertBreakdown, InsertStep, Key, MetaReader, MetaWriter, Value,
 };
 use lidx_models::fmcd::fit_fmcd;
 use lidx_storage::{AccessClass, BlockId, BlockKind, Disk, SeqHint};
@@ -78,6 +78,31 @@ impl LippIndex {
             max_depth: 0,
             smo_count: 0,
             loaded: false,
+            breakdown: InsertBreakdown::new(),
+        })
+    }
+
+    /// Reopens a LIPP index from [`IndexWrite::save_meta`] bytes against a
+    /// disk that already holds its blocks. `config` must match the one the
+    /// index was created with.
+    pub fn load(disk: Arc<Disk>, config: LippConfig, meta: &[u8]) -> IndexResult<Self> {
+        let mut r = MetaReader::new(meta);
+        let file = r.u32()?;
+        let root = r.u32()?;
+        let key_count = r.u64()?;
+        let node_count = r.u64()?;
+        let max_depth = r.u32()?;
+        let smo_count = r.u64()?;
+        Ok(LippIndex {
+            disk,
+            config,
+            file,
+            root,
+            key_count,
+            node_count,
+            max_depth,
+            smo_count,
+            loaded: true,
             breakdown: InsertBreakdown::new(),
         })
     }
@@ -625,6 +650,20 @@ impl IndexWrite for LippIndex {
 
     fn insert_breakdown(&self) -> InsertBreakdown {
         self.breakdown
+    }
+
+    fn save_meta(&mut self) -> IndexResult<Vec<u8>> {
+        // Node blocks (headers included — `flush_dirty_headers` runs before
+        // any batch returns) are written eagerly, so the handle's plain
+        // fields are the whole state.
+        let mut w = MetaWriter::new();
+        w.u32(self.file)
+            .u32(self.root)
+            .u64(self.key_count)
+            .u64(self.node_count)
+            .u32(self.max_depth)
+            .u64(self.smo_count);
+        Ok(w.finish())
     }
 }
 

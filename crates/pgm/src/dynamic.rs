@@ -18,7 +18,7 @@ use std::sync::Arc;
 
 use lidx_core::{
     index::validate_bulk_load, Entry, IndexError, IndexKind, IndexRead, IndexResult, IndexStats,
-    IndexWrite, InsertBreakdown, InsertStep, Key, Value,
+    IndexWrite, InsertBreakdown, InsertStep, Key, MetaReader, MetaWriter, Value,
 };
 use lidx_storage::{AccessClass, BlockKind, Disk};
 
@@ -81,6 +81,38 @@ impl PgmIndex {
             key_count: 0,
             smo_count: 0,
             loaded: false,
+            breakdown: InsertBreakdown::new(),
+        })
+    }
+
+    /// Reopens a dynamic PGM-index from [`IndexWrite::save_meta`] bytes
+    /// against a disk that already holds its blocks. `config` must match the
+    /// one the index was created with.
+    pub fn load(disk: Arc<Disk>, config: PgmConfig, meta: &[u8]) -> IndexResult<Self> {
+        let mut r = MetaReader::new(meta);
+        let run_file = r.u32()?;
+        let run = r.u32()?;
+        let key_count = r.u64()?;
+        let smo_count = r.u64()?;
+        let level_count = r.u32()? as usize;
+        let mut levels = Vec::with_capacity(level_count.min(64));
+        for _ in 0..level_count {
+            let occupied = r.u32()? != 0;
+            levels.push(if occupied {
+                Some(StaticPgm::load_meta(Arc::clone(&disk), &mut r)?)
+            } else {
+                None
+            });
+        }
+        Ok(PgmIndex {
+            disk,
+            config,
+            run_file,
+            run,
+            levels,
+            key_count,
+            smo_count,
+            loaded: true,
             breakdown: InsertBreakdown::new(),
         })
     }
@@ -424,6 +456,30 @@ impl IndexWrite for PgmIndex {
 
     fn insert_breakdown(&self) -> InsertBreakdown {
         self.breakdown
+    }
+
+    fn save_meta(&mut self) -> IndexResult<Vec<u8>> {
+        // The insert run and every component block are written eagerly, so
+        // the handle fields plus each component's metadata are the whole
+        // state.
+        let mut w = MetaWriter::new();
+        w.u32(self.run_file)
+            .u32(self.run)
+            .u64(self.key_count)
+            .u64(self.smo_count)
+            .u32(self.levels.len() as u32);
+        for level in &self.levels {
+            match level {
+                Some(component) => {
+                    w.u32(1);
+                    component.save_meta(&mut w);
+                }
+                None => {
+                    w.u32(0);
+                }
+            }
+        }
+        Ok(w.finish())
     }
 }
 

@@ -18,7 +18,7 @@
 use std::collections::{BTreeSet, HashMap};
 use std::sync::Arc;
 
-use lidx_core::{Entry, IndexError, IndexResult, Key, Value};
+use lidx_core::{Entry, IndexError, IndexResult, Key, MetaReader, MetaWriter, Value};
 use lidx_models::pla::segment_keys;
 use lidx_models::LinearModel;
 use lidx_storage::{AccessClass, BlockKind, BlockRef, Disk, SeqHint};
@@ -244,6 +244,46 @@ impl StaticPgm {
     /// Total blocks occupied by this component's file.
     pub fn blocks(&self) -> u64 {
         self.disk.num_blocks(self.file).unwrap_or(0) as u64
+    }
+
+    /// Serialises the component's placement metadata (file id, level table,
+    /// in-memory root record, key bounds) into `w`. The inverse of
+    /// [`load_meta`](Self::load_meta).
+    pub fn save_meta(&self, w: &mut MetaWriter) {
+        w.u32(self.file)
+            .u64(self.epsilon as u64)
+            .u64(self.len)
+            .u32(self.data_blocks)
+            .u32(self.levels.len() as u32);
+        for l in &self.levels {
+            w.u32(l.first_block).u64(l.records);
+        }
+        w.u64(self.root.first_key)
+            .f64(self.root.slope)
+            .u64(self.root.start)
+            .u32(self.root.len)
+            .u64(self.min_key)
+            .u64(self.max_key);
+    }
+
+    /// Rebuilds a component handle from metadata written by
+    /// [`save_meta`](Self::save_meta); the blocks themselves must already
+    /// exist on `disk`.
+    pub fn load_meta(disk: Arc<Disk>, r: &mut MetaReader<'_>) -> IndexResult<Self> {
+        let file = r.u32()?;
+        let epsilon = r.u64()? as usize;
+        let len = r.u64()?;
+        let data_blocks = r.u32()?;
+        let level_count = r.u32()? as usize;
+        let mut levels = Vec::with_capacity(level_count.min(64));
+        for _ in 0..level_count {
+            levels.push(LevelInfo { first_block: r.u32()?, records: r.u64()? });
+        }
+        let root =
+            SegRecord { first_key: r.u64()?, slope: r.f64()?, start: r.u64()?, len: r.u32()? };
+        let min_key = r.u64()?;
+        let max_key = r.u64()?;
+        Ok(StaticPgm { disk, file, epsilon, len, data_blocks, levels, root, min_key, max_key })
     }
 
     /// Frees every block of the component (called after an LSM merge; models

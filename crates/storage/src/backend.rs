@@ -55,6 +55,34 @@ pub trait StorageBackend: Send + Sync {
     /// Writes `data` (exactly one block long) into block `block` of `file`.
     fn write_block(&self, file: u32, block: BlockId, data: &[u8]) -> StorageResult<()>;
 
+    /// Stores the integrity stamp of block `block` in the backend's sidecar
+    /// table (see [`crate::format::BlockStamp`]). Stamps live *next to*
+    /// blocks, not inside them, so enabling verification never changes block
+    /// capacity. The default is a no-op for backends without a sidecar.
+    fn write_stamp(&self, _file: u32, _block: BlockId, _stamp: &[u8]) -> StorageResult<()> {
+        Ok(())
+    }
+
+    /// Reads back the stamp of block `block`, or `None` when the block has
+    /// never been stamped (never written, or the backend keeps no sidecar).
+    fn read_stamp(&self, _file: u32, _block: BlockId) -> StorageResult<Option<Vec<u8>>> {
+        Ok(None)
+    }
+
+    /// Grows the logical block count of `file` to cover every whole block
+    /// physically present in the underlying store, returning the new count.
+    ///
+    /// The superblock's per-file counts are authoritative on reopen for
+    /// index files (a torn trailing extend must not expose garbage), but a
+    /// WAL file legitimately grows *between* checkpoints: its post-checkpoint
+    /// extends carry synced records that replay must see. The WAL validates
+    /// every adopted block by stamp, epoch and record CRC, so trailing
+    /// garbage is trimmed, not trusted. The default (backends whose logical
+    /// and physical sizes always agree) is a no-op.
+    fn adopt_physical_size(&self, file: u32) -> StorageResult<u32> {
+        self.num_blocks(file)
+    }
+
     /// Total number of files.
     fn num_files(&self) -> u32;
 }
@@ -64,13 +92,20 @@ pub trait StorageBackend: Send + Sync {
 pub struct MemoryBackend {
     block_size: usize,
     files: RwLock<Vec<Vec<u8>>>,
+    /// Per-file sidecar stamp tables, keyed by block id. Kept outside the
+    /// block vectors so stamping never perturbs block capacity.
+    stamps: RwLock<Vec<std::collections::HashMap<BlockId, Vec<u8>>>>,
 }
 
 impl MemoryBackend {
     /// Creates an empty backend with the given block size.
     pub fn new(block_size: usize) -> Self {
         assert!(block_size >= 64, "block size must be at least 64 bytes");
-        MemoryBackend { block_size, files: RwLock::new(Vec::new()) }
+        MemoryBackend {
+            block_size,
+            files: RwLock::new(Vec::new()),
+            stamps: RwLock::new(Vec::new()),
+        }
     }
 
     fn check(&self, files: &[Vec<u8>], file: u32, block: BlockId) -> StorageResult<usize> {
@@ -91,6 +126,7 @@ impl StorageBackend for MemoryBackend {
     fn create_file(&self) -> StorageResult<u32> {
         let mut files = self.files.write();
         files.push(Vec::new());
+        self.stamps.write().push(std::collections::HashMap::new());
         Ok((files.len() - 1) as u32)
     }
 
@@ -129,6 +165,19 @@ impl StorageBackend for MemoryBackend {
         Ok(())
     }
 
+    fn write_stamp(&self, file: u32, block: BlockId, stamp: &[u8]) -> StorageResult<()> {
+        let mut stamps = self.stamps.write();
+        let table = stamps.get_mut(file as usize).ok_or(StorageError::UnknownFile(file))?;
+        table.insert(block, stamp.to_vec());
+        Ok(())
+    }
+
+    fn read_stamp(&self, file: u32, block: BlockId) -> StorageResult<Option<Vec<u8>>> {
+        let stamps = self.stamps.read();
+        let table = stamps.get(file as usize).ok_or(StorageError::UnknownFile(file))?;
+        Ok(table.get(&block).cloned())
+    }
+
     fn num_files(&self) -> u32 {
         self.files.read().len() as u32
     }
@@ -152,6 +201,8 @@ pub struct FileBackend {
 #[derive(Debug, Default)]
 struct FileBackendState {
     files: Vec<File>,
+    /// `file_<id>.sum` sidecars holding one 12-byte stamp per block.
+    sums: Vec<File>,
     sizes: Vec<u32>,
 }
 
@@ -162,6 +213,47 @@ impl FileBackend {
         let dir = dir.into();
         std::fs::create_dir_all(&dir)?;
         Ok(FileBackend { block_size, dir, state: RwLock::new(FileBackendState::default()) })
+    }
+
+    /// Reopens an existing store without truncating anything. `file_blocks`
+    /// (the superblock's per-file counts) is authoritative: every listed
+    /// file is opened and sized to at least its recorded count, so a torn
+    /// trailing `extend` from before the crash cannot shrink the visible
+    /// address space below the last checkpoint.
+    pub fn open_existing(
+        dir: impl Into<PathBuf>,
+        block_size: usize,
+        file_blocks: &[u32],
+    ) -> StorageResult<Self> {
+        assert!(block_size >= 64, "block size must be at least 64 bytes");
+        let dir = dir.into();
+        let mut state = FileBackendState::default();
+        for (id, &blocks) in file_blocks.iter().enumerate() {
+            let path = dir.join(format!("file_{id}.blk"));
+            // Reopen keeps whatever is already on disk: recovery decides
+            // what to trust, not the open call.
+            let f = OpenOptions::new()
+                .read(true)
+                .write(true)
+                .create(true)
+                .truncate(false)
+                .open(&path)?;
+            let want = blocks as u64 * block_size as u64;
+            if f.metadata()?.len() < want {
+                f.set_len(want)?;
+            }
+            let sum_path = dir.join(format!("file_{id}.sum"));
+            let sum = OpenOptions::new()
+                .read(true)
+                .write(true)
+                .create(true)
+                .truncate(false)
+                .open(&sum_path)?;
+            state.files.push(f);
+            state.sums.push(sum);
+            state.sizes.push(blocks);
+        }
+        Ok(FileBackend { block_size, dir, state: RwLock::new(state) })
     }
 
     /// The directory backing this store.
@@ -230,13 +322,27 @@ impl StorageBackend for FileBackend {
         let id = state.files.len() as u32;
         let path = self.dir.join(format!("file_{id}.blk"));
         let f = OpenOptions::new().read(true).write(true).create(true).truncate(true).open(path)?;
+        let sum_path = self.dir.join(format!("file_{id}.sum"));
+        let sum =
+            OpenOptions::new().read(true).write(true).create(true).truncate(true).open(sum_path)?;
         state.files.push(f);
+        state.sums.push(sum);
         state.sizes.push(0);
         Ok(id)
     }
 
     fn num_blocks(&self, file: u32) -> StorageResult<u32> {
         self.state.read().sizes.get(file as usize).copied().ok_or(StorageError::UnknownFile(file))
+    }
+
+    fn adopt_physical_size(&self, file: u32) -> StorageResult<u32> {
+        let mut state = self.state.write();
+        let current = *state.sizes.get(file as usize).ok_or(StorageError::UnknownFile(file))?;
+        let physical =
+            (state.files[file as usize].metadata()?.len() / self.block_size as u64) as u32;
+        let adopted = current.max(physical);
+        state.sizes[file as usize] = adopted;
+        Ok(adopted)
     }
 
     fn extend(&self, file: u32, count: u32) -> StorageResult<BlockId> {
@@ -267,6 +373,31 @@ impl StorageBackend for FileBackend {
         let f = state.checked(file, block)?;
         write_at(f, data, block as u64 * self.block_size as u64)?;
         Ok(())
+    }
+
+    fn write_stamp(&self, file: u32, block: BlockId, stamp: &[u8]) -> StorageResult<()> {
+        let state = self.state.read();
+        state.checked(file, block)?;
+        let sum = &state.sums[file as usize];
+        write_at(sum, stamp, block as u64 * stamp.len() as u64)?;
+        Ok(())
+    }
+
+    fn read_stamp(&self, file: u32, block: BlockId) -> StorageResult<Option<Vec<u8>>> {
+        let state = self.state.read();
+        state.checked(file, block)?;
+        let sum = &state.sums[file as usize];
+        let mut buf = vec![0u8; crate::format::BlockStamp::BYTES];
+        let off = block as u64 * buf.len() as u64;
+        if sum.metadata()?.len() < off + buf.len() as u64 {
+            // Block never stamped (e.g. allocated but never written).
+            return Ok(None);
+        }
+        read_at(sum, &mut buf, off)?;
+        if buf.iter().all(|&b| b == 0) {
+            return Ok(None);
+        }
+        Ok(Some(buf))
     }
 
     fn num_files(&self) -> u32 {

@@ -35,6 +35,21 @@ pub enum StorageError {
     },
     /// Corrupt or truncated on-disk data was encountered while decoding.
     Corrupt(String),
+    /// A block's stored CRC32 did not match its contents — the block was
+    /// torn, bit-flipped, or never fully written. Surfaced by the verified
+    /// read path; callers must treat the block as unreadable, never as
+    /// zeroed or partially valid data.
+    ChecksumMismatch {
+        /// File the corrupted block belongs to.
+        file: u32,
+        /// Block whose checksum failed.
+        block: u32,
+    },
+    /// A transient device error (simulated `EIO`). The [`Disk`](crate::Disk)
+    /// read path retries these with bounded backoff before surfacing the
+    /// error; seeing one from a public API means the retry budget was
+    /// exhausted.
+    Transient(String),
     /// An underlying operating-system I/O error (file backend only).
     Io(std::io::Error),
 }
@@ -53,6 +68,10 @@ impl fmt::Display for StorageError {
                 write!(f, "attempted to write {got} bytes into a {capacity}-byte block")
             }
             StorageError::Corrupt(msg) => write!(f, "corrupt on-disk data: {msg}"),
+            StorageError::ChecksumMismatch { file, block } => {
+                write!(f, "checksum mismatch reading block {block} of file {file}")
+            }
+            StorageError::Transient(msg) => write!(f, "transient I/O error: {msg}"),
             StorageError::Io(e) => write!(f, "I/O error: {e}"),
         }
     }
@@ -90,6 +109,11 @@ mod tests {
         assert!(e.to_string().contains("bad magic"));
         let e = StorageError::UnknownFile(7);
         assert!(e.to_string().contains('7'));
+        let e = StorageError::ChecksumMismatch { file: 2, block: 11 };
+        assert!(e.to_string().contains("block 11"));
+        assert!(e.to_string().contains("file 2"));
+        let e = StorageError::Transient("injected EIO".into());
+        assert!(e.to_string().contains("transient"));
     }
 
     #[test]

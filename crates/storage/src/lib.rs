@@ -27,6 +27,16 @@
 //!   path.
 //! * [`Disk`] — the façade combining all of the above, which is what index
 //!   crates actually talk to.
+//! * [`mod@format`] — the crash-safe on-disk format: CRC32 block stamps
+//!   ([`format::BlockStamp`]) verified on every read of a durable disk, and
+//!   the double-buffered, checksummed [`format::Superblock`] that anchors a
+//!   directory across restarts.
+//! * [`wal::WalSegment`] — an append-only, checksummed, length-prefixed log
+//!   over a utility file; write buffers log staged entries here so a crash
+//!   mid-drain replays cleanly on reopen.
+//! * [`fault::FaultPlan`] / [`fault::FaultingBackend`] — deterministic fault
+//!   injection (failed writes, torn writes, read bit-flips, transient EIO)
+//!   wrapped around any backend, powering the kill-and-recover test suites.
 //!
 //! The read path is zero-copy: [`Disk::read_ref`] hands out pinned
 //! [`buffer::BlockRef`] frames (`Arc`-backed, read-only) instead of copying
@@ -48,9 +58,12 @@ pub mod codec;
 pub mod device;
 pub mod disk;
 pub mod error;
+pub mod fault;
+pub mod format;
 pub mod pager;
 pub mod queue;
 pub mod stats;
+pub mod wal;
 
 pub use backend::{FileBackend, MemoryBackend, StorageBackend};
 pub use buffer::{
@@ -61,9 +74,12 @@ pub use codec::{BlockReader, BlockWriter};
 pub use device::DeviceModel;
 pub use disk::{Disk, DiskConfig, FileId, SeqHint};
 pub use error::{StorageError, StorageResult};
+pub use fault::{FaultPlan, FaultingBackend};
+pub use format::{crc32, BlockStamp, Superblock, FORMAT_VERSION};
 pub use pager::Pager;
 pub use queue::{Completion, ReadQueue};
 pub use stats::{BlockKind, IoStats, OpStats};
+pub use wal::WalSegment;
 
 /// Identifier of a block within one file, starting at zero.
 pub type BlockId = u32;

@@ -91,6 +91,15 @@ impl Pager {
         self.file_mut(file).allocated_blocks += u64::from(count);
     }
 
+    /// Raises `file`'s allocated-block counter to at least `total`. Used
+    /// when a reopen adopts physically present blocks that the superblock's
+    /// checkpoint predates (a WAL tail that grew between checkpoints), so
+    /// the footprint reporting stays consistent with the backend.
+    pub fn note_adopted(&mut self, file: u32, total: u32) {
+        let state = self.file_mut(file);
+        state.allocated_blocks = state.allocated_blocks.max(u64::from(total));
+    }
+
     /// Marks an extent as freed (invalidated by an SMO).
     pub fn free(&mut self, file: u32, start: BlockId, count: u32) {
         if count == 0 {

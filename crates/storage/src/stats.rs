@@ -112,6 +112,17 @@ pub struct IoStats {
     /// Reads served from the readahead cache (frames parked by an earlier
     /// prefetch wave instead of fetched on demand).
     readahead_hits: AtomicU64,
+    /// Records appended to a write-ahead-log segment.
+    wal_appends: AtomicU64,
+    /// Payload + record-header bytes appended to WAL segments.
+    wal_bytes: AtomicU64,
+    /// Entries re-staged from WAL segments during recovery replay.
+    replayed_entries: AtomicU64,
+    /// Verified reads whose block stamp failed (torn or bit-flipped block).
+    checksum_failures: AtomicU64,
+    /// Transient device read errors absorbed by the bounded-backoff retry
+    /// loop (each retry attempt counts once, whether it succeeded or not).
+    io_retries: AtomicU64,
 }
 
 impl IoStats {
@@ -225,6 +236,27 @@ impl IoStats {
         self.readahead_hits.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records one WAL record append of `bytes` bytes (header + payload).
+    pub fn record_wal_append(&self, bytes: u64) {
+        self.wal_appends.fetch_add(1, Ordering::Relaxed);
+        self.wal_bytes.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Records `n` entries re-staged from a WAL during recovery replay.
+    pub fn record_replayed_entries(&self, n: u64) {
+        self.replayed_entries.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records one verified read whose block stamp failed.
+    pub fn record_checksum_failure(&self) {
+        self.checksum_failures.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one retry of a transiently failing device read.
+    pub fn record_io_retry(&self) {
+        self.io_retries.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Total device reads (all kinds), excluding buffer / reuse hits.
     pub fn reads(&self) -> u64 {
         self.reads.iter().map(|c| c.load(Ordering::Relaxed)).sum()
@@ -331,6 +363,31 @@ impl IoStats {
         self.readahead_hits.load(Ordering::Relaxed)
     }
 
+    /// Records appended to WAL segments.
+    pub fn wal_appends(&self) -> u64 {
+        self.wal_appends.load(Ordering::Relaxed)
+    }
+
+    /// Bytes appended to WAL segments (record headers included).
+    pub fn wal_bytes(&self) -> u64 {
+        self.wal_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Entries re-staged from WAL segments during recovery replay.
+    pub fn replayed_entries(&self) -> u64 {
+        self.replayed_entries.load(Ordering::Relaxed)
+    }
+
+    /// Verified reads whose block stamp failed.
+    pub fn checksum_failures(&self) -> u64 {
+        self.checksum_failures.load(Ordering::Relaxed)
+    }
+
+    /// Transient read errors absorbed by the retry loop.
+    pub fn io_retries(&self) -> u64 {
+        self.io_retries.load(Ordering::Relaxed)
+    }
+
     /// A point-in-time copy of every counter, used to compute per-operation
     /// deltas.
     pub fn snapshot(&self) -> OpStats {
@@ -354,6 +411,11 @@ impl IoStats {
             max_inflight: self.max_inflight.load(Ordering::Relaxed),
             overlap_saved_ns: self.overlap_saved_ns.load(Ordering::Relaxed),
             readahead_hits: self.readahead_hits.load(Ordering::Relaxed),
+            wal_appends: self.wal_appends.load(Ordering::Relaxed),
+            wal_bytes: self.wal_bytes.load(Ordering::Relaxed),
+            replayed_entries: self.replayed_entries.load(Ordering::Relaxed),
+            checksum_failures: self.checksum_failures.load(Ordering::Relaxed),
+            io_retries: self.io_retries.load(Ordering::Relaxed),
         }
     }
 
@@ -382,6 +444,11 @@ impl IoStats {
         self.max_inflight.store(0, Ordering::Relaxed);
         self.overlap_saved_ns.store(0, Ordering::Relaxed);
         self.readahead_hits.store(0, Ordering::Relaxed);
+        self.wal_appends.store(0, Ordering::Relaxed);
+        self.wal_bytes.store(0, Ordering::Relaxed);
+        self.replayed_entries.store(0, Ordering::Relaxed);
+        self.checksum_failures.store(0, Ordering::Relaxed);
+        self.io_retries.store(0, Ordering::Relaxed);
     }
 }
 
@@ -427,6 +494,16 @@ pub struct OpStats {
     pub overlap_saved_ns: u64,
     /// Readahead-cache hits during the window.
     pub readahead_hits: u64,
+    /// WAL records appended during the window.
+    pub wal_appends: u64,
+    /// WAL bytes appended during the window.
+    pub wal_bytes: u64,
+    /// Entries re-staged from WAL replay during the window.
+    pub replayed_entries: u64,
+    /// Checksum verification failures during the window.
+    pub checksum_failures: u64,
+    /// Transient-read retries during the window.
+    pub io_retries: u64,
 }
 
 impl OpStats {
@@ -453,6 +530,11 @@ impl OpStats {
             max_inflight: self.max_inflight,
             overlap_saved_ns: self.overlap_saved_ns.saturating_sub(earlier.overlap_saved_ns),
             readahead_hits: self.readahead_hits.saturating_sub(earlier.readahead_hits),
+            wal_appends: self.wal_appends.saturating_sub(earlier.wal_appends),
+            wal_bytes: self.wal_bytes.saturating_sub(earlier.wal_bytes),
+            replayed_entries: self.replayed_entries.saturating_sub(earlier.replayed_entries),
+            checksum_failures: self.checksum_failures.saturating_sub(earlier.checksum_failures),
+            io_retries: self.io_retries.saturating_sub(earlier.io_retries),
         }
     }
 
@@ -594,6 +676,38 @@ mod tests {
         assert_eq!(s.max_inflight(), 0);
         assert_eq!(s.overlap_saved_ns(), 0);
         assert_eq!(s.readahead_hits(), 0);
+    }
+
+    #[test]
+    fn durability_counters_accumulate_and_reset() {
+        let s = IoStats::new();
+        s.record_wal_append(48);
+        s.record_wal_append(32);
+        s.record_replayed_entries(100);
+        s.record_checksum_failure();
+        s.record_io_retry();
+        s.record_io_retry();
+        assert_eq!(s.wal_appends(), 2);
+        assert_eq!(s.wal_bytes(), 80);
+        assert_eq!(s.replayed_entries(), 100);
+        assert_eq!(s.checksum_failures(), 1);
+        assert_eq!(s.io_retries(), 2);
+
+        let before = s.snapshot();
+        s.record_wal_append(16);
+        s.record_io_retry();
+        let delta = s.snapshot().since(&before);
+        assert_eq!(delta.wal_appends, 1);
+        assert_eq!(delta.wal_bytes, 16);
+        assert_eq!(delta.io_retries, 1);
+        assert_eq!(delta.checksum_failures, 0);
+
+        s.reset();
+        assert_eq!(s.wal_appends(), 0);
+        assert_eq!(s.wal_bytes(), 0);
+        assert_eq!(s.replayed_entries(), 0);
+        assert_eq!(s.checksum_failures(), 0);
+        assert_eq!(s.io_retries(), 0);
     }
 
     #[test]
