@@ -1,0 +1,186 @@
+//! Beyond the paper — read throughput behind the sharded serving router.
+//!
+//! The `sharded_serving` experiment target sweeps shard counts at serving
+//! scale with a racing background writer; this bench isolates the *router*
+//! cost and the stall-avoidance mechanism at micro scale. Four reader
+//! threads drive scrambled-zipfian lookups through a `ShardedIndex` at 1,
+//! 4 and 16 shards while one writer continuously stages and flushes fresh
+//! keys, with the device cost model realised as blocking time. At one
+//! shard every drain chunk pauses all readers; at sixteen, a drain pins
+//! only the shard it lands on, so the per-iteration time dropping with the
+//! shard count is the contention relief the router buys.
+//!
+//! A summary table of aggregate throughput and speedup vs one shard is
+//! printed after the Criterion measurements.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lidx_core::{
+    DiskIndex, IndexRead, IndexWrite, ShardedIndex, ShardedIndexConfig, ShardedWriteBufferConfig,
+};
+use lidx_experiments::runner::IndexChoice;
+use lidx_storage::{DeviceModel, Disk, DiskConfig};
+use lidx_workloads::{Dataset, ScrambledZipfian};
+
+/// Keys bulk-loaded across the router (split over however many shards).
+const BULK_KEYS: usize = 50_000;
+/// Total lookups per measured round, split across [`READERS`] threads.
+const LOOKUPS_PER_ROUND: usize = 192;
+/// Reader threads racing the background writer.
+const READERS: usize = 4;
+/// Shard counts swept by the bench.
+const SHARD_SWEEP: [usize; 3] = [1, 4, 16];
+/// Indexes covered (one per structural family keeps the sweep quick; the
+/// `sharded_serving` experiment target sweeps all seven variants).
+const CHOICES: [IndexChoice; 3] = [IndexChoice::BTree, IndexChoice::Pgm, IndexChoice::HybridPla];
+
+fn sim_ssd_disk() -> Arc<Disk> {
+    Disk::in_memory(
+        DiskConfig::with_block_size(4096)
+            .device(DeviceModel::custom("ssd-25us", 25_000, 30_000, 15_000))
+            .simulate_latency(true),
+    )
+}
+
+/// A loaded router plus the probe population and a writer key stream.
+struct Serving {
+    router: Arc<ShardedIndex<Box<dyn DiskIndex>>>,
+    probe: Vec<u64>,
+    fresh: Vec<u64>,
+}
+
+fn loaded(choice: IndexChoice, shards: usize) -> Serving {
+    let keys = Dataset::Ycsb.generate_keys(BULK_KEYS + BULK_KEYS / 4, 0xC0C0);
+    let (bulk_keys, fresh) = keys.split_at(BULK_KEYS);
+    let mut bulk: Vec<(u64, u64)> = bulk_keys.iter().map(|&k| (k, k + 1)).collect();
+    bulk.sort_unstable();
+    bulk.dedup_by_key(|e| e.0);
+    let config = ShardedIndexConfig {
+        shards,
+        buffer: ShardedWriteBufferConfig { capacity: 1024, drain: 64, shards: 4 },
+    };
+    let mut router = ShardedIndex::with_sampled_boundaries(
+        Box::new(move || Ok(choice.build(sim_ssd_disk()))),
+        config,
+        bulk_keys,
+    )
+    .expect("build router");
+    router.bulk_load(&bulk).expect("bulk load");
+    let probe: Vec<u64> = bulk.iter().map(|&(k, _)| k).collect();
+    let mut fresh: Vec<u64> = fresh.to_vec();
+    fresh.sort_unstable();
+    fresh.dedup();
+    fresh.retain(|k| probe.binary_search(k).is_err());
+    Serving { router: Arc::new(router), probe, fresh }
+}
+
+/// One measured round: `LOOKUPS_PER_ROUND` zipfian lookups split across
+/// [`READERS`] threads while the caller-supplied writer keeps draining.
+fn round(s: &Serving, zipf: &ScrambledZipfian, round_no: usize) {
+    let per_thread = LOOKUPS_PER_ROUND / READERS;
+    std::thread::scope(|scope| {
+        for t in 0..READERS {
+            let router = Arc::clone(&s.router);
+            let probe = &s.probe;
+            scope.spawn(move || {
+                let mut rng = ((0x5EED_0000 + round_no as u64) << 8) | t as u64;
+                for _ in 0..per_thread {
+                    rng = rng.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                    let mut z = rng;
+                    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                    let u = ((z ^ (z >> 31)) >> 11) as f64 / (1u64 << 53) as f64;
+                    let k = probe[zipf.position(u)];
+                    router.lookup(k).expect("lookup");
+                }
+            });
+        }
+    });
+}
+
+/// Spawns the background writer: stages chunks of fresh keys and flushes
+/// (draining into shard indexes under the device cost model) until stopped.
+fn with_writer<R>(s: &Serving, body: impl FnOnce() -> R) -> R {
+    let stop = AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        let router = Arc::clone(&s.router);
+        let fresh = &s.fresh;
+        let stop_ref = &stop;
+        scope.spawn(move || {
+            let mut at = 0usize;
+            while !stop_ref.load(Ordering::Relaxed) {
+                let chunk: Vec<(u64, u64)> =
+                    fresh.iter().cycle().skip(at).take(64).map(|&k| (k, k + 1)).collect();
+                at = (at + 64) % fresh.len().max(1);
+                router.stage_batch(&chunk).expect("stage");
+                router.flush().expect("flush");
+            }
+        });
+        let out = body();
+        stop.store(true, Ordering::Relaxed);
+        out
+    })
+}
+
+fn bench_shard_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sharded_serving");
+    group.warm_up_time(Duration::from_millis(200));
+    group.measurement_time(Duration::from_millis(1200));
+    for choice in CHOICES {
+        for shards in SHARD_SWEEP {
+            let s = loaded(choice, shards);
+            let zipf = ScrambledZipfian::new(s.probe.len(), 0.99);
+            let mut round_no = 0;
+            with_writer(&s, || {
+                group.bench_function(BenchmarkId::new(choice.name(), format!("s{shards}")), |b| {
+                    b.iter(|| {
+                        round(&s, &zipf, round_no);
+                        round_no += 1;
+                    })
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+/// Prints aggregate lookups/second and the speedup over one shard, the
+/// micro-scale echo of the `sharded_serving` acceptance signal (>=3x at
+/// 16 shards under zipfian reads).
+fn scaling_summary(_c: &mut Criterion) {
+    eprintln!("  --- aggregate throughput summary (simulated 25us SSD, {READERS} readers) ---");
+    for choice in CHOICES {
+        let mut base = 0.0f64;
+        for shards in SHARD_SWEEP {
+            let s = loaded(choice, shards);
+            let zipf = ScrambledZipfian::new(s.probe.len(), 0.99);
+            const ROUNDS: usize = 8;
+            let secs = with_writer(&s, || {
+                // One untimed warm round, then a few timed ones.
+                round(&s, &zipf, 0);
+                let t0 = Instant::now();
+                for r in 1..=ROUNDS {
+                    round(&s, &zipf, r);
+                }
+                t0.elapsed().as_secs_f64()
+            });
+            let ops_per_sec = (ROUNDS * LOOKUPS_PER_ROUND) as f64 / secs;
+            if shards == 1 {
+                base = ops_per_sec;
+            }
+            eprintln!(
+                "  {:>12} s{:<2}: {:>10.0} ops/s  ({:.2}x vs 1 shard)",
+                choice.name(),
+                shards,
+                ops_per_sec,
+                ops_per_sec / base
+            );
+        }
+    }
+}
+
+criterion_group!(benches, bench_shard_scaling, scaling_summary);
+criterion_main!(benches);

@@ -226,6 +226,31 @@ impl Default for ShardedWriteBufferConfig {
     }
 }
 
+/// Places `shards - 1` boundaries at the quantiles of `sample` (sorted and
+/// deduplicated first), so a `shards`-way contiguous key-range partition
+/// sees a comparable load even for skewed key populations. Returns an
+/// empty vector (a single unbounded shard) for an empty sample or
+/// `shards <= 1`; collapsing quantiles of a small sample are deduplicated,
+/// so fewer than `shards - 1` boundaries may come back.
+///
+/// This is the boundary machinery shared by
+/// [`ShardedWriteBuffer::with_sampled_boundaries`] (staging shards within
+/// one instance) and
+/// [`crate::sharded::ShardedIndex::with_sampled_boundaries`] (keyspace
+/// shards across instances).
+pub fn sampled_boundaries(sample: &[Key], shards: usize) -> Vec<Key> {
+    if sample.is_empty() || shards <= 1 {
+        return Vec::new();
+    }
+    let mut sorted = sample.to_vec();
+    sorted.sort_unstable();
+    sorted.dedup();
+    let mut boundaries: Vec<Key> =
+        (1..shards).map(|s| sorted[(s * sorted.len() / shards).min(sorted.len() - 1)]).collect();
+    boundaries.dedup();
+    boundaries
+}
+
 /// One key-range shard of the staging front.
 struct Shard {
     /// The staged entries of this key range.
@@ -364,17 +389,10 @@ impl<I: DiskIndex> ShardedWriteBuffer<I> {
         config: ShardedWriteBufferConfig,
         sample: &[Key],
     ) -> Self {
-        let shards = config.shards.max(1);
-        if sample.is_empty() || shards == 1 {
+        let boundaries = sampled_boundaries(sample, config.shards.max(1));
+        if boundaries.is_empty() {
             return Self::new(inner, config);
         }
-        let mut sorted = sample.to_vec();
-        sorted.sort_unstable();
-        sorted.dedup();
-        let mut boundaries: Vec<Key> = (1..shards)
-            .map(|s| sorted[(s * sorted.len() / shards).min(sorted.len() - 1)])
-            .collect();
-        boundaries.dedup();
         Self::with_boundaries(inner, config, boundaries)
     }
 

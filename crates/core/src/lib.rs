@@ -40,13 +40,17 @@ pub mod error;
 pub mod index;
 pub mod metrics;
 pub mod persist;
+pub mod sharded;
 pub mod write_buffer;
 
-pub use concurrent::{ConcurrentIndex, ShardedWriteBuffer, ShardedWriteBufferConfig};
+pub use concurrent::{
+    sampled_boundaries, ConcurrentIndex, ShardedWriteBuffer, ShardedWriteBufferConfig,
+};
 pub use error::{IndexError, IndexResult};
 pub use index::{DiskIndex, IndexKind, IndexRead, IndexStats, IndexWrite};
 pub use metrics::{InsertBreakdown, InsertStep, LatencyRecorder, LatencySummary, Throughput};
 pub use persist::{Manifest, MetaReader, MetaWriter};
+pub use sharded::{ShardFactory, ShardedIndex, ShardedIndexConfig};
 pub use write_buffer::{WriteBuffer, WriteBufferConfig};
 
 /// The key type indexed throughout the evaluation (the paper uses `uint64`).

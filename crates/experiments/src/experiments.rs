@@ -1168,6 +1168,172 @@ pub fn mixed_workload_to(scale: &Scale, path: &std::path::Path) {
     println!("wrote {path}");
 }
 
+/// The per-shard staging config the sharded-serving sweep uses: the same
+/// capacity/drain shape as the mixed sweep, with fewer staging sub-shards
+/// per front because write contention is already spread across keyspace
+/// shards.
+pub fn sharded_serving_buffer_config() -> lidx_core::ShardedWriteBufferConfig {
+    lidx_core::ShardedWriteBufferConfig { capacity: 1024, drain: 64, shards: 4 }
+}
+
+/// Beyond the paper: the sharded serving layer. Every design runs behind
+/// `ShardedIndex` at 1, 4 and 16 shards under zipfian and uniform read
+/// streams, racing `scale.threads` workers against a continuously draining
+/// background writer; every multi-shard row also executes one online
+/// hot-shard split mid-run and proves `lost == 0` afterwards. Full runs
+/// are floored at a 2 M-key bulk load (the tens-of-millions regime scales
+/// with `--keys`/`--bulk`); smoke scales pass through untouched.
+pub fn sharded_serving(scale: &Scale) {
+    sharded_serving_to(scale, std::path::Path::new("BENCH_sharded.json"));
+}
+
+/// [`sharded_serving`] with an explicit output path (tests write to a temp
+/// file; the `exp` binary always writes `BENCH_sharded.json` in the cwd).
+pub fn sharded_serving_to(scale: &Scale, path: &std::path::Path) {
+    let path = path.display();
+    println!(
+        "== Sharded serving: shard-count sweep under zipfian/uniform reads (writing {path}) =="
+    );
+    // Smoke scales (--quick) pass through; anything full-sized is floored
+    // at the 2 M-key serving regime the sweep is about.
+    let eff = if scale.keys < 100_000 {
+        scale.clone()
+    } else {
+        Scale {
+            keys: scale.keys.max(2_500_000),
+            bulk_keys: scale.bulk_keys.max(2_000_000),
+            ..scale.clone()
+        }
+    };
+    let cfg = RunConfig {
+        device: DeviceModel::custom("ssd-25us", 25_000, 30_000, 15_000),
+        simulate_device_latency: true,
+        ..Default::default()
+    };
+    let buffer = sharded_serving_buffer_config();
+    let w = eff.mixed_workload(Dataset::Ycsb, WorkloadKind::Balanced);
+    let threads = eff.threads.max(1);
+    let shard_sweep = [1usize, 4, 16];
+    let mut table = Table::new([
+        "index",
+        "dist",
+        "shards",
+        "ops/s",
+        "speedup",
+        "splits",
+        "read stalls",
+        "write stalls",
+    ]);
+    let mut entries = Vec::new();
+    for choice in IndexChoice::ALL_DESIGNS {
+        for dist in crate::runner::KeyDist::ALL {
+            let mut base = 0.0f64;
+            for &shards in &shard_sweep {
+                let r = crate::runner::run_sharded_serving(
+                    choice,
+                    &cfg,
+                    &w,
+                    dist,
+                    shards,
+                    threads,
+                    eff.ops,
+                    buffer,
+                    shards > 1,
+                );
+                assert_eq!(r.not_found, 0, "{choice:?} {dist:?} bulk keys must stay visible");
+                assert_eq!(r.lost, 0, "{choice:?} {dist:?} staged keys must survive the race");
+                if shards > 1 {
+                    assert!(r.splits >= 1, "{choice:?} {dist:?} online split must have fired");
+                    assert_eq!(r.shards_final, shards + 1, "split must add one shard");
+                }
+                if shards == 1 {
+                    base = r.aggregate_ops_per_sec();
+                }
+                let speedup = r.aggregate_ops_per_sec() / base.max(f64::MIN_POSITIVE);
+                table.row([
+                    r.index.clone(),
+                    r.dist.to_string(),
+                    shards.to_string(),
+                    ops(r.aggregate_ops_per_sec()),
+                    f2(speedup),
+                    r.splits.to_string(),
+                    r.read_stalls.to_string(),
+                    r.write_stalls.to_string(),
+                ]);
+                entries.push(format!(
+                    concat!(
+                        "    {{\n",
+                        "      \"index\": \"{}\",\n",
+                        "      \"dist\": \"{}\",\n",
+                        "      \"shards\": {},\n",
+                        "      \"shards_final\": {},\n",
+                        "      \"threads\": {},\n",
+                        "      \"aggregate_ops_per_sec\": {:.1},\n",
+                        "      \"speedup_vs_1_shard\": {:.4},\n",
+                        "      \"lookups\": {},\n",
+                        "      \"inserts\": {},\n",
+                        "      \"writer_entries\": {},\n",
+                        "      \"drain_chunks\": {},\n",
+                        "      \"read_stalls\": {},\n",
+                        "      \"write_stalls\": {},\n",
+                        "      \"splits\": {},\n",
+                        "      \"split_overlapped\": {},\n",
+                        "      \"not_found\": {},\n",
+                        "      \"lost\": {}\n",
+                        "    }}"
+                    ),
+                    r.index,
+                    r.dist,
+                    shards,
+                    r.shards_final,
+                    r.threads,
+                    r.aggregate_ops_per_sec(),
+                    speedup,
+                    r.lookups,
+                    r.inserts,
+                    r.writer_entries,
+                    r.drain_chunks,
+                    r.read_stalls,
+                    r.write_stalls,
+                    r.splits,
+                    r.split_overlapped,
+                    r.not_found,
+                    r.lost,
+                ));
+            }
+        }
+    }
+    table.print();
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"schema\": \"lidx-bench-sharded-v1\",\n",
+            "  \"workload\": \"serving-95r5w/ycsb\",\n",
+            "  \"device\": \"ssd-25us\",\n",
+            "  \"buffer\": {{ \"capacity\": {}, \"drain\": {}, \"shards\": {} }},\n",
+            "  \"keys\": {},\n",
+            "  \"bulk_keys\": {},\n",
+            "  \"ops_per_thread\": {},\n",
+            "  \"threads\": {},\n",
+            "  \"zipfian_theta\": 0.99,\n",
+            "  \"seed\": {},\n",
+            "  \"runs\": [\n{}\n  ]\n",
+            "}}\n"
+        ),
+        buffer.capacity,
+        buffer.drain,
+        buffer.shards,
+        eff.keys,
+        eff.bulk_keys,
+        eff.ops,
+        threads,
+        eff.seed,
+        entries.join(",\n"),
+    );
+    std::fs::write(path.to_string(), json).expect("write sharded snapshot");
+    println!("wrote {path}");
+}
+
 /// An experiment entry: a stable name and the function that prints it.
 pub type ExperimentFn = fn(&Scale);
 
@@ -1199,6 +1365,7 @@ pub fn all_experiments() -> Vec<(&'static str, ExperimentFn)> {
         ("bench_snapshot", bench_snapshot),
         ("scan_resistance", scan_resistance),
         ("space_reuse_ablation", space_reuse_ablation),
+        ("sharded_serving", sharded_serving),
         ("recovery", crate::recovery::recovery),
     ]
 }
@@ -1384,6 +1551,38 @@ mod tests {
         // 7 designs x 3 mixes x 2 thread counts (tiny scale: threads = 2).
         assert_eq!(s.matches("\"index\":").count(), 42);
         assert!(!s.contains("\"lost\": 1"), "no run may lose a staged key");
+    }
+
+    #[test]
+    fn sharded_serving_writes_machine_readable_json() {
+        // Tiny scale checks the mechanics and the self-checks inside the
+        // phase (not_found == 0, lost == 0, an online split on every
+        // multi-shard row); the aggregate *scaling* is a release-mode
+        // property pinned by the checked-in BENCH_sharded.json.
+        let path = std::env::temp_dir().join("lidx_sharded_snapshot_test.json");
+        sharded_serving_to(&tiny(), &path);
+        let s = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        for field in [
+            "\"schema\": \"lidx-bench-sharded-v1\"",
+            "\"dist\": \"zipfian\"",
+            "\"dist\": \"uniform\"",
+            "\"shards\": 16",
+            "\"shards_final\": 17",
+            "aggregate_ops_per_sec",
+            "speedup_vs_1_shard",
+            "\"zipfian_theta\": 0.99",
+            "\"buffer\": { \"capacity\": 1024, \"drain\": 64, \"shards\": 4 }",
+        ] {
+            assert!(s.contains(field), "sharded snapshot misses {field}");
+        }
+        assert!(s.contains("+sharded"), "router names must carry +sharded");
+        // 7 designs x 2 distributions x 3 shard counts.
+        assert_eq!(s.matches("\"index\":").count(), 42);
+        assert!(!s.contains("\"lost\": 1"), "no run may lose a staged key");
+        // Every multi-shard row split online (asserted per-run inside the
+        // phase); 28 of the 42 rows ran multi-shard.
+        assert_eq!(s.matches("\"splits\": 1").count(), 28);
     }
 
     #[test]

@@ -22,8 +22,10 @@ pub mod experiments;
 pub mod recovery;
 pub mod report;
 pub mod runner;
+pub mod sharded_recovery;
 
 pub use recovery::{
     create_durable_index, create_durable_index_with, reopen_durable_index, DurableIndex,
 };
 pub use runner::{IndexChoice, RunConfig, WorkloadReport};
+pub use sharded_recovery::{DurableShardedRouter, SplitFault};

@@ -7,14 +7,15 @@ use lidx_alex::{AlexConfig, AlexIndex, AlexLayout};
 use lidx_btree::{BTreeConfig, BTreeIndex};
 use lidx_core::{
     DiskIndex, Entry, IndexRead, IndexWrite, InsertBreakdown, Key, LatencyRecorder, LatencySummary,
-    ShardedWriteBuffer, ShardedWriteBufferConfig, WriteBuffer, WriteBufferConfig,
+    ShardedIndex, ShardedIndexConfig, ShardedWriteBuffer, ShardedWriteBufferConfig, WriteBuffer,
+    WriteBufferConfig,
 };
 use lidx_fiting::{FitingConfig, FitingTree};
 use lidx_hybrid::{HybridConfig, HybridIndex, HybridInnerKind};
 use lidx_lipp::{LippConfig, LippIndex};
 use lidx_pgm::{PgmConfig, PgmIndex};
 use lidx_storage::{BlockKind, DeviceModel, Disk, DiskConfig, PoolPartitions, ReplacementPolicy};
-use lidx_workloads::{Op, Workload};
+use lidx_workloads::{Op, ScrambledZipfian, Workload};
 
 /// Which index to build.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -1127,6 +1128,293 @@ pub fn run_mixed_workload(
         drained_entries,
         read_stalls,
         write_stalls,
+        lost,
+    }
+}
+
+/// Key distribution the sharded-serving phase draws its read stream from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KeyDist {
+    /// Every bulk-loaded key equally likely.
+    Uniform,
+    /// Scrambled zipfian (YCSB theta = 0.99): a few hot keys absorb most
+    /// of the traffic, scattered uniformly over the keyspace.
+    Zipfian,
+}
+
+impl KeyDist {
+    /// Both distributions, skewed first (the interesting one).
+    pub const ALL: [KeyDist; 2] = [KeyDist::Zipfian, KeyDist::Uniform];
+
+    /// Lowercase name used in report rows and `BENCH_sharded.json`.
+    pub fn name(self) -> &'static str {
+        match self {
+            KeyDist::Uniform => "uniform",
+            KeyDist::Zipfian => "zipfian",
+        }
+    }
+}
+
+/// Everything measured by one [`run_sharded_serving`] phase: N worker
+/// threads serving a read-mostly stream against a [`ShardedIndex`] while a
+/// background writer continuously stages and drains, optionally with one
+/// online hot-shard split racing the workload.
+///
+/// Throughput is wall-clock, as in [`MixedWorkloadReport`]: the phase
+/// exists to observe how per-shard write fronts confine drain stalls to
+/// one key range while a single-shard router serialises every reader
+/// behind every drain chunk.
+#[derive(Debug, Clone)]
+pub struct ShardedServingReport {
+    /// Router name (`<inner>+rw+swb+shardedN`).
+    pub index: String,
+    /// Read-key distribution (`zipfian` / `uniform`).
+    pub dist: &'static str,
+    /// Shard count the router was built with.
+    pub shards_initial: usize,
+    /// Shard count after the run (differs when the online split fired).
+    pub shards_final: usize,
+    /// Number of worker threads (the background writer is extra).
+    pub threads: usize,
+    /// Operations executed by the worker threads.
+    pub total_ops: u64,
+    /// Worker lookups executed.
+    pub lookups: u64,
+    /// Worker inserts staged.
+    pub inserts: u64,
+    /// Entries the background writer staged during the measured window.
+    pub writer_entries: u64,
+    /// Wall-clock seconds from the first worker starting to the last one
+    /// finishing.
+    pub wall_seconds: f64,
+    /// Worker lookups of bulk-loaded keys that returned `None` (must be
+    /// 0; a split/merge never drops an entry).
+    pub not_found: u64,
+    /// Exclusive drain chunks applied across all live shard disks.
+    pub drain_chunks: u64,
+    /// Reader stalls summed across all live shard disks and the router.
+    pub read_stalls: u64,
+    /// Writer stalls summed across all live shard disks and the router.
+    pub write_stalls: u64,
+    /// Online splits executed during the run.
+    pub splits: u64,
+    /// True when the split fired while workers still had operations in
+    /// flight (the "online" claim; false when the run was too short).
+    pub split_overlapped: bool,
+    /// Staged keys a post-run lookup failed to find after the final flush
+    /// (the rebalance-race oracle; must be zero).
+    pub lost: u64,
+}
+
+impl ShardedServingReport {
+    /// Aggregate worker operations per wall-clock second.
+    pub fn aggregate_ops_per_sec(&self) -> f64 {
+        if self.wall_seconds <= 0.0 {
+            f64::INFINITY
+        } else {
+            self.total_ops as f64 / self.wall_seconds
+        }
+    }
+}
+
+/// Bulk loads `choice` behind a [`ShardedIndex`] with `shards` shards
+/// (boundaries sampled from the full key population, one fresh [`Disk`]
+/// per shard) and races `threads` worker threads — 95 % lookups drawn
+/// from `dist`, 5 % staged inserts — against one background writer that
+/// continuously stages chunks and flushes them through every shard's
+/// drain path.
+///
+/// With `split_hot` set (and more than one shard), once a quarter of the
+/// worker operations have completed the hottest shard — measured by
+/// routing a sample of the read distribution — is split online at its
+/// median while the workload keeps racing. After the workers finish, the
+/// router is flushed and every staged key is looked up once (unmeasured);
+/// misses are reported as `lost` — zero proves the split moved every
+/// entry and routed every racing write.
+#[allow(clippy::too_many_arguments)]
+pub fn run_sharded_serving(
+    choice: IndexChoice,
+    config: &RunConfig,
+    workload: &Workload,
+    dist: KeyDist,
+    shards: usize,
+    threads: usize,
+    ops_per_thread: usize,
+    buffer: ShardedWriteBufferConfig,
+    split_hot: bool,
+) -> ShardedServingReport {
+    assert!(threads >= 1, "at least one worker thread is required");
+    assert!(shards >= 1, "at least one shard is required");
+    let bulk_keys: Vec<Key> = workload.bulk.iter().map(|e| e.0).collect();
+    assert!(!bulk_keys.is_empty(), "sharded serving needs a non-empty bulk load");
+    let pool: Vec<Entry> = workload
+        .ops
+        .iter()
+        .filter_map(|op| match *op {
+            Op::Insert(k, v) => Some((k, v)),
+            _ => None,
+        })
+        .collect();
+    assert!(!pool.is_empty(), "sharded serving needs insert operations (the writer's fuel)");
+    let writer_start = pool.len() - pool.len() / 3;
+    let (worker_pool, writer_pool) = pool.split_at(writer_start.min(pool.len() - 1).max(1));
+
+    let run_config = *config;
+    let factory = move || Ok(choice.build(run_config.make_disk()));
+    let mut boundary_sample: Vec<Key> =
+        bulk_keys.iter().chain(pool.iter().map(|(k, _)| k)).copied().collect();
+    boundary_sample.sort_unstable();
+    let router_config = ShardedIndexConfig { shards, buffer };
+    let mut router =
+        ShardedIndex::with_sampled_boundaries(Box::new(factory), router_config, &boundary_sample)
+            .expect("build router");
+    router.bulk_load(&workload.bulk).expect("bulk load");
+
+    for disk in router.shard_disks() {
+        disk.stats().reset();
+        disk.clear_buffer();
+        disk.reset_access_state();
+    }
+    router.disk().stats().reset();
+
+    let zipf = ScrambledZipfian::new(bulk_keys.len(), 0.99);
+    let router = &router;
+    let bulk_keys = &bulk_keys;
+    let zipf = &zipf;
+    let stop = std::sync::atomic::AtomicBool::new(false);
+    let stop = &stop;
+    let ops_done = std::sync::atomic::AtomicU64::new(0);
+    let ops_done = &ops_done;
+    let chunk = buffer.drain.max(1);
+    let total_expected = (threads * ops_per_thread) as u64;
+
+    let (wall_seconds, lookups, inserts, not_found, staged_counts, writer_entries, split_state) =
+        std::thread::scope(|s| {
+            let writer = s.spawn(move || {
+                let mut staged = 0u64;
+                'outer: loop {
+                    for c in writer_pool.chunks(chunk) {
+                        if stop.load(std::sync::atomic::Ordering::Relaxed) {
+                            break 'outer;
+                        }
+                        router.stage_batch(c).expect("writer stage");
+                        router.flush().expect("writer drain");
+                        staged += c.len() as u64;
+                    }
+                }
+                staged
+            });
+
+            let start = Instant::now();
+            let handles: Vec<_> = (0..threads)
+                .map(|t| {
+                    s.spawn(move || {
+                        let mine: Vec<Entry> =
+                            worker_pool.iter().skip(t).step_by(threads).copied().collect();
+                        let mut rng = 0x5EED_0000u64 + t as u64;
+                        let (mut lookups, mut inserts, mut misses) = (0u64, 0u64, 0u64);
+                        let mut next = 0usize;
+                        for _ in 0..ops_per_thread {
+                            let r = splitmix64(&mut rng);
+                            let u = (r >> 11) as f64 / ((1u64 << 53) as f64);
+                            let is_read = mine.is_empty() || u < 0.95;
+                            if is_read {
+                                let pos = match dist {
+                                    KeyDist::Uniform => (r % bulk_keys.len() as u64) as usize,
+                                    KeyDist::Zipfian => zipf.position(u / 0.95),
+                                };
+                                if router.lookup(bulk_keys[pos]).expect("lookup").is_none() {
+                                    misses += 1;
+                                }
+                                lookups += 1;
+                            } else {
+                                let (k, v) = mine[next % mine.len()];
+                                router.stage(k, v).expect("stage");
+                                next += 1;
+                                inserts += 1;
+                            }
+                            ops_done.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        }
+                        (lookups, inserts, misses, (next as u64).min(mine.len() as u64))
+                    })
+                })
+                .collect();
+
+            // The coordinator: once a quarter of the operations have
+            // landed, split the hottest shard while the workload races.
+            let mut split_state = (0u64, false);
+            if split_hot && router.shard_count() > 1 {
+                while ops_done.load(std::sync::atomic::Ordering::Relaxed) < total_expected / 4 {
+                    std::thread::yield_now();
+                }
+                let mut heat = vec![0u64; router.shard_count()];
+                let mut rng = 0xD15Eu64;
+                for _ in 0..4096 {
+                    let r = splitmix64(&mut rng);
+                    let u = (r >> 11) as f64 / ((1u64 << 53) as f64);
+                    let pos = match dist {
+                        KeyDist::Uniform => (r % bulk_keys.len() as u64) as usize,
+                        KeyDist::Zipfian => zipf.position(u),
+                    };
+                    let s = router.shard_of(bulk_keys[pos]);
+                    if s < heat.len() {
+                        heat[s] += 1;
+                    }
+                }
+                let hot =
+                    heat.iter().enumerate().max_by_key(|&(_, &h)| h).map(|(s, _)| s).unwrap_or(0);
+                router.split_shard(hot, None).expect("online split");
+                let at = ops_done.load(std::sync::atomic::Ordering::Relaxed);
+                split_state = (router.splits(), at < total_expected);
+            }
+
+            let results: Vec<(u64, u64, u64, u64)> =
+                handles.into_iter().map(|h| h.join().expect("worker panicked")).collect();
+            let wall = start.elapsed().as_secs_f64();
+            stop.store(true, std::sync::atomic::Ordering::Relaxed);
+            let writer_entries = writer.join().expect("writer panicked");
+
+            let lookups: u64 = results.iter().map(|r| r.0).sum();
+            let inserts: u64 = results.iter().map(|r| r.1).sum();
+            let misses: u64 = results.iter().map(|r| r.2).sum();
+            let staged_counts: Vec<u64> = results.iter().map(|r| r.3).collect();
+            (wall, lookups, inserts, misses, staged_counts, writer_entries, split_state)
+        });
+
+    router.flush().expect("final flush");
+    let aggregate = router.aggregate_stats();
+
+    // Unmeasured self-check — the rebalance-race oracle: every key any
+    // thread staged must be findable after splits, merges and drains.
+    let mut verify: Vec<Key> = Vec::new();
+    for (t, &count) in staged_counts.iter().enumerate() {
+        verify.extend(
+            worker_pool.iter().skip(t).step_by(threads).take(count as usize).map(|&(k, _)| k),
+        );
+    }
+    let writer_staged = (writer_entries as usize).min(writer_pool.len());
+    verify.extend(writer_pool.iter().take(writer_staged).map(|&(k, _)| k));
+    let mut answers = Vec::new();
+    router.lookup_batch(&verify, &mut answers).expect("verify lookups");
+    let lost = answers.iter().filter(|a| a.is_none()).count() as u64;
+
+    ShardedServingReport {
+        index: router.name(),
+        dist: dist.name(),
+        shards_initial: shards,
+        shards_final: router.shard_count(),
+        threads,
+        total_ops: lookups + inserts,
+        lookups,
+        inserts,
+        writer_entries,
+        wall_seconds,
+        not_found,
+        drain_chunks: aggregate.drain_chunks,
+        read_stalls: aggregate.read_stalls,
+        write_stalls: aggregate.write_stalls,
+        splits: split_state.0,
+        split_overlapped: split_state.1,
         lost,
     }
 }

@@ -538,6 +538,41 @@ impl OpStats {
         }
     }
 
+    /// Element-wise sum for aggregating windows observed on *different*
+    /// disks — e.g. the per-shard disks of a sharded index. Every counter
+    /// is a flow and adds across disks; `max_inflight` is a level, and N
+    /// side-by-side queues do not stack into one deeper queue, so the
+    /// merged window reports the deepest single queue (max, not sum).
+    #[must_use]
+    pub fn merge(&self, other: &OpStats) -> OpStats {
+        OpStats {
+            reads: std::array::from_fn(|i| self.reads[i] + other.reads[i]),
+            writes: std::array::from_fn(|i| self.writes[i] + other.writes[i]),
+            buffer_hits: self.buffer_hits + other.buffer_hits,
+            reuse_hits: self.reuse_hits + other.reuse_hits,
+            allocated_blocks: self.allocated_blocks + other.allocated_blocks,
+            freed_blocks: self.freed_blocks + other.freed_blocks,
+            device_ns: self.device_ns + other.device_ns,
+            bytes_copied: self.bytes_copied + other.bytes_copied,
+            frames_pinned: self.frames_pinned + other.frames_pinned,
+            scan_reads: self.scan_reads + other.scan_reads,
+            drain_chunks: self.drain_chunks + other.drain_chunks,
+            drain_entries: self.drain_entries + other.drain_entries,
+            read_stalls: self.read_stalls + other.read_stalls,
+            write_stalls: self.write_stalls + other.write_stalls,
+            ios_submitted: self.ios_submitted + other.ios_submitted,
+            ios_completed: self.ios_completed + other.ios_completed,
+            max_inflight: self.max_inflight.max(other.max_inflight),
+            overlap_saved_ns: self.overlap_saved_ns + other.overlap_saved_ns,
+            readahead_hits: self.readahead_hits + other.readahead_hits,
+            wal_appends: self.wal_appends + other.wal_appends,
+            wal_bytes: self.wal_bytes + other.wal_bytes,
+            replayed_entries: self.replayed_entries + other.replayed_entries,
+            checksum_failures: self.checksum_failures + other.checksum_failures,
+            io_retries: self.io_retries + other.io_retries,
+        }
+    }
+
     /// Total device reads in the window.
     pub fn reads(&self) -> u64 {
         self.reads.iter().sum()
@@ -615,6 +650,86 @@ mod tests {
         assert_eq!(s.freed_blocks(), 0);
         assert_eq!(s.buffer_hits(), 0);
         assert_eq!(s.reuse_hits(), 0);
+    }
+
+    /// Pins the cross-disk merge rule for *every* counter field: each
+    /// window gets a distinct prime-ish value in each field, so a field
+    /// accidentally taking max (or being dropped) instead of summing — or
+    /// `max_inflight` accidentally summing instead of taking max — fails
+    /// with the exact field named.
+    #[test]
+    fn merge_sums_counters_but_maxes_inflight() {
+        fn window(scale: u64, inflight: u64) -> OpStats {
+            let s = IoStats::new();
+            s.record_read(BlockKind::Meta);
+            s.record_read(BlockKind::Inner);
+            s.record_read(BlockKind::Inner);
+            s.record_write(BlockKind::Leaf);
+            for _ in 0..scale {
+                s.record_buffer_hit();
+                s.record_reuse_hit();
+                s.record_frame_pinned();
+                s.record_scan_read();
+                s.record_read_stall();
+                s.record_write_stall();
+                s.record_readahead_hit();
+                s.record_checksum_failure();
+                s.record_io_retry();
+            }
+            s.record_alloc(2 * scale);
+            s.record_free(3 * scale);
+            s.record_device_ns(5 * scale);
+            s.record_bytes_copied(7 * scale);
+            s.record_drain_chunk(11 * scale);
+            s.record_ios_submitted(13 * scale);
+            s.record_ios_completed(17 * scale);
+            s.note_inflight(inflight);
+            s.record_overlap_saved_ns(19 * scale);
+            s.record_wal_append(23 * scale);
+            s.record_replayed_entries(29 * scale);
+            s.snapshot()
+        }
+
+        let a = window(1, 9);
+        let b = window(10, 4);
+        let merged = a.merge(&b);
+
+        // Per-kind device counters sum kind-by-kind.
+        assert_eq!(merged.reads_of(BlockKind::Meta), 2);
+        assert_eq!(merged.reads_of(BlockKind::Inner), 4);
+        assert_eq!(merged.reads_of(BlockKind::Leaf), 0);
+        assert_eq!(merged.writes_of(BlockKind::Leaf), 2);
+        assert_eq!(merged.reads(), 6);
+        assert_eq!(merged.writes(), 2);
+
+        // Every scalar flow sums (1x + 10x of its per-window value).
+        assert_eq!(merged.buffer_hits, 11);
+        assert_eq!(merged.reuse_hits, 11);
+        assert_eq!(merged.allocated_blocks, 22);
+        assert_eq!(merged.freed_blocks, 33);
+        assert_eq!(merged.device_ns, 55);
+        assert_eq!(merged.bytes_copied, 77);
+        assert_eq!(merged.frames_pinned, 11);
+        assert_eq!(merged.scan_reads, 11);
+        assert_eq!(merged.drain_chunks, 2);
+        assert_eq!(merged.drain_entries, 121);
+        assert_eq!(merged.read_stalls, 11);
+        assert_eq!(merged.write_stalls, 11);
+        assert_eq!(merged.ios_submitted, 143);
+        assert_eq!(merged.ios_completed, 187);
+        assert_eq!(merged.overlap_saved_ns, 209);
+        assert_eq!(merged.readahead_hits, 11);
+        assert_eq!(merged.wal_appends, 2);
+        assert_eq!(merged.wal_bytes, 253);
+        assert_eq!(merged.replayed_entries, 319);
+        assert_eq!(merged.checksum_failures, 11);
+        assert_eq!(merged.io_retries, 11);
+
+        // The queue high-water mark is a level: N disks side by side do
+        // not form one deeper queue, so the merged window reports the
+        // deepest single queue.
+        assert_eq!(merged.max_inflight, 9);
+        assert_eq!(b.merge(&a).max_inflight, 9, "max is order-independent");
     }
 
     #[test]

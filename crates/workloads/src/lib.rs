@@ -16,7 +16,9 @@
 pub mod dataset;
 pub mod profile;
 pub mod workload;
+pub mod zipf;
 
 pub use dataset::Dataset;
 pub use profile::{profile_dataset, DatasetProfile};
 pub use workload::{Op, Workload, WorkloadKind, WorkloadSpec};
+pub use zipf::ScrambledZipfian;

@@ -1,0 +1,167 @@
+//! A scrambled-zipfian rank sampler for hot-key serving workloads.
+//!
+//! YCSB's serving workloads draw keys from a bounded zipfian distribution
+//! and then *scramble* the ranks over the key population, so per-key skew
+//! (a few keys absorb most of the traffic) is preserved while the hot keys
+//! scatter uniformly over the keyspace — the realistic shape for a
+//! range-sharded serving tier, where hotness should not pile onto a single
+//! contiguous range by construction. [`ScrambledZipfian`] reproduces that
+//! generator deterministically: the caller feeds it uniform `f64` draws
+//! (e.g. from a splitmix64 stream) and receives population positions.
+
+/// A bounded zipfian sampler over ranks `0..n`, with a fixed scrambling
+/// permutation mapping ranks to population positions.
+///
+/// The inverse-CDF approximation is the classic Gray et al. "quickly
+/// generating billion-record synthetic databases" construction (the one
+/// YCSB uses): `zeta(n, theta)` is precomputed once in `O(n)`, after which
+/// each sample is `O(1)`.
+///
+/// # Example
+///
+/// ```
+/// use lidx_workloads::zipf::ScrambledZipfian;
+///
+/// let z = ScrambledZipfian::new(1_000, 0.99);
+/// let hot = z.position(0.0005); // a very low u maps to the hottest rank
+/// assert!(hot < 1_000);
+/// assert_eq!(z.position(0.0005), hot, "deterministic");
+/// ```
+#[derive(Debug, Clone)]
+pub struct ScrambledZipfian {
+    n: u64,
+    theta: f64,
+    alpha: f64,
+    zeta_n: f64,
+    eta: f64,
+}
+
+/// The scrambling multiplier: a prime larger than any supported population
+/// (so it is coprime with `n` and `rank * PRIME mod n` is a permutation),
+/// small enough that `u128` intermediate products never overflow.
+const SCRAMBLE_PRIME: u64 = 2_654_435_761;
+
+impl ScrambledZipfian {
+    /// Builds a sampler over ranks `0..n` with skew `theta` (YCSB default
+    /// 0.99; must be in `(0, 1)`). `O(n)` zeta precomputation.
+    ///
+    /// # Panics
+    ///
+    /// If `n` is zero or at least the scramble prime (2 654 435 761), or
+    /// `theta` is outside `(0, 1)`.
+    pub fn new(n: usize, theta: f64) -> Self {
+        assert!(n > 0, "zipfian population must be non-empty");
+        assert!((n as u64) < SCRAMBLE_PRIME, "population too large to scramble");
+        assert!(theta > 0.0 && theta < 1.0, "theta must be in (0, 1)");
+        let zeta_n: f64 = (1..=n as u64).map(|i| 1.0 / (i as f64).powf(theta)).sum();
+        let zeta_2 = 1.0 + 0.5f64.powf(theta);
+        let alpha = 1.0 / (1.0 - theta);
+        let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta_2 / zeta_n);
+        ScrambledZipfian { n: n as u64, theta, alpha, zeta_n, eta }
+    }
+
+    /// Population size.
+    pub fn len(&self) -> usize {
+        self.n as usize
+    }
+
+    /// Always false ([`new`](Self::new) rejects an empty population);
+    /// provided for clippy's `len`-without-`is_empty` convention.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Maps one uniform draw `u` in `[0, 1)` to a zipfian *rank*: rank 0 is
+    /// the hottest, with `P(rank = r) ∝ 1 / (r + 1)^theta`.
+    pub fn rank(&self, u: f64) -> usize {
+        let u = u.clamp(0.0, 1.0 - f64::EPSILON);
+        let uz = u * self.zeta_n;
+        if uz < 1.0 {
+            return 0;
+        }
+        if uz < 1.0 + 0.5f64.powf(self.theta) {
+            return 1;
+        }
+        let r = (self.n as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64;
+        r.min(self.n - 1) as usize
+    }
+
+    /// Maps one uniform draw to a *scrambled* population position: the
+    /// zipfian rank pushed through a fixed permutation of `0..n`, so the
+    /// hot ranks scatter over the whole population.
+    pub fn position(&self, u: f64) -> usize {
+        self.scramble(self.rank(u))
+    }
+
+    /// The fixed rank → position permutation (multiplication by a prime
+    /// coprime with `n`, modulo `n`).
+    pub fn scramble(&self, rank: usize) -> usize {
+        ((rank as u128 * SCRAMBLE_PRIME as u128) % self.n as u128) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The splitmix64 step, duplicated here so the tests can drive the
+    /// sampler exactly like the experiment runner does.
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn uniform(state: &mut u64) -> f64 {
+        (splitmix64(state) >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    #[test]
+    fn ranks_are_heavily_skewed_toward_zero() {
+        let z = ScrambledZipfian::new(100_000, 0.99);
+        let mut rng = 7u64;
+        let draws = 50_000;
+        let mut head = 0usize;
+        let mut rank0 = 0usize;
+        for _ in 0..draws {
+            let r = z.rank(uniform(&mut rng));
+            assert!(r < 100_000);
+            if r == 0 {
+                rank0 += 1;
+            }
+            if r < 1_000 {
+                head += 1;
+            }
+        }
+        // With theta = 0.99 over 100k ranks, the top 1% of ranks carry well
+        // over half the mass and rank 0 alone several percent.
+        assert!(head * 2 > draws, "top 1% got {head}/{draws}");
+        assert!(rank0 * 50 > draws, "rank 0 got {rank0}/{draws}");
+    }
+
+    #[test]
+    fn scramble_is_a_permutation_that_spreads_hot_ranks() {
+        let n = 10_000;
+        let z = ScrambledZipfian::new(n, 0.9);
+        let mut seen = vec![false; n];
+        for r in 0..n {
+            let p = z.scramble(r);
+            assert!(!seen[p], "position {p} hit twice");
+            seen[p] = true;
+        }
+        // The ten hottest ranks must not land in one contiguous hot range.
+        let hot: Vec<usize> = (0..10).map(|r| z.scramble(r)).collect();
+        let (lo, hi) = (hot.iter().min().unwrap(), hot.iter().max().unwrap());
+        assert!(hi - lo > n / 2, "hot ranks clustered in [{lo}, {hi}]");
+    }
+
+    #[test]
+    fn positions_are_deterministic_for_a_given_draw() {
+        let z = ScrambledZipfian::new(1_000, 0.99);
+        for &u in &[0.0, 0.1, 0.5, 0.9, 0.999_999] {
+            assert_eq!(z.position(u), z.position(u));
+        }
+    }
+}

@@ -18,6 +18,14 @@
 //! * **transient read EIO** — the reopen's reads hit a burst of injected
 //!   EIOs; the bounded-backoff retry path absorbs them. Exact, and the
 //!   retries are visible in `IoStats::io_retries`.
+//!
+//! Sharded mode extends the matrix: a durable sharded router killed in the
+//! middle of an online shard split must recover to *exactly* the pre-split
+//! or the post-split boundary set — a kill before the manifest rename
+//! serves the old shard untouched (and the reopen sweeps the orphaned
+//! half-built dirs), a kill after it serves the two halves (and sweeps the
+//! retired dir). Either way the recovered contents equal the oracle: no
+//! half-moved shard, no lost key.
 
 use std::collections::BTreeMap;
 use std::path::PathBuf;
@@ -25,6 +33,7 @@ use std::sync::Arc;
 
 use lidx_core::{payload_for, IndexRead, IndexWrite, Key, Value, WriteBufferConfig};
 use lidx_experiments::recovery::{create_durable_index, reopen_durable_index, DurableIndex};
+use lidx_experiments::sharded_recovery::{DurableShardedRouter, SplitFault};
 use lidx_experiments::IndexChoice;
 use lidx_storage::{Disk, FaultPlan};
 
@@ -268,6 +277,167 @@ fn torn_superblock_falls_back_to_the_previous_checkpoint() {
                 .expect("reopen falls back to the intact slot");
         assert_eq!(replayed, 0, "{}: the WAL was already truncated", choice.name());
         assert_matches_oracle(&recovered, &oracle, choice.name());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+/// Builds a loaded 3-shard durable router in `dir` with the ops applied,
+/// returning the shard whose range holds the most oracle keys (the one the
+/// split targets) alongside the pre-split boundary set.
+fn sharded_store(
+    dir: &std::path::Path,
+    choice: IndexChoice,
+    bulk: &[(Key, Value)],
+    ops: &[(Key, Value)],
+) -> (DurableShardedRouter, Vec<Key>, usize) {
+    let boundaries = vec![bulk[bulk.len() / 3].0, bulk[2 * bulk.len() / 3].0];
+    let mut router = DurableShardedRouter::create(
+        dir,
+        BLOCK,
+        choice,
+        WriteBufferConfig::default(),
+        boundaries.clone(),
+    )
+    .expect("create sharded store");
+    router.bulk_load(bulk).expect("bulk load");
+    for &(k, v) in ops {
+        router.insert(k, v).expect("insert");
+    }
+    // Group-commit: the ops are acknowledged, so the kill must lose none.
+    router.sync_wal().expect("sync");
+    (router, boundaries, 1)
+}
+
+/// The shard-dir names currently on disk (sorted), for orphan-sweep checks.
+fn shard_dirs_on_disk(dir: &std::path::Path) -> Vec<String> {
+    let mut names: Vec<String> = std::fs::read_dir(dir)
+        .expect("read store dir")
+        .filter_map(|e| e.ok())
+        .filter(|e| e.path().is_dir())
+        .map(|e| e.file_name().to_string_lossy().into_owned())
+        .filter(|n| n.starts_with("shard-"))
+        .collect();
+    names.sort();
+    names
+}
+
+/// Exact oracle equality through the sharded router's read surface.
+fn assert_sharded_matches_oracle(
+    router: &DurableShardedRouter,
+    oracle: &BTreeMap<Key, Value>,
+    label: &str,
+) {
+    for (&k, &v) in oracle {
+        assert_eq!(
+            router.lookup(k).expect("lookup"),
+            Some(v),
+            "{label}: key {k} must answer its newest value"
+        );
+    }
+    let (&first, _) = oracle.iter().next().expect("oracle is never empty");
+    let want: Vec<(Key, Value)> = oracle.iter().take(200).map(|(&k, &v)| (k, v)).collect();
+    let mut got = Vec::new();
+    router.scan(first, 200, &mut got).expect("scan");
+    assert_eq!(got, want, "{label}: scan stitched across recovered shards");
+}
+
+#[test]
+fn mid_split_kill_before_commit_recovers_the_pre_split_boundaries() {
+    let bulk = bulk_entries();
+    let ops = op_stream(&bulk);
+    let oracle = oracle_at(&bulk, &ops, OPS);
+    for choice in IndexChoice::ALL_DESIGNS {
+        let dir = scratch("splitpre", choice);
+        let (mut router, boundaries, hot) = sharded_store(&dir, choice, &bulk, &ops);
+        // The kill: the split dies after building both halves aside but
+        // before the manifest rename — the commit never happened.
+        router.split_shard(hot, SplitFault::CrashBeforeCommit).expect("split until the kill");
+        drop(router);
+
+        let (recovered, _) =
+            DurableShardedRouter::reopen(&dir, BLOCK, WriteBufferConfig::default())
+                .expect("reopen");
+        assert_eq!(
+            recovered.boundaries(),
+            &boundaries[..],
+            "{}: a pre-commit kill must recover the pre-split boundary set",
+            choice.name()
+        );
+        assert_eq!(recovered.shard_count(), 3, "{}: still three shards", choice.name());
+        assert_sharded_matches_oracle(&recovered, &oracle, choice.name());
+        // The half-built generation-1 dirs are orphans; the reopen swept
+        // them, leaving exactly the three committed shard dirs.
+        assert_eq!(
+            shard_dirs_on_disk(&dir),
+            vec!["shard-0-0", "shard-0-1", "shard-0-2"],
+            "{}: orphaned split halves must be swept",
+            choice.name()
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+#[test]
+fn mid_split_kill_after_commit_recovers_the_post_split_boundaries() {
+    let bulk = bulk_entries();
+    let ops = op_stream(&bulk);
+    let oracle = oracle_at(&bulk, &ops, OPS);
+    for choice in IndexChoice::ALL_DESIGNS {
+        let dir = scratch("splitpost", choice);
+        let (mut router, boundaries, hot) = sharded_store(&dir, choice, &bulk, &ops);
+        // The kill: the manifest rename (the commit point) completed, but
+        // the retired shard directory was never garbage-collected.
+        let pivot =
+            router.split_shard(hot, SplitFault::CrashAfterCommit).expect("split until the kill");
+        drop(router);
+
+        let (recovered, replayed) =
+            DurableShardedRouter::reopen(&dir, BLOCK, WriteBufferConfig::default())
+                .expect("reopen");
+        let mut want = boundaries.clone();
+        want.insert(hot, pivot);
+        assert_eq!(
+            recovered.boundaries(),
+            &want[..],
+            "{}: a post-commit kill must recover the post-split boundary set",
+            choice.name()
+        );
+        assert_eq!(recovered.shard_count(), 4, "{}: four shards after the split", choice.name());
+        // The two halves were checkpointed by the split; only the two
+        // untouched shards may have WAL tails to replay.
+        let _ = replayed;
+        assert_sharded_matches_oracle(&recovered, &oracle, choice.name());
+        // The retired middle shard dir is gone; its two generation-1
+        // halves replaced it.
+        assert_eq!(
+            shard_dirs_on_disk(&dir),
+            vec!["shard-0-0", "shard-0-2", "shard-1-0", "shard-1-1"],
+            "{}: the retired shard dir must be swept",
+            choice.name()
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+#[test]
+fn completed_split_survives_a_clean_kill() {
+    let bulk = bulk_entries();
+    let ops = op_stream(&bulk);
+    let oracle = oracle_at(&bulk, &ops, OPS);
+    for choice in [IndexChoice::BTree, IndexChoice::Lipp, IndexChoice::HybridModelTree] {
+        let dir = scratch("splitclean", choice);
+        let (mut router, boundaries, hot) = sharded_store(&dir, choice, &bulk, &ops);
+        let pivot = router.split_shard(hot, SplitFault::None).expect("split");
+        assert!(pivot > boundaries[0] && pivot < boundaries[1], "pivot inside the hot shard");
+        router.checkpoint().expect("checkpoint");
+        drop(router);
+
+        let (recovered, replayed) =
+            DurableShardedRouter::reopen(&dir, BLOCK, WriteBufferConfig::default())
+                .expect("reopen");
+        assert_eq!(replayed, 0, "{}: clean checkpoint leaves no WAL tail", choice.name());
+        assert_eq!(recovered.shard_count(), 4, "{}: the split persisted", choice.name());
+        assert_sharded_matches_oracle(&recovered, &oracle, choice.name());
         std::fs::remove_dir_all(&dir).ok();
     }
 }
