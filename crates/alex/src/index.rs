@@ -8,7 +8,7 @@ use lidx_core::{
     IndexWrite, InsertBreakdown, InsertStep, Key, MetaReader, MetaWriter, Value,
 };
 use lidx_models::LinearModel;
-use lidx_storage::{AccessClass, BlockId, BlockKind, Disk, SeqHint, INVALID_BLOCK};
+use lidx_storage::{AccessClass, BlockId, BlockKind, Disk, OpClass, SeqHint, INVALID_BLOCK};
 
 use crate::node::{ChildPtr, DataGeometry, DataNode, InnerNode};
 
@@ -328,6 +328,12 @@ impl AlexIndex {
     /// a new two-child inner node.
     fn smo(&mut self, path: &[(InnerNode, u32)], node: DataNode) -> IndexResult<()> {
         self.smo_count += 1;
+        // The SMO is the learned-index pause the paper attributes tail
+        // latency to: time the whole operation and count it, off a local
+        // Arc so the span does not pin a borrow of `self`.
+        let telemetry = Arc::clone(&self.disk);
+        let _span = telemetry.telemetry().span(OpClass::Smo);
+        telemetry.telemetry().add(OpClass::Smo, 1);
         let mut entries = Vec::with_capacity(node.header.count as usize);
         node.collect_entries(&self.disk, &mut entries)?;
         let old_blocks = node.total_blocks(self.disk.block_size());

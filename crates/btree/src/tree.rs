@@ -6,7 +6,9 @@ use lidx_core::{
     index::validate_bulk_load, Entry, IndexError, IndexKind, IndexRead, IndexResult, IndexStats,
     IndexWrite, InsertBreakdown, InsertStep, Key, MetaReader, MetaWriter, Value,
 };
-use lidx_storage::{AccessClass, BlockId, BlockKind, BlockWriter, Disk, SeqHint, INVALID_BLOCK};
+use lidx_storage::{
+    AccessClass, BlockId, BlockKind, BlockWriter, Disk, OpClass, SeqHint, INVALID_BLOCK,
+};
 
 use crate::node::{InnerNode, LeafNode, NodeCapacity};
 
@@ -328,6 +330,11 @@ impl BTreeIndex {
         mut leaf: LeafNode,
     ) -> IndexResult<()> {
         self.smo_count += 1;
+        // One span covers the leaf split and any upward inner-node splits:
+        // the cascade is a single pause from the caller's point of view.
+        let telemetry = Arc::clone(&self.disk);
+        let _span = telemetry.telemetry().span(OpClass::Smo);
+        telemetry.telemetry().add(OpClass::Smo, 1);
         let (split_key, mut right) = leaf.split();
         let right_block = self.disk.allocate(self.file, 1)?;
         right.prev = leaf_block;

@@ -53,7 +53,7 @@ use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use lidx_storage::{Disk, FileId, WalSegment};
+use lidx_storage::{Disk, FileId, OpClass, WalSegment};
 use parking_lot::{Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 use crate::error::{IndexError, IndexResult};
@@ -100,22 +100,25 @@ impl<I: DiskIndex> ConcurrentIndex<I> {
         ConcurrentIndex { inner: RwLock::new(inner), disk, kind, inner_name }
     }
 
-    /// Acquires the shared read lock, counting a stall if it has to block.
+    /// Acquires the shared read lock, counting a stall (and timing the wait
+    /// as a `lock_read` pause) if it has to block.
     pub fn read(&self) -> RwLockReadGuard<'_, I> {
         if let Some(guard) = self.inner.try_read() {
             return guard;
         }
         self.disk.stats().record_read_stall();
+        let _span = self.disk.telemetry().span(OpClass::LockRead);
         self.inner.read()
     }
 
-    /// Acquires the exclusive write lock, counting a stall if it has to
-    /// block.
+    /// Acquires the exclusive write lock, counting a stall (and timing the
+    /// wait as a `lock_write` pause) if it has to block.
     pub fn write(&self) -> RwLockWriteGuard<'_, I> {
         if let Some(guard) = self.inner.try_write() {
             return guard;
         }
         self.disk.stats().record_write_stall();
+        let _span = self.disk.telemetry().span(OpClass::LockWrite);
         self.inner.write()
     }
 
@@ -126,10 +129,14 @@ impl<I: DiskIndex> ConcurrentIndex<I> {
     /// recorded in the disk's drain counters. Concurrent readers block only
     /// for the duration of the chunk.
     pub fn insert_batch_exclusive(&self, entries: &[Entry]) -> IndexResult<()> {
+        // One drain pause as the readers experience it: lock acquisition
+        // plus the chunk's exclusive application.
+        let _span = self.disk.telemetry().span(OpClass::Drain);
         let mut guard = self.write();
         guard.insert_batch(entries)?;
         drop(guard);
         self.disk.stats().record_drain_chunk(entries.len() as u64);
+        self.disk.telemetry().add(OpClass::Drain, entries.len() as u64);
         Ok(())
     }
 
@@ -474,6 +481,7 @@ impl<I: DiskIndex> ShardedWriteBuffer<I> {
         }
         buffer.tag = tag.to_string();
         let disk = Arc::clone(buffer.index.disk());
+        let _span = disk.telemetry().span(OpClass::Recovery);
         let mut replayed = 0u64;
         for (shard_idx, &file) in wal_files.iter().enumerate() {
             let (wal, payloads) = WalSegment::open(&disk, file)?;
@@ -487,6 +495,7 @@ impl<I: DiskIndex> ShardedWriteBuffer<I> {
             }
         }
         disk.invalidate_caches();
+        disk.telemetry().add(OpClass::Recovery, replayed);
         Ok((buffer, replayed))
     }
 
@@ -593,6 +602,8 @@ impl<I: DiskIndex> ShardedWriteBuffer<I> {
         if self.shards.iter().all(|s| s.wal.is_none()) {
             return Ok(());
         }
+        let _span = self.index.disk().telemetry().span(OpClass::Checkpoint);
+        self.index.disk().stats().record_checkpoint();
         let index_meta = self.index.write().save_meta()?;
         let wal_files: Vec<FileId> = self
             .shards
@@ -626,6 +637,7 @@ impl<I: DiskIndex> ShardedWriteBuffer<I> {
             return guard;
         }
         self.index.disk().stats().record_write_stall();
+        let _span = self.index.disk().telemetry().span(OpClass::LockWrite);
         shard.staged.lock()
     }
 
@@ -643,6 +655,7 @@ impl<I: DiskIndex> ShardedWriteBuffer<I> {
             return guard;
         }
         self.index.disk().stats().record_read_stall();
+        let _span = self.index.disk().telemetry().span(OpClass::LockRead);
         shard.staged.lock()
     }
 
@@ -682,6 +695,7 @@ impl<I: DiskIndex> ShardedWriteBuffer<I> {
                 // the capacity threshold twice concurrently just queues the
                 // second drain behind the first.
                 self.index.disk().stats().record_write_stall();
+                let _span = self.index.disk().telemetry().span(OpClass::LockWrite);
                 shard.drain_gate.lock()
             }
         };

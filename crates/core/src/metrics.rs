@@ -70,15 +70,22 @@ impl LatencyRecorder {
             p50_ns: percentile(&sorted, 0.50),
             p95_ns: percentile(&sorted, 0.95),
             p99_ns: percentile(&sorted, 0.99),
+            p999_ns: percentile(&sorted, 0.999),
             max_ns: *sorted.last().unwrap(),
             stddev_ns: variance.sqrt(),
         }
     }
 }
 
-/// Nearest-rank percentile over a sorted slice.
+/// Nearest-rank percentile over a sorted slice: the smallest sample such
+/// that at least `q` of the set is ≤ it. Total on its inputs — an empty
+/// slice reports 0 (there is no sample to name), a single sample is every
+/// percentile of itself, and `q = 1.0` is exactly the maximum (the rank
+/// computation cannot step past the end even when `q * len` rounds up).
 fn percentile(sorted: &[u64], q: f64) -> u64 {
-    debug_assert!(!sorted.is_empty());
+    if sorted.is_empty() {
+        return 0;
+    }
     let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
     sorted[rank - 1]
 }
@@ -96,6 +103,9 @@ pub struct LatencySummary {
     pub p95_ns: u64,
     /// 99th percentile, nanoseconds (the paper's tail-latency metric).
     pub p99_ns: u64,
+    /// 99.9th percentile, nanoseconds — one SMO or drain pause per thousand
+    /// operations lands here, which is why the bench snapshots carry it.
+    pub p999_ns: u64,
     /// Maximum observed, nanoseconds.
     pub max_ns: u64,
     /// Population standard deviation, nanoseconds.
@@ -281,6 +291,7 @@ mod tests {
         assert!((s.mean_ns - 55.0).abs() < 1e-9);
         assert_eq!(s.p50_ns, 50);
         assert_eq!(s.p99_ns, 100);
+        assert_eq!(s.p999_ns, 100);
         assert_eq!(s.max_ns, 100);
         assert!(s.stddev_ns > 28.0 && s.stddev_ns < 29.0);
     }
@@ -302,6 +313,24 @@ mod tests {
     }
 
     #[test]
+    fn percentile_edge_cases_are_total() {
+        // Empty: no sample to name — 0, never a panic (the old clamp(1, 0)
+        // panicked in release builds).
+        assert_eq!(percentile(&[], 0.5), 0);
+        assert_eq!(percentile(&[], 1.0), 0);
+        // Single sample: every percentile of itself.
+        for q in [0.0, 0.001, 0.5, 0.999, 1.0] {
+            assert_eq!(percentile(&[42], q), 42);
+        }
+        // q = 1.0 is exactly the maximum, even when q * len rounds up, and
+        // q = 0.0 still names the first sample (rank is clamped to 1).
+        let sorted: Vec<u64> = (1..=1000).collect();
+        assert_eq!(percentile(&sorted, 1.0), 1000);
+        assert_eq!(percentile(&sorted, 0.0), 1);
+        assert_eq!(percentile(&sorted, 0.999), 999);
+    }
+
+    #[test]
     fn p99_reflects_tail() {
         let mut r = LatencyRecorder::with_capacity(1000);
         for _ in 0..980 {
@@ -313,6 +342,9 @@ mod tests {
         let s = r.summary();
         assert_eq!(s.p50_ns, 100);
         assert_eq!(s.p99_ns, 10_000);
+        assert_eq!(s.p999_ns, 10_000);
+        assert!(s.p50_ns <= s.p95_ns && s.p95_ns <= s.p99_ns);
+        assert!(s.p99_ns <= s.p999_ns && s.p999_ns <= s.max_ns);
         assert!(s.stddev_ns > 500.0, "tail must inflate the standard deviation");
     }
 

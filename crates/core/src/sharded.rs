@@ -56,7 +56,7 @@
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
-use lidx_storage::{Disk, DiskConfig, OpStats};
+use lidx_storage::{Disk, DiskConfig, OpClass, OpStats};
 use parking_lot::{Mutex, RwLock};
 
 use crate::concurrent::{sampled_boundaries, ShardedWriteBuffer, ShardedWriteBufferConfig};
@@ -319,6 +319,24 @@ impl<I: DiskIndex> ShardedIndex<I> {
         total
     }
 
+    /// One [`TelemetryRegistry`] aggregated (exact histogram merge) across
+    /// the router disk — which carries the rebalance spans and router-level
+    /// lock stalls — and every live shard disk. Like [`aggregate_stats`],
+    /// shards retired by a split/merge leave the table and stop
+    /// contributing.
+    ///
+    /// [`aggregate_stats`]: Self::aggregate_stats
+    /// [`TelemetryRegistry`]: lidx_storage::TelemetryRegistry
+    pub fn aggregate_telemetry(&self) -> lidx_storage::TelemetryRegistry {
+        let table = self.snapshot();
+        let total = lidx_storage::TelemetryRegistry::new();
+        total.merge_from(self.router_disk.telemetry());
+        for handle in &table.shards {
+            total.merge_from(handle.front.disk().telemetry());
+        }
+        total
+    }
+
     /// Number of online splits performed so far.
     pub fn splits(&self) -> u64 {
         self.splits.load(Ordering::Relaxed)
@@ -430,6 +448,11 @@ impl<I: DiskIndex> ShardedIndex<I> {
     /// [module docs](self) for the protocol.
     pub fn split_shard(&self, shard: usize, pivot: Option<Key>) -> IndexResult<Key> {
         let _rebalance = self.lock_rebalance();
+        // Gate wait excluded (that is lock contention, recorded by
+        // `lock_rebalance`); the span is the split itself — snapshot, two
+        // rebuilds, route-table swap — which is the pause racing writers
+        // feel through the shard's write gate.
+        let _span = self.router_disk.telemetry().span(OpClass::Rebalance);
         let table = self.snapshot();
         if shard >= table.shards.len() {
             return Err(IndexError::Internal(format!(
@@ -483,6 +506,7 @@ impl<I: DiskIndex> ShardedIndex<I> {
         handle.retired.store(true, Ordering::Release);
         drop(gate);
         self.splits.fetch_add(1, Ordering::Relaxed);
+        self.router_disk.telemetry().add(OpClass::Rebalance, 1);
         Ok(pivot)
     }
 
@@ -491,6 +515,7 @@ impl<I: DiskIndex> ShardedIndex<I> {
     /// freely.
     pub fn merge_shards(&self, left: usize) -> IndexResult<()> {
         let _rebalance = self.lock_rebalance();
+        let _span = self.router_disk.telemetry().span(OpClass::Rebalance);
         let table = self.snapshot();
         if left + 1 >= table.shards.len() {
             return Err(IndexError::Internal(format!(
@@ -522,6 +547,7 @@ impl<I: DiskIndex> ShardedIndex<I> {
         drop(right_gate);
         drop(left_gate);
         self.merges.fetch_add(1, Ordering::Relaxed);
+        self.router_disk.telemetry().add(OpClass::Rebalance, 1);
         Ok(())
     }
 
@@ -532,6 +558,7 @@ impl<I: DiskIndex> ShardedIndex<I> {
             return guard;
         }
         self.router_disk.stats().record_write_stall();
+        let _span = self.router_disk.telemetry().span(OpClass::LockWrite);
         self.rebalance_gate.lock()
     }
 }

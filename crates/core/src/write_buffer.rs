@@ -31,7 +31,7 @@
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
-use lidx_storage::{Disk, FileId, WalSegment};
+use lidx_storage::{Disk, FileId, OpClass, WalSegment};
 
 use crate::error::IndexResult;
 use crate::index::{DiskIndex, IndexKind, IndexRead, IndexStats, IndexWrite};
@@ -202,6 +202,7 @@ impl<I: DiskIndex> WriteBuffer<I> {
         wal_file: FileId,
     ) -> IndexResult<(Self, u64)> {
         let disk = Arc::clone(inner.disk());
+        let _span = disk.telemetry().span(OpClass::Recovery);
         let (wal, payloads) = WalSegment::open(&disk, wal_file)?;
         let mut wb = Self::new(inner, config);
         wb.wal = Some(wal);
@@ -214,6 +215,7 @@ impl<I: DiskIndex> WriteBuffer<I> {
             }
         }
         disk.invalidate_caches();
+        disk.telemetry().add(OpClass::Recovery, replayed);
         Ok((wb, replayed))
     }
 
@@ -263,13 +265,21 @@ impl<I: DiskIndex> WriteBuffer<I> {
             wal.sync()?;
         }
         self.drains += 1;
-        while !self.staged.is_empty() {
-            let chunk: Vec<Entry> =
-                self.staged.iter().take(self.config.drain).map(|(&k, &v)| (k, v)).collect();
-            self.inner.insert_batch(&chunk)?;
-            self.drained_entries += chunk.len() as u64;
-            for &(key, _) in &chunk {
-                self.staged.remove(&key);
+        {
+            // The drain is the group-commit pause every overlapping reader
+            // and writer feels; the span is scoped to the batch loop so the
+            // checkpoint tail reports under its own class.
+            let disk = Arc::clone(self.inner.disk());
+            let _span = disk.telemetry().span(OpClass::Drain);
+            while !self.staged.is_empty() {
+                let chunk: Vec<Entry> =
+                    self.staged.iter().take(self.config.drain).map(|(&k, &v)| (k, v)).collect();
+                self.inner.insert_batch(&chunk)?;
+                self.drained_entries += chunk.len() as u64;
+                disk.telemetry().add(OpClass::Drain, chunk.len() as u64);
+                for &(key, _) in &chunk {
+                    self.staged.remove(&key);
+                }
             }
         }
         self.write_checkpoint(false)?;
@@ -303,6 +313,9 @@ impl<I: DiskIndex> WriteBuffer<I> {
         let Some(wal) = &mut self.wal else {
             return Ok(());
         };
+        let disk = Arc::clone(self.inner.disk());
+        let _span = disk.telemetry().span(OpClass::Checkpoint);
+        disk.stats().record_checkpoint();
         let index_meta = self.inner.save_meta()?;
         let manifest =
             Manifest { index_kind: self.tag.clone(), index_meta, wal_files: vec![wal.file()] };

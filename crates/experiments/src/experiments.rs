@@ -8,12 +8,14 @@
 //! paper-vs-measured comparison for each one.
 
 use lidx_core::InsertStep;
-use lidx_storage::{DeviceModel, PoolPartitions, ReplacementPolicy};
+use lidx_storage::{DeviceModel, OpClass, PoolPartitions, ReplacementPolicy};
 use lidx_workloads::{profile_dataset, Dataset, Workload, WorkloadKind, WorkloadSpec};
 
 use lidx_core::WriteBufferConfig;
 
-use crate::report::{f2, ms, ops, Table};
+use crate::report::{
+    assert_percentiles_ordered, f2, ms, ops, telemetry_json, top_pauses_json, us, Table,
+};
 use crate::runner::{
     run_batch_insert, run_batch_lookup, run_batch_lookup_qdepth_sweep, run_par_lookup,
     run_par_lookup_batched, run_scan_interference, run_workload, IndexChoice, InsertMode,
@@ -671,6 +673,7 @@ pub fn bench_snapshot_to(scale: &Scale, path: &std::path::Path) {
     for choice in IndexChoice::ALL_DESIGNS {
         let seq = run_batch_lookup(choice, &cfg, &w, 1);
         let bat = run_batch_lookup(choice, &cfg, &w, 64);
+        assert_percentiles_ordered(&seq.telemetry, &seq.index);
         // Outstanding-read sweep: the same 64-key batches with the disk at
         // queue depths 1/4/8/32. The depth-1 row reproduces `bat` (same
         // config, fresh disk); deeper rows overlap each batch's misses.
@@ -714,6 +717,7 @@ pub fn bench_snapshot_to(scale: &Scale, path: &std::path::Path) {
                 "      \"checksum_failures\": {},\n",
                 "      \"io_retries\": {},\n",
                 "      \"wal_appends\": {},\n",
+                "      \"telemetry\": {},\n",
                 "      \"qdepth_sweep\": [\n{}\n      ]\n",
                 "    }}"
             ),
@@ -729,6 +733,7 @@ pub fn bench_snapshot_to(scale: &Scale, path: &std::path::Path) {
             seq.checksum_failures,
             seq.io_retries,
             seq.wal_appends,
+            telemetry_json(&seq.telemetry, "      "),
             qdepth_rows.join(",\n"),
         ));
     }
@@ -1074,6 +1079,15 @@ pub fn mixed_workload_to(scale: &Scale, path: &std::path::Path) {
         "write stalls",
     ]);
     let mut entries = Vec::new();
+    let mut tails = Table::new([
+        "index",
+        "mix",
+        "lookup p99 us",
+        "insert p99 us",
+        "drain p99 us",
+        "drain max us",
+        "top pause",
+    ]);
     for choice in IndexChoice::ALL_DESIGNS {
         for mix in crate::runner::YcsbMix::ALL {
             let mut base = 0.0f64;
@@ -1089,8 +1103,27 @@ pub fn mixed_workload_to(scale: &Scale, path: &std::path::Path) {
                 );
                 assert_eq!(r.not_found, 0, "{choice:?} {mix:?} bulk keys must stay visible");
                 assert_eq!(r.lost, 0, "{choice:?} {mix:?} staged keys must survive the race");
+                assert_percentiles_ordered(
+                    &r.telemetry,
+                    &format!("{} {} t{threads}", r.index, r.mix),
+                );
                 if threads == 1 {
                     base = r.aggregate_ops_per_sec();
+                }
+                if threads == *sweep.last().unwrap() {
+                    tails.row([
+                        r.index.clone(),
+                        r.mix.to_string(),
+                        us(r.telemetry.class(OpClass::Lookup).summary.p99_ns as f64),
+                        us(r.telemetry.class(OpClass::Insert).summary.p99_ns as f64),
+                        us(r.telemetry.class(OpClass::Drain).summary.p99_ns as f64),
+                        us(r.telemetry.class(OpClass::Drain).summary.max_ns as f64),
+                        r.telemetry
+                            .top_pauses(1)
+                            .first()
+                            .map(|c| c.class.label().to_string())
+                            .unwrap_or_else(|| "-".to_string()),
+                    ]);
                 }
                 let speedup = r.aggregate_ops_per_sec() / base.max(f64::MIN_POSITIVE);
                 table.row([
@@ -1119,7 +1152,9 @@ pub fn mixed_workload_to(scale: &Scale, path: &std::path::Path) {
                         "      \"read_stalls\": {},\n",
                         "      \"write_stalls\": {},\n",
                         "      \"not_found\": {},\n",
-                        "      \"lost\": {}\n",
+                        "      \"lost\": {},\n",
+                        "      \"telemetry\": {},\n",
+                        "      \"top_pauses\": {}\n",
                         "    }}"
                     ),
                     r.index,
@@ -1136,11 +1171,15 @@ pub fn mixed_workload_to(scale: &Scale, path: &std::path::Path) {
                     r.write_stalls,
                     r.not_found,
                     r.lost,
+                    telemetry_json(&r.telemetry, "      "),
+                    top_pauses_json(&r.telemetry, 5, "      "),
                 ));
             }
         }
     }
     table.print();
+    println!("-- per-op-class tails at {} threads (wall-clock) --", sweep.last().unwrap());
+    tails.print();
     let json = format!(
         concat!(
             "{{\n",
@@ -1224,6 +1263,14 @@ pub fn sharded_serving_to(scale: &Scale, path: &std::path::Path) {
         "read stalls",
         "write stalls",
     ]);
+    let mut tails = Table::new([
+        "index",
+        "dist",
+        "lookup p99 us",
+        "insert p99 us",
+        "rebalance max us",
+        "top pause",
+    ]);
     let mut entries = Vec::new();
     for choice in IndexChoice::ALL_DESIGNS {
         for dist in crate::runner::KeyDist::ALL {
@@ -1242,6 +1289,24 @@ pub fn sharded_serving_to(scale: &Scale, path: &std::path::Path) {
                 );
                 assert_eq!(r.not_found, 0, "{choice:?} {dist:?} bulk keys must stay visible");
                 assert_eq!(r.lost, 0, "{choice:?} {dist:?} staged keys must survive the race");
+                assert_percentiles_ordered(
+                    &r.telemetry,
+                    &format!("{} {} s{shards}", r.index, r.dist),
+                );
+                if shards == *shard_sweep.last().unwrap() {
+                    tails.row([
+                        r.index.clone(),
+                        r.dist.to_string(),
+                        us(r.telemetry.class(OpClass::Lookup).summary.p99_ns as f64),
+                        us(r.telemetry.class(OpClass::Insert).summary.p99_ns as f64),
+                        us(r.telemetry.class(OpClass::Rebalance).summary.max_ns as f64),
+                        r.telemetry
+                            .top_pauses(1)
+                            .first()
+                            .map(|c| c.class.label().to_string())
+                            .unwrap_or_else(|| "-".to_string()),
+                    ]);
+                }
                 if shards > 1 {
                     assert!(r.splits >= 1, "{choice:?} {dist:?} online split must have fired");
                     assert_eq!(r.shards_final, shards + 1, "split must add one shard");
@@ -1279,7 +1344,9 @@ pub fn sharded_serving_to(scale: &Scale, path: &std::path::Path) {
                         "      \"splits\": {},\n",
                         "      \"split_overlapped\": {},\n",
                         "      \"not_found\": {},\n",
-                        "      \"lost\": {}\n",
+                        "      \"lost\": {},\n",
+                        "      \"telemetry\": {},\n",
+                        "      \"top_pauses\": {}\n",
                         "    }}"
                     ),
                     r.index,
@@ -1299,11 +1366,18 @@ pub fn sharded_serving_to(scale: &Scale, path: &std::path::Path) {
                     r.split_overlapped,
                     r.not_found,
                     r.lost,
+                    telemetry_json(&r.telemetry, "      "),
+                    top_pauses_json(&r.telemetry, 5, "      "),
                 ));
             }
         }
     }
     table.print();
+    println!(
+        "-- per-op-class tails at {} shards (router + live shards) --",
+        shard_sweep.last().unwrap()
+    );
+    tails.print();
     let json = format!(
         concat!(
             "{{\n",
@@ -1544,6 +1618,11 @@ mod tests {
             "read_stalls",
             "write_stalls",
             "\"buffer\": { \"capacity\": 1024, \"drain\": 64, \"shards\": 8 }",
+            "\"telemetry\":",
+            "\"top_pauses\":",
+            "\"lookup\":",
+            "\"drain\":",
+            "\"p999_ns\":",
         ] {
             assert!(s.contains(field), "mixed snapshot misses {field}");
         }
@@ -1551,6 +1630,9 @@ mod tests {
         // 7 designs x 3 mixes x 2 thread counts (tiny scale: threads = 2).
         assert_eq!(s.matches("\"index\":").count(), 42);
         assert!(!s.contains("\"lost\": 1"), "no run may lose a staged key");
+        // Every run embeds a telemetry object and a top-pauses array.
+        assert_eq!(s.matches("\"telemetry\":").count(), 42);
+        assert_eq!(s.matches("\"top_pauses\":").count(), 42);
     }
 
     #[test]
@@ -1573,9 +1655,16 @@ mod tests {
             "speedup_vs_1_shard",
             "\"zipfian_theta\": 0.99",
             "\"buffer\": { \"capacity\": 1024, \"drain\": 64, \"shards\": 4 }",
+            "\"telemetry\":",
+            "\"top_pauses\":",
+            "\"rebalance\":",
+            "\"p999_ns\":",
         ] {
             assert!(s.contains(field), "sharded snapshot misses {field}");
         }
+        // Every run embeds a telemetry object and a top-pauses array.
+        assert_eq!(s.matches("\"telemetry\":").count(), 42);
+        assert_eq!(s.matches("\"top_pauses\":").count(), 42);
         assert!(s.contains("+sharded"), "router names must carry +sharded");
         // 7 designs x 2 distributions x 3 shard counts.
         assert_eq!(s.matches("\"index\":").count(), 42);
@@ -1632,9 +1721,14 @@ mod tests {
             "frames_pinned",
             "qdepth_sweep",
             "overlap_saved_seconds",
+            "\"telemetry\":",
+            "\"lookup\":",
+            "\"p999_ns\":",
         ] {
             assert!(s.contains(field), "snapshot misses field {field}");
         }
+        // One telemetry object per index entry.
+        assert_eq!(s.matches("\"telemetry\":").count(), 7);
         // Each of the 7 index entries carries the full 1/4/8/32 depth sweep.
         for depth in QDEPTH_SWEEP {
             assert_eq!(

@@ -18,7 +18,7 @@ use lidx_core::{
     payload_for, DiskIndex, IndexError, IndexRead, IndexResult, IndexWrite, Key, Manifest,
     WriteBuffer, WriteBufferConfig,
 };
-use lidx_storage::{Disk, DiskConfig, FaultPlan};
+use lidx_storage::{Disk, DiskConfig, FaultPlan, OpClass};
 
 use crate::experiments::Scale;
 use crate::runner::IndexChoice;
@@ -115,6 +115,8 @@ struct OverheadRow {
     device_overhead: f64,
     wal_appends: u64,
     wal_bytes: u64,
+    wal_sync_p99_ns: u64,
+    checkpoint_max_ns: u64,
 }
 
 /// One replay-scaling measurement: kill with `dirty` logged-but-undrained
@@ -124,6 +126,7 @@ struct ReplayRow {
     replayed_entries: u64,
     replay_wall_micros: f64,
     recovered_len: u64,
+    recovery_pause_ns: u64,
 }
 
 /// The recovery experiment: writes `BENCH_recovery.json` with (1) the write
@@ -154,6 +157,8 @@ pub fn recovery_to(scale: &Scale, path: &Path) {
         "buf dev ns/ins",
         "dev overhead",
         "wal appends",
+        "sync p99 us",
+        "ckpt max us",
     ]);
     for choice in IndexChoice::ALL_DESIGNS {
         // WAL-on: durable store, logged staging front, full checkpoint at
@@ -174,6 +179,7 @@ pub fn recovery_to(scale: &Scale, path: &Path) {
         front.bulk_load(&entries).expect("bulk load");
         let disk = Arc::clone(front.inner().disk());
         let before = disk.snapshot();
+        disk.telemetry().reset();
         let start = Instant::now();
         for &k in &ops {
             front.insert(k, payload_for(k)).expect("insert");
@@ -181,6 +187,7 @@ pub fn recovery_to(scale: &Scale, path: &Path) {
         front.checkpoint(false).expect("checkpoint");
         let wal_wall = start.elapsed().as_nanos() as f64;
         let after = disk.snapshot().since(&before);
+        let tele = disk.telemetry().snapshot();
         drop(front);
         std::fs::remove_dir_all(&dir).ok();
 
@@ -212,6 +219,8 @@ pub fn recovery_to(scale: &Scale, path: &Path) {
             device_overhead: after.device_ns as f64 / (base_after.device_ns as f64).max(1.0),
             wal_appends: after.wal_appends,
             wal_bytes: after.wal_bytes,
+            wal_sync_p99_ns: tele.class(OpClass::WalSync).summary.p99_ns,
+            checkpoint_max_ns: tele.class(OpClass::Checkpoint).summary.max_ns,
         };
         t.row([
             row.index.to_string(),
@@ -221,6 +230,8 @@ pub fn recovery_to(scale: &Scale, path: &Path) {
             format!("{:.0}", row.buffered_device_ns_per_insert),
             format!("{:.3}", row.device_overhead),
             row.wal_appends.to_string(),
+            format!("{:.1}", row.wal_sync_p99_ns as f64 / 1e3),
+            format!("{:.1}", row.checkpoint_max_ns as f64 / 1e3),
         ]);
         overhead_rows.push(row);
     }
@@ -231,8 +242,13 @@ pub fn recovery_to(scale: &Scale, path: &Path) {
     let dirty_counts: [usize; 3] =
         [(scale.ops / 4).max(64), scale.ops.max(256), (scale.ops * 4).max(1024)];
     let mut replay_rows = Vec::new();
-    let mut rt =
-        crate::report::Table::new(["dirty entries", "replayed", "replay us", "recovered len"]);
+    let mut rt = crate::report::Table::new([
+        "dirty entries",
+        "replayed",
+        "replay us",
+        "recovered len",
+        "pause us",
+    ]);
     for &dirty in &dirty_counts {
         let dir = scratch_dir(&format!("replay-{dirty}"));
         let config = WriteBufferConfig { capacity: dirty + 1, ..Default::default() };
@@ -250,17 +266,28 @@ pub fn recovery_to(scale: &Scale, path: &Path) {
         let (recovered, replayed) =
             reopen_durable_index(&dir, block_size, config, None).expect("reopen after kill");
         let replay_wall_micros = start.elapsed().as_nanos() as f64 / 1e3;
+        // The reopen's recovery span (recorded by `with_wal_replayed`) is
+        // the pause a restarted server serves nothing during; its counter
+        // must agree with the replayed-entry return value.
+        let tele = recovered.inner().disk().telemetry().snapshot();
+        assert_eq!(
+            tele.class(OpClass::Recovery).counter,
+            replayed,
+            "recovery counter must match replayed entries"
+        );
         let row = ReplayRow {
             dirty_entries: dirty as u64,
             replayed_entries: replayed,
             replay_wall_micros,
             recovered_len: recovered.len(),
+            recovery_pause_ns: tele.class(OpClass::Recovery).summary.max_ns,
         };
         rt.row([
             row.dirty_entries.to_string(),
             row.replayed_entries.to_string(),
             format!("{:.0}", row.replay_wall_micros),
             row.recovered_len.to_string(),
+            format!("{:.1}", row.recovery_pause_ns as f64 / 1e3),
         ]);
         replay_rows.push(row);
         drop(recovered);
@@ -278,7 +305,8 @@ pub fn recovery_to(scale: &Scale, path: &Path) {
                     "\"wal_device_ns_per_insert\": {:.1}, ",
                     "\"buffered_device_ns_per_insert\": {:.1}, ",
                     "\"device_overhead\": {:.4}, ",
-                    "\"wal_appends\": {}, \"wal_bytes\": {} }}"
+                    "\"wal_appends\": {}, \"wal_bytes\": {}, ",
+                    "\"wal_sync_p99_ns\": {}, \"checkpoint_max_ns\": {} }}"
                 ),
                 r.index,
                 r.wal_wall_ns_per_insert,
@@ -288,6 +316,8 @@ pub fn recovery_to(scale: &Scale, path: &Path) {
                 r.device_overhead,
                 r.wal_appends,
                 r.wal_bytes,
+                r.wal_sync_p99_ns,
+                r.checkpoint_max_ns,
             )
         })
         .collect();
@@ -297,9 +327,14 @@ pub fn recovery_to(scale: &Scale, path: &Path) {
             format!(
                 concat!(
                     "    {{ \"dirty_entries\": {}, \"replayed_entries\": {}, ",
-                    "\"replay_wall_micros\": {:.1}, \"recovered_len\": {} }}"
+                    "\"replay_wall_micros\": {:.1}, \"recovered_len\": {}, ",
+                    "\"recovery_pause_ns\": {} }}"
                 ),
-                r.dirty_entries, r.replayed_entries, r.replay_wall_micros, r.recovered_len,
+                r.dirty_entries,
+                r.replayed_entries,
+                r.replay_wall_micros,
+                r.recovered_len,
+                r.recovery_pause_ns,
             )
         })
         .collect();
@@ -370,6 +405,9 @@ mod tests {
         assert!(body.contains("\"schema\": \"lidx-bench-recovery-v1\""));
         assert!(body.contains("\"write_overhead\""));
         assert!(body.contains("\"replay\""));
+        assert!(body.contains("\"wal_sync_p99_ns\""));
+        assert!(body.contains("\"checkpoint_max_ns\""));
+        assert!(body.contains("\"recovery_pause_ns\""));
         for choice in IndexChoice::ALL_DESIGNS {
             assert!(body.contains(&format!("\"index\": \"{}\"", choice.name())));
         }

@@ -1,4 +1,9 @@
-//! Plain-text table formatting for experiment output.
+//! Plain-text table formatting for experiment output, plus the shared
+//! renderers that turn a [`TelemetrySnapshot`] into the per-op-class tail
+//! table and the hand-formatted JSON fragments the `BENCH_*.json` snapshots
+//! embed.
+
+use lidx_storage::TelemetrySnapshot;
 
 /// A simple fixed-width text table.
 #[derive(Debug, Default)]
@@ -88,6 +93,111 @@ pub fn ops(v: f64) -> String {
 /// Formats nanoseconds as milliseconds with two decimals.
 pub fn ms(ns: f64) -> String {
     format!("{:.2}", ns / 1e6)
+}
+
+/// Formats nanoseconds as microseconds with one decimal.
+pub fn us(ns: f64) -> String {
+    format!("{:.1}", ns / 1e3)
+}
+
+/// Renders the non-empty classes of a telemetry snapshot as a per-op-class
+/// tail-latency table (count, mean and the p50/p95/p99/p999/max ladder, in
+/// microseconds).
+pub fn tail_table(snapshot: &TelemetrySnapshot) -> Table {
+    let mut t = Table::new([
+        "op class", "count", "mean us", "p50 us", "p95 us", "p99 us", "p999 us", "max us",
+    ]);
+    for c in snapshot.non_empty() {
+        let s = c.summary;
+        t.row([
+            c.class.label().to_string(),
+            s.count.to_string(),
+            us(s.mean_ns),
+            us(s.p50_ns as f64),
+            us(s.p95_ns as f64),
+            us(s.p99_ns as f64),
+            us(s.p999_ns as f64),
+            us(s.max_ns as f64),
+        ]);
+    }
+    t
+}
+
+/// The hand-formatted JSON object mapping each non-empty op class to its
+/// tail summary, e.g. `{ "lookup": { "count": 9, ..., "max_ns": 120 } }`.
+/// Returned without a trailing newline so callers splice it after a
+/// `"telemetry": ` key; `indent` is prepended to every inner line.
+pub fn telemetry_json(snapshot: &TelemetrySnapshot, indent: &str) -> String {
+    let classes: Vec<String> = snapshot
+        .non_empty()
+        .map(|c| {
+            let s = c.summary;
+            format!(
+                concat!(
+                    "{indent}  \"{label}\": {{ \"count\": {}, \"counter\": {}, ",
+                    "\"mean_ns\": {:.1}, \"p50_ns\": {}, \"p95_ns\": {}, \"p99_ns\": {}, ",
+                    "\"p999_ns\": {}, \"max_ns\": {} }}"
+                ),
+                s.count,
+                c.counter,
+                s.mean_ns,
+                s.p50_ns,
+                s.p95_ns,
+                s.p99_ns,
+                s.p999_ns,
+                s.max_ns,
+                indent = indent,
+                label = c.class.label(),
+            )
+        })
+        .collect();
+    if classes.is_empty() {
+        "{}".to_string()
+    } else {
+        format!("{{\n{}\n{indent}}}", classes.join(",\n"))
+    }
+}
+
+/// The hand-formatted JSON array of the worst recorded pauses (pause classes
+/// only, sorted by maximum observed duration), the "top pauses" companion to
+/// [`telemetry_json`].
+pub fn top_pauses_json(snapshot: &TelemetrySnapshot, limit: usize, indent: &str) -> String {
+    let rows: Vec<String> = snapshot
+        .top_pauses(limit)
+        .iter()
+        .map(|c| {
+            let s = c.summary;
+            format!(
+                "{indent}  {{ \"class\": \"{}\", \"count\": {}, \"p99_ns\": {}, \"max_ns\": {} }}",
+                c.class.label(),
+                s.count,
+                s.p99_ns,
+                s.max_ns,
+            )
+        })
+        .collect();
+    if rows.is_empty() {
+        "[]".to_string()
+    } else {
+        format!("[\n{}\n{indent}]", rows.join(",\n"))
+    }
+}
+
+/// Panics unless every non-empty class of `snapshot` reports an ordered
+/// percentile ladder (p50 <= p95 <= p99 <= p999 <= max) — the smoke gate the
+/// CI `--quick` snapshot runs assert on every refreshed bench JSON.
+pub fn assert_percentiles_ordered(snapshot: &TelemetrySnapshot, context: &str) {
+    for c in snapshot.non_empty() {
+        let s = c.summary;
+        assert!(
+            s.p50_ns <= s.p95_ns
+                && s.p95_ns <= s.p99_ns
+                && s.p99_ns <= s.p999_ns
+                && s.p999_ns <= s.max_ns,
+            "{context}: class {} percentiles out of order: {s:?}",
+            c.class.label(),
+        );
+    }
 }
 
 #[cfg(test)]

@@ -14,7 +14,10 @@ use lidx_fiting::{FitingConfig, FitingTree};
 use lidx_hybrid::{HybridConfig, HybridIndex, HybridInnerKind};
 use lidx_lipp::{LippConfig, LippIndex};
 use lidx_pgm::{PgmConfig, PgmIndex};
-use lidx_storage::{BlockKind, DeviceModel, Disk, DiskConfig, PoolPartitions, ReplacementPolicy};
+use lidx_storage::{
+    BlockKind, DeviceModel, Disk, DiskConfig, OpClass, PoolPartitions, ReplacementPolicy,
+    TelemetrySnapshot,
+};
 use lidx_workloads::{Op, ScrambledZipfian, Workload};
 
 /// Which index to build.
@@ -531,6 +534,10 @@ pub struct BatchLookupReport {
     pub io_retries: u64,
     /// WAL records appended during the measured pass (0: lookups never log).
     pub wal_appends: u64,
+    /// Per-op-class telemetry for the measured pass: wall-clock lookup
+    /// latencies (one sample per `lookup` / `lookup_batch` call) plus any
+    /// pause classes the storage layer recorded (readahead waves, etc.).
+    pub telemetry: TelemetrySnapshot,
 }
 
 impl BatchLookupReport {
@@ -603,20 +610,26 @@ pub fn run_batch_lookup(
         index.lookup(k).expect("warm lookup");
     }
     disk.stats().reset();
+    disk.telemetry().reset();
     disk.reset_access_state();
 
+    let telemetry = disk.telemetry();
     let mut not_found = 0u64;
     let start = Instant::now();
     if batch <= 1 {
         for &k in &keys {
+            let t0 = Instant::now();
             if index.lookup(k).expect("lookup").is_none() {
                 not_found += 1;
             }
+            telemetry.record_ns(OpClass::Lookup, t0.elapsed().as_nanos() as u64);
         }
     } else {
         let mut answers = Vec::with_capacity(batch);
         for chunk in keys.chunks(batch) {
+            let t0 = Instant::now();
             index.lookup_batch(chunk, &mut answers).expect("lookup_batch");
+            telemetry.record_ns(OpClass::Lookup, t0.elapsed().as_nanos() as u64);
             not_found += answers.iter().filter(|a| a.is_none()).count() as u64;
         }
     }
@@ -640,6 +653,7 @@ pub fn run_batch_lookup(
         checksum_failures: stats.checksum_failures(),
         io_retries: stats.io_retries(),
         wal_appends: stats.wal_appends(),
+        telemetry: disk.telemetry().snapshot(),
     }
 }
 
@@ -950,6 +964,10 @@ pub struct MixedWorkloadReport {
     /// Staged keys a post-run lookup failed to find after the final flush
     /// (sanity signal; must be zero).
     pub lost: u64,
+    /// Per-op-class telemetry: wall-clock worker lookup/insert latencies
+    /// recorded by the phase plus every pause class the stack recorded on
+    /// the shared disk (drains, SMOs, lock waits, readahead waves).
+    pub telemetry: TelemetrySnapshot,
 }
 
 impl MixedWorkloadReport {
@@ -1022,11 +1040,13 @@ pub fn run_mixed_workload(
     let swb = ShardedWriteBuffer::with_sampled_boundaries(index, buffer, &boundary_sample);
 
     disk.stats().reset();
+    disk.telemetry().reset();
     disk.clear_buffer();
     disk.reset_access_state();
 
     let swb = &swb;
     let bulk_keys = &bulk_keys;
+    let telemetry = disk.telemetry();
     let stop = std::sync::atomic::AtomicBool::new(false);
     let stop = &stop;
     let chunk = buffer.drain.max(1);
@@ -1068,13 +1088,19 @@ pub fn run_mixed_workload(
                                         < mix.read_fraction();
                                 if is_read {
                                     let k = bulk_keys[(r % bulk_keys.len() as u64) as usize];
+                                    let t0 = Instant::now();
                                     if swb.lookup(k).expect("lookup").is_none() {
                                         misses += 1;
                                     }
+                                    telemetry
+                                        .record_ns(OpClass::Lookup, t0.elapsed().as_nanos() as u64);
                                     lookups += 1;
                                 } else {
                                     let (k, v) = mine[next % mine.len()];
+                                    let t0 = Instant::now();
                                     swb.stage(k, v).expect("stage");
+                                    telemetry
+                                        .record_ns(OpClass::Insert, t0.elapsed().as_nanos() as u64);
                                     next += 1;
                                     inserts += 1;
                                 }
@@ -1129,6 +1155,7 @@ pub fn run_mixed_workload(
         read_stalls,
         write_stalls,
         lost,
+        telemetry: disk.telemetry().snapshot(),
     }
 }
 
@@ -1204,6 +1231,11 @@ pub struct ShardedServingReport {
     /// Staged keys a post-run lookup failed to find after the final flush
     /// (the rebalance-race oracle; must be zero).
     pub lost: u64,
+    /// Per-op-class telemetry merged across the router and every live shard
+    /// disk: wall-clock worker lookup/insert latencies (recorded on the
+    /// router disk) plus drain/SMO/rebalance/lock/wave pauses from the
+    /// shards.
+    pub telemetry: TelemetrySnapshot,
 }
 
 impl ShardedServingReport {
@@ -1272,14 +1304,17 @@ pub fn run_sharded_serving(
 
     for disk in router.shard_disks() {
         disk.stats().reset();
+        disk.telemetry().reset();
         disk.clear_buffer();
         disk.reset_access_state();
     }
     router.disk().stats().reset();
+    router.disk().telemetry().reset();
 
     let zipf = ScrambledZipfian::new(bulk_keys.len(), 0.99);
     let router = &router;
     let bulk_keys = &bulk_keys;
+    let telemetry = router.disk().telemetry();
     let zipf = &zipf;
     let stop = std::sync::atomic::AtomicBool::new(false);
     let stop = &stop;
@@ -1323,13 +1358,19 @@ pub fn run_sharded_serving(
                                     KeyDist::Uniform => (r % bulk_keys.len() as u64) as usize,
                                     KeyDist::Zipfian => zipf.position(u / 0.95),
                                 };
+                                let t0 = Instant::now();
                                 if router.lookup(bulk_keys[pos]).expect("lookup").is_none() {
                                     misses += 1;
                                 }
+                                telemetry
+                                    .record_ns(OpClass::Lookup, t0.elapsed().as_nanos() as u64);
                                 lookups += 1;
                             } else {
                                 let (k, v) = mine[next % mine.len()];
+                                let t0 = Instant::now();
                                 router.stage(k, v).expect("stage");
+                                telemetry
+                                    .record_ns(OpClass::Insert, t0.elapsed().as_nanos() as u64);
                                 next += 1;
                                 inserts += 1;
                             }
@@ -1416,6 +1457,7 @@ pub fn run_sharded_serving(
         splits: split_state.0,
         split_overlapped: split_state.1,
         lost,
+        telemetry: router.aggregate_telemetry().snapshot(),
     }
 }
 
@@ -1643,8 +1685,19 @@ mod tests {
                 assert!(r.drained_entries >= r.writer_entries.min(64));
                 assert!(r.index.ends_with("+rw+swb"), "{choice:?} name: {}", r.index);
                 assert!(r.aggregate_ops_per_sec() > 0.0);
+                let lk = r.telemetry.class(OpClass::Lookup);
+                assert_eq!(lk.summary.count, r.lookups, "{choice:?} {mix:?} lookup samples");
+                let drain = r.telemetry.class(OpClass::Drain);
+                assert!(drain.summary.count > 0, "{choice:?} {mix:?} drains must be timed");
+                assert!(
+                    r.telemetry.top_pauses(3).iter().any(|c| c.class == OpClass::Drain),
+                    "{choice:?} {mix:?} drain must rank among the top pauses"
+                );
                 if mix == YcsbMix::C {
                     assert_eq!(r.inserts, 0, "{choice:?} YCSB-C workers are read-only");
+                } else {
+                    let ins = r.telemetry.class(OpClass::Insert);
+                    assert_eq!(ins.summary.count, r.inserts, "{choice:?} {mix:?} insert samples");
                 }
             }
         }
@@ -1671,6 +1724,13 @@ mod tests {
                 seq.reads
             );
             assert!(seq.buffer_hit_rate() > 0.0, "{choice:?} warm pool must produce hits");
+            let lk = seq.telemetry.class(OpClass::Lookup);
+            assert_eq!(lk.summary.count, seq.ops, "{choice:?} one lookup sample per op");
+            assert!(
+                lk.summary.p50_ns <= lk.summary.p999_ns && lk.summary.p999_ns <= lk.summary.max_ns,
+                "{choice:?} lookup percentiles must be ordered: {:?}",
+                lk.summary
+            );
         }
     }
 

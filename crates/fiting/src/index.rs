@@ -7,7 +7,7 @@ use lidx_core::{
     IndexWrite, InsertBreakdown, InsertStep, Key, MetaReader, MetaWriter, Value,
 };
 use lidx_models::pla::ShrinkingCone;
-use lidx_storage::{AccessClass, BlockId, BlockKind, Disk, SeqHint};
+use lidx_storage::{AccessClass, BlockId, BlockKind, Disk, OpClass, SeqHint};
 
 use crate::directory::Directory;
 use crate::segment::{
@@ -288,6 +288,12 @@ impl FitingTree {
     /// pending overwrites through here.
     fn resegment(&mut self, old: SegmentMeta, extra: &[Entry]) -> IndexResult<()> {
         self.smo_count += 1;
+        // The SMO is the learned-index pause the paper attributes tail
+        // latency to: time the whole operation and count it, off a local
+        // Arc so the span does not pin a borrow of `self`.
+        let telemetry = Arc::clone(&self.disk);
+        let _span = telemetry.telemetry().span(OpClass::Smo);
+        telemetry.telemetry().add(OpClass::Smo, 1);
         let mut stored = read_all_data(&self.disk, self.seg_file, &old)?;
         stored.extend_from_slice(&read_buffer(&self.disk, self.seg_file, &old, AccessClass::Scan)?);
         // Data region and delta buffer are disjoint by construction, so this

@@ -6,7 +6,7 @@ use lidx_core::{
     index::validate_bulk_load, Entry, IndexError, IndexKind, IndexRead, IndexResult, IndexStats,
     IndexWrite, InsertBreakdown, InsertStep, Key, MetaReader, MetaWriter, Value,
 };
-use lidx_storage::{BlockId, Disk};
+use lidx_storage::{BlockId, Disk, OpClass};
 
 use crate::inner::{InnerDirectory, ModelTreeInner, PlaInner};
 use crate::leaf::{LeafInsert, LeafLevel};
@@ -298,6 +298,9 @@ impl IndexWrite for HybridIndex {
                 // the heavy retraining cost that makes updatable learned
                 // inners expensive (design principle P2).
                 self.smo_count += 1;
+                let telemetry = Arc::clone(&self.disk);
+                let _span = telemetry.telemetry().span(OpClass::Smo);
+                telemetry.telemetry().add(OpClass::Smo, 1);
                 let pos = self.boundaries.partition_point(|&(b, _)| b <= boundary);
                 self.boundaries.insert(pos, (boundary, block));
                 self.inner.rebuild(&self.boundaries)?;
@@ -367,6 +370,7 @@ impl IndexWrite for HybridIndex {
             self.breakdown.add(step, &after_apply.since(&after_search));
             if let Some(LeafInsert::Split { boundary, block }) = split {
                 self.smo_count += 1;
+                self.disk.telemetry().add(OpClass::Smo, 1);
                 let pos = self.boundaries.partition_point(|&(b, _)| b <= boundary);
                 self.boundaries.insert(pos, (boundary, block));
                 directory_stale = true;
@@ -374,6 +378,10 @@ impl IndexWrite for HybridIndex {
             next += consumed;
         }
         if directory_stale {
+            // The deferred directory retrain is the batch path's real SMO
+            // pause; the per-split bookkeeping above is bookkeeping only.
+            let telemetry = Arc::clone(&self.disk);
+            let _span = telemetry.telemetry().span(OpClass::Smo);
             let before_rebuild = self.disk.snapshot();
             self.inner.rebuild(&self.boundaries)?;
             let after_rebuild = self.disk.snapshot();

@@ -8,7 +8,7 @@ use lidx_core::{
     IndexWrite, InsertBreakdown, InsertStep, Key, MetaReader, MetaWriter, Value,
 };
 use lidx_models::fmcd::fit_fmcd;
-use lidx_storage::{AccessClass, BlockId, BlockKind, Disk, SeqHint};
+use lidx_storage::{AccessClass, BlockId, BlockKind, Disk, OpClass, SeqHint};
 
 use crate::node::{blocks_for, group_by_slot, LippNode, Slot};
 
@@ -161,6 +161,12 @@ impl LippIndex {
         parent: Option<(&LippNode, u32)>,
     ) -> IndexResult<()> {
         self.smo_count += 1;
+        // The SMO is the learned-index pause the paper attributes tail
+        // latency to: time the whole operation and count it, off a local
+        // Arc so the span does not pin a borrow of `self`.
+        let telemetry = Arc::clone(&self.disk);
+        let _span = telemetry.telemetry().span(OpClass::Smo);
+        telemetry.telemetry().add(OpClass::Smo, 1);
         let mut entries = Vec::new();
         node.collect_subtree(&self.disk, &mut entries)?;
         // Subtract the nodes that are about to disappear.
@@ -471,6 +477,9 @@ impl IndexWrite for LippIndex {
                 // (LIPP's per-insert SMO, roughly one in three inserts, O7).
                 conflicted = true;
                 self.smo_count += 1;
+                let telemetry = Arc::clone(&self.disk);
+                let _span = telemetry.telemetry().span(OpClass::Smo);
+                telemetry.telemetry().add(OpClass::Smo, 1);
                 let mut pair = [(k0, v0), (key, value)];
                 pair.sort_unstable_by_key(|e| e.0);
                 let child = self.build_subtree(&pair, 0)?;
@@ -588,6 +597,9 @@ impl IndexWrite for LippIndex {
                 Slot::Data(k0, v0) => {
                     conflicted = true;
                     self.smo_count += 1;
+                    let telemetry = Arc::clone(&self.disk);
+                    let _span = telemetry.telemetry().span(OpClass::Smo);
+                    telemetry.telemetry().add(OpClass::Smo, 1);
                     let mut pair = [(k0, v0), (key, value)];
                     pair.sort_unstable_by_key(|e| e.0);
                     let child = self.build_subtree(&pair, 0)?;

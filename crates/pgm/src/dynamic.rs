@@ -20,7 +20,7 @@ use lidx_core::{
     index::validate_bulk_load, Entry, IndexError, IndexKind, IndexRead, IndexResult, IndexStats,
     IndexWrite, InsertBreakdown, InsertStep, Key, MetaReader, MetaWriter, Value,
 };
-use lidx_storage::{AccessClass, BlockKind, Disk};
+use lidx_storage::{AccessClass, BlockKind, Disk, OpClass};
 
 use crate::static_pgm::StaticPgm;
 
@@ -209,6 +209,12 @@ impl PgmIndex {
     /// modification of Fig. 1(b)).
     fn flush_run(&mut self, run_entries: Vec<Entry>) -> IndexResult<()> {
         self.smo_count += 1;
+        // The SMO is the learned-index pause the paper attributes tail
+        // latency to: time the whole operation and count it, off a local
+        // Arc so the span does not pin a borrow of `self`.
+        let telemetry = Arc::clone(&self.disk);
+        let _span = telemetry.telemetry().span(OpClass::Smo);
+        telemetry.telemetry().add(OpClass::Smo, 1);
         let mut merged = run_entries;
         let mut target = 0usize;
         loop {

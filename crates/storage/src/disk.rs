@@ -38,6 +38,7 @@ use crate::error::{StorageError, StorageResult};
 use crate::pager::Pager;
 use crate::stats::{BlockKind, IoStats, OpStats};
 use crate::{BlockId, DEFAULT_BLOCK_SIZE};
+use lidx_telemetry::OpClass;
 
 /// Identifier of a file managed by a [`Disk`].
 pub type FileId = u32;
@@ -363,6 +364,11 @@ pub struct Disk {
     /// Frames parked by scan-readahead waves, consumed by later reads.
     readahead: Mutex<ReadaheadCache>,
     stats: IoStats,
+    /// Latency/pause telemetry shared by every layer above this disk (the
+    /// same sharing pattern as [`IoStats`]): index internals record SMO
+    /// spans, write fronts record drain spans, the harness records per-op
+    /// latencies — all through [`Disk::telemetry`].
+    telemetry: lidx_telemetry::TelemetryRegistry,
     device: DeviceModel,
     block_size: usize,
     reuse_last_block: bool,
@@ -434,6 +440,7 @@ impl Disk {
             last_device_access: AtomicU64::new(NO_ACCESS),
             readahead: Mutex::new(ReadaheadCache::new()),
             stats: IoStats::new(),
+            telemetry: lidx_telemetry::TelemetryRegistry::new(),
             device: config.device,
             block_size: config.block_size,
             reuse_last_block: config.reuse_last_block,
@@ -596,6 +603,14 @@ impl Disk {
     /// Convenience: a snapshot of the current statistics.
     pub fn snapshot(&self) -> OpStats {
         self.stats.snapshot()
+    }
+
+    /// The latency/pause telemetry registry of this disk. Everything built
+    /// on the disk — indexes, write fronts, the router, the harness —
+    /// records op latencies and pause spans here, so one registry describes
+    /// one index instance end to end.
+    pub fn telemetry(&self) -> &lidx_telemetry::TelemetryRegistry {
+        &self.telemetry
     }
 
     /// Accumulated simulated device time, in seconds.
@@ -926,6 +941,7 @@ impl Disk {
     /// Returns one entry per request, aligned with `reqs`: `Some(frame)` for
     /// delivered requests, `None` for prefetches (parked or skipped).
     pub(crate) fn run_wave(&self, reqs: &[WaveReq]) -> StorageResult<Vec<Option<BlockRef>>> {
+        let wave_start = std::time::Instant::now();
         self.stats.record_ios_submitted(reqs.len() as u64);
         let mut results: Vec<Option<BlockRef>> = Vec::with_capacity(reqs.len());
         results.resize(reqs.len(), None);
@@ -1029,6 +1045,12 @@ impl Disk {
         self.stats.note_inflight(misses.len() as u64);
         self.charge(max_cost);
         self.stats.record_overlap_saved_ns(total_cost - max_cost);
+        // A wave that hit the device is an I/O pause; waves served entirely
+        // from cache are free and would only flood the histogram with noise.
+        if !misses.is_empty() {
+            self.telemetry.record_ns(OpClass::Wave, wave_start.elapsed().as_nanos() as u64);
+            self.telemetry.add(OpClass::Wave, misses.len() as u64);
+        }
 
         // Publish after completion, in submission order, exactly like the
         // synchronous path publishes after its charge.

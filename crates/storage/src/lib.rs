@@ -80,6 +80,13 @@ pub use pager::Pager;
 pub use queue::{Completion, ReadQueue};
 pub use stats::{BlockKind, IoStats, OpStats};
 pub use wal::WalSegment;
+// Telemetry is a leaf crate the storage layer hosts (the registry hangs off
+// [`Disk`]); re-export it so the layers above reach the types through their
+// existing `lidx-storage` dependency edge.
+pub use lidx_telemetry as telemetry;
+pub use lidx_telemetry::{
+    ClassStats, Histogram, OpClass, Span, TailSummary, TelemetryRegistry, TelemetrySnapshot,
+};
 
 /// Identifier of a block within one file, starting at zero.
 pub type BlockId = u32;

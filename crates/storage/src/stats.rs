@@ -118,6 +118,14 @@ pub struct IoStats {
     wal_bytes: AtomicU64,
     /// Entries re-staged from WAL segments during recovery replay.
     replayed_entries: AtomicU64,
+    /// Group-commit syncs that actually forced a dirty WAL tail to the
+    /// device (clean-tail syncs are free and not counted). Each one also
+    /// records a `wal_sync` pause span in the disk's telemetry registry.
+    wal_syncs: AtomicU64,
+    /// Durable checkpoints written (meta save + superblock persist + WAL
+    /// truncate). Each one also records a `checkpoint` pause span in the
+    /// disk's telemetry registry.
+    checkpoints: AtomicU64,
     /// Verified reads whose block stamp failed (torn or bit-flipped block).
     checksum_failures: AtomicU64,
     /// Transient device read errors absorbed by the bounded-backoff retry
@@ -245,6 +253,16 @@ impl IoStats {
     /// Records `n` entries re-staged from a WAL during recovery replay.
     pub fn record_replayed_entries(&self, n: u64) {
         self.replayed_entries.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records one group-commit WAL sync that flushed a dirty tail.
+    pub fn record_wal_sync(&self) {
+        self.wal_syncs.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one durable checkpoint.
+    pub fn record_checkpoint(&self) {
+        self.checkpoints.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Records one verified read whose block stamp failed.
@@ -378,6 +396,16 @@ impl IoStats {
         self.replayed_entries.load(Ordering::Relaxed)
     }
 
+    /// Group-commit syncs that flushed a dirty WAL tail.
+    pub fn wal_syncs(&self) -> u64 {
+        self.wal_syncs.load(Ordering::Relaxed)
+    }
+
+    /// Durable checkpoints written.
+    pub fn checkpoints(&self) -> u64 {
+        self.checkpoints.load(Ordering::Relaxed)
+    }
+
     /// Verified reads whose block stamp failed.
     pub fn checksum_failures(&self) -> u64 {
         self.checksum_failures.load(Ordering::Relaxed)
@@ -414,6 +442,8 @@ impl IoStats {
             wal_appends: self.wal_appends.load(Ordering::Relaxed),
             wal_bytes: self.wal_bytes.load(Ordering::Relaxed),
             replayed_entries: self.replayed_entries.load(Ordering::Relaxed),
+            wal_syncs: self.wal_syncs.load(Ordering::Relaxed),
+            checkpoints: self.checkpoints.load(Ordering::Relaxed),
             checksum_failures: self.checksum_failures.load(Ordering::Relaxed),
             io_retries: self.io_retries.load(Ordering::Relaxed),
         }
@@ -447,6 +477,8 @@ impl IoStats {
         self.wal_appends.store(0, Ordering::Relaxed);
         self.wal_bytes.store(0, Ordering::Relaxed);
         self.replayed_entries.store(0, Ordering::Relaxed);
+        self.wal_syncs.store(0, Ordering::Relaxed);
+        self.checkpoints.store(0, Ordering::Relaxed);
         self.checksum_failures.store(0, Ordering::Relaxed);
         self.io_retries.store(0, Ordering::Relaxed);
     }
@@ -500,6 +532,10 @@ pub struct OpStats {
     pub wal_bytes: u64,
     /// Entries re-staged from WAL replay during the window.
     pub replayed_entries: u64,
+    /// Group-commit WAL syncs (dirty tails flushed) during the window.
+    pub wal_syncs: u64,
+    /// Durable checkpoints written during the window.
+    pub checkpoints: u64,
     /// Checksum verification failures during the window.
     pub checksum_failures: u64,
     /// Transient-read retries during the window.
@@ -533,6 +569,8 @@ impl OpStats {
             wal_appends: self.wal_appends.saturating_sub(earlier.wal_appends),
             wal_bytes: self.wal_bytes.saturating_sub(earlier.wal_bytes),
             replayed_entries: self.replayed_entries.saturating_sub(earlier.replayed_entries),
+            wal_syncs: self.wal_syncs.saturating_sub(earlier.wal_syncs),
+            checkpoints: self.checkpoints.saturating_sub(earlier.checkpoints),
             checksum_failures: self.checksum_failures.saturating_sub(earlier.checksum_failures),
             io_retries: self.io_retries.saturating_sub(earlier.io_retries),
         }
@@ -568,6 +606,8 @@ impl OpStats {
             wal_appends: self.wal_appends + other.wal_appends,
             wal_bytes: self.wal_bytes + other.wal_bytes,
             replayed_entries: self.replayed_entries + other.replayed_entries,
+            wal_syncs: self.wal_syncs + other.wal_syncs,
+            checkpoints: self.checkpoints + other.checkpoints,
             checksum_failures: self.checksum_failures + other.checksum_failures,
             io_retries: self.io_retries + other.io_retries,
         }
@@ -687,6 +727,12 @@ mod tests {
             s.record_overlap_saved_ns(19 * scale);
             s.record_wal_append(23 * scale);
             s.record_replayed_entries(29 * scale);
+            for _ in 0..31 * scale {
+                s.record_wal_sync();
+            }
+            for _ in 0..37 * scale {
+                s.record_checkpoint();
+            }
             s.snapshot()
         }
 
@@ -722,8 +768,22 @@ mod tests {
         assert_eq!(merged.wal_appends, 2);
         assert_eq!(merged.wal_bytes, 253);
         assert_eq!(merged.replayed_entries, 319);
+        assert_eq!(merged.wal_syncs, 341);
+        assert_eq!(merged.checkpoints, 407);
         assert_eq!(merged.checksum_failures, 11);
         assert_eq!(merged.io_retries, 11);
+
+        // Exhaustiveness backstop: a window built from non-zero values in
+        // *every* field must merge to non-zero everywhere. A new counter
+        // added with a forgotten (dropping) merge rule fails here even
+        // before it gets its own prime above.
+        let w = window(1, 9);
+        assert!(w.buffer_hits > 0 && w.wal_syncs > 0 && w.checkpoints > 0);
+        let dbg = format!("{merged:?}");
+        assert!(
+            !dbg.contains(": 0,") && !dbg.contains(": 0 }"),
+            "every OpStats field must survive a merge: {dbg}"
+        );
 
         // The queue high-water mark is a level: N disks side by side do
         // not form one deeper queue, so the merged window reports the

@@ -182,10 +182,17 @@ impl WalSegment {
     /// which replay detects and trims).
     pub fn sync(&mut self) -> StorageResult<()> {
         if self.dirty {
+            // A group-commit boundary: everything staged since the last sync
+            // is forced out here, so this span is the WAL-sync pause a
+            // writer's tail latency sees. (Clone the Arc: the span must not
+            // hold a borrow of `self` across the mutable flush.)
+            let disk = Arc::clone(&self.disk);
+            let _span = disk.telemetry().span(lidx_telemetry::OpClass::WalSync);
             if self.tail_len > 0 {
                 self.flush_tail(false)?;
             }
             self.dirty = false;
+            disk.stats().record_wal_sync();
         }
         Ok(())
     }

@@ -1,0 +1,150 @@
+//! Histogram property suite: the log-bucketed [`Histogram`] checked against
+//! an exact sorted-vector oracle (every percentile within the documented
+//! relative-error bound, never under-reported), exact-merge properties, and
+//! a determinism check that N-thread concurrent recording merged across
+//! per-thread registries equals sequential recording snapshot-for-snapshot.
+//!
+//! CI runs this suite in release next to the racing-oracle suites: the
+//! lock-free recording path is exactly the kind of code whose races hide in
+//! debug builds.
+
+use lidx_telemetry::{Histogram, OpClass, TelemetryRegistry, RELATIVE_ERROR_BOUND};
+use proptest::prelude::*;
+
+/// The exact nearest-rank percentile the harness's sorted-vector recorder
+/// would report — the oracle the histogram is held to.
+fn exact_percentile(sorted: &[u64], q: f64) -> u64 {
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+const QUANTILES: [f64; 6] = [0.5, 0.9, 0.95, 0.99, 0.999, 1.0];
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, .. ProptestConfig::default() })]
+
+    /// Every percentile the histogram reports is at least the exact
+    /// nearest-rank value and overshoots it by at most
+    /// `RELATIVE_ERROR_BOUND` (1/32), across sample sets spanning the full
+    /// range of magnitudes (the `shift` component varies the octave).
+    #[test]
+    fn percentiles_match_sorted_oracle_within_bound(
+        raw in proptest::collection::vec((any::<u64>(), 0u32..64), 1..300),
+    ) {
+        let samples: Vec<u64> = raw.iter().map(|&(v, s)| v >> s).collect();
+        let hist = Histogram::new();
+        for &v in &samples {
+            hist.record(v);
+        }
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(hist.count(), samples.len() as u64);
+        prop_assert_eq!(hist.max(), *sorted.last().unwrap());
+        for q in QUANTILES {
+            let exact = exact_percentile(&sorted, q);
+            let est = hist.value_at_quantile(q);
+            prop_assert!(est >= exact,
+                "q={q}: histogram may never under-report ({est} < {exact})");
+            prop_assert!(
+                (est - exact) as f64 <= exact as f64 * RELATIVE_ERROR_BOUND,
+                "q={q}: overshoot {} above exact {exact} breaks the 1/{} bound",
+                est - exact, (1.0 / RELATIVE_ERROR_BOUND) as u64
+            );
+        }
+    }
+
+    /// Merging two histograms is exact: every percentile of the merged
+    /// histogram equals what one histogram fed both streams reports, and
+    /// count/sum/max add up.
+    #[test]
+    fn merge_is_exact_for_any_partition(
+        raw in proptest::collection::vec((any::<u64>(), 0u32..64), 2..300),
+        split in any::<u16>(),
+    ) {
+        let samples: Vec<u64> = raw.iter().map(|&(v, s)| v >> s).collect();
+        let cut = 1 + (split as usize) % (samples.len() - 1);
+        let (left, right) = (Histogram::new(), Histogram::new());
+        let single = Histogram::new();
+        for (i, &v) in samples.iter().enumerate() {
+            if i < cut { left.record(v) } else { right.record(v) }
+            single.record(v);
+        }
+        left.merge_from(&right);
+        prop_assert_eq!(left.count(), single.count());
+        prop_assert_eq!(left.sum(), single.sum());
+        prop_assert_eq!(left.max(), single.max());
+        for q in QUANTILES {
+            prop_assert_eq!(left.value_at_quantile(q), single.value_at_quantile(q));
+        }
+    }
+
+    /// The summary's percentile fields are always ordered
+    /// p50 ≤ p95 ≤ p99 ≤ p999 ≤ max — the invariant the CI bench-JSON smoke
+    /// asserts on every refreshed snapshot.
+    #[test]
+    fn summary_percentiles_are_always_ordered(
+        raw in proptest::collection::vec((any::<u64>(), 0u32..64), 1..200),
+    ) {
+        let hist = Histogram::new();
+        for &(v, s) in &raw {
+            hist.record(v >> s);
+        }
+        let s = hist.summary();
+        prop_assert!(s.p50_ns <= s.p95_ns);
+        prop_assert!(s.p95_ns <= s.p99_ns);
+        prop_assert!(s.p99_ns <= s.p999_ns);
+        prop_assert!(s.p999_ns <= s.max_ns);
+    }
+}
+
+/// Determinism under concurrency: eight threads record disjoint shards of
+/// one sample stream into per-thread registries (the sharded-router
+/// aggregation shape); merging them must equal sequential recording into a
+/// single registry, class-for-class and bucket-for-bucket.
+#[test]
+fn n_thread_recording_merges_to_the_sequential_snapshot() {
+    const THREADS: usize = 8;
+    let samples: Vec<(OpClass, u64)> = (0..48_000u64)
+        .map(|i| {
+            let h = i.wrapping_mul(0x9E3779B97F4A7C15).rotate_left(29);
+            let class = OpClass::ALL[(h % OpClass::COUNT as u64) as usize];
+            (class, h >> (h % 40))
+        })
+        .collect();
+
+    let sequential = TelemetryRegistry::new();
+    for &(class, v) in &samples {
+        sequential.record_ns(class, v);
+        sequential.add(class, v % 7);
+    }
+
+    let merged = TelemetryRegistry::new();
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let samples = &samples;
+                s.spawn(move || {
+                    let local = TelemetryRegistry::new();
+                    for &(class, v) in samples.iter().skip(t).step_by(THREADS) {
+                        local.record_ns(class, v);
+                        local.add(class, v % 7);
+                    }
+                    local
+                })
+            })
+            .collect();
+        for h in handles {
+            merged.merge_from(&h.join().expect("recorder thread panicked"));
+        }
+    });
+
+    for class in OpClass::ALL {
+        let (a, b) = (merged.histogram(class), sequential.histogram(class));
+        assert_eq!(a.bucket_counts(), b.bucket_counts(), "{} buckets", class.label());
+        assert_eq!(a.count(), b.count(), "{} count", class.label());
+        assert_eq!(a.sum(), b.sum(), "{} sum", class.label());
+        assert_eq!(a.max(), b.max(), "{} max", class.label());
+        assert_eq!(merged.counter(class), sequential.counter(class), "{}", class.label());
+        assert_eq!(a.summary(), b.summary(), "{} summary", class.label());
+    }
+}

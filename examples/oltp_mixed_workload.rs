@@ -9,8 +9,9 @@
 //! ```
 
 use lidx_core::ShardedWriteBufferConfig;
+use lidx_experiments::report::{tail_table, us, Table};
 use lidx_experiments::runner::{run_mixed_workload, IndexChoice, RunConfig, YcsbMix};
-use lidx_storage::DeviceModel;
+use lidx_storage::{DeviceModel, OpClass};
 use lidx_workloads::{Dataset, Workload, WorkloadKind, WorkloadSpec};
 
 fn main() {
@@ -49,6 +50,15 @@ fn main() {
             "{:<24} {:>10} {:>12} {:>8} {:>8} {:>12} {:>12}",
             "index", "threads", "ops/s", "speedup", "drains", "read stalls", "write stalls"
         );
+        let mut tails = Table::new([
+            "index",
+            "lookup p99 us",
+            "lookup p999 us",
+            "insert p99 us",
+            "drain p99 us",
+            "top pause",
+        ]);
+        let mut detail = None;
         for choice in IndexChoice::EVALUATED {
             let mut base = 0.0f64;
             for threads in [1usize, 4] {
@@ -76,11 +86,33 @@ fn main() {
                     r.read_stalls,
                     r.write_stalls,
                 );
+                if threads == 4 {
+                    tails.row([
+                        r.index.clone(),
+                        us(r.telemetry.class(OpClass::Lookup).summary.p99_ns as f64),
+                        us(r.telemetry.class(OpClass::Lookup).summary.p999_ns as f64),
+                        us(r.telemetry.class(OpClass::Insert).summary.p99_ns as f64),
+                        us(r.telemetry.class(OpClass::Drain).summary.p99_ns as f64),
+                        r.telemetry
+                            .top_pauses(1)
+                            .first()
+                            .map(|c| c.class.label().to_string())
+                            .unwrap_or_else(|| "-".to_string()),
+                    ]);
+                    detail = Some(r);
+                }
             }
+        }
+        println!("\n-- per-op-class tails at 4 threads ({}) --", mix.name());
+        tails.print();
+        if let Some(r) = detail {
+            println!("\n-- full pause attribution: {} ({}) --", r.index, mix.name());
+            tail_table(&r.telemetry).print();
         }
     }
     println!(
         "\nExpected shape: reads scale close to the thread count (drains pause them only\n\
-         chunk-wise), read stalls surface exactly that contention, and no run loses a key."
+         chunk-wise), read stalls surface exactly that contention, the tail tables pin the\n\
+         drain/SMO pauses behind the p999, and no run loses a key."
     );
 }
